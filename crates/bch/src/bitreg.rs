@@ -1,0 +1,134 @@
+//! Fixed-width bit register used as the LFSR remainder state.
+
+/// An `r`-bit register packed LSB-first into `u64` words.
+///
+/// Bit `i` holds the coefficient of `x^i` of the running remainder, so the
+/// register is exactly the parallel LFSR state of the hardware encoder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct BitReg {
+    words: Vec<u64>,
+    bits: usize,
+}
+
+impl BitReg {
+    pub(crate) fn zero(bits: usize) -> Self {
+        BitReg {
+            words: vec![0; bits.div_ceil(64).max(1)],
+            bits,
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn from_words(words: &[u64], bits: usize) -> Self {
+        let mut reg = BitReg::zero(bits);
+        for (i, &w) in words.iter().enumerate().take(reg.words.len()) {
+            reg.words[i] = w;
+        }
+        reg.mask_top();
+        reg
+    }
+
+    #[cfg(test)]
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    pub(crate) fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    pub(crate) fn bit(&self, i: usize) -> bool {
+        debug_assert!(i < self.bits);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// The top 8 bits (coefficients `x^(r-1) .. x^(r-8)`), MSB-first.
+    ///
+    /// Requires `r >= 8`.
+    pub(crate) fn top8(&self) -> u8 {
+        debug_assert!(self.bits >= 8);
+        let mut out = 0u8;
+        for j in 0..8 {
+            out <<= 1;
+            if self.bit(self.bits - 1 - j) {
+                out |= 1;
+            }
+        }
+        out
+    }
+
+    /// Shift the register left by 8 bit positions, discarding overflow.
+    pub(crate) fn shl8(&mut self) {
+        let n = self.words.len();
+        for i in (0..n).rev() {
+            let lo = if i == 0 { 0 } else { self.words[i - 1] >> 56 };
+            self.words[i] = self.words[i] << 8 | lo;
+        }
+        self.mask_top();
+    }
+
+    /// Shift left by one bit position, discarding overflow.
+    pub(crate) fn shl1(&mut self) {
+        let n = self.words.len();
+        for i in (0..n).rev() {
+            let lo = if i == 0 { 0 } else { self.words[i - 1] >> 63 };
+            self.words[i] = self.words[i] << 1 | lo;
+        }
+        self.mask_top();
+    }
+
+    pub(crate) fn xor(&mut self, rhs: &[u64]) {
+        debug_assert_eq!(rhs.len(), self.words.len());
+        for (w, &r) in self.words.iter_mut().zip(rhs) {
+            *w ^= r;
+        }
+    }
+
+    fn mask_top(&mut self) {
+        let used = self.bits % 64;
+        if used != 0 {
+            let last = self.words.len() - 1;
+            self.words[last] &= (1u64 << used) - 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top8_reads_msb_first() {
+        let mut reg = BitReg::zero(16);
+        // Set bits 15 (MSB) and 9.
+        reg.words[0] = 1 << 15 | 1 << 9;
+        assert_eq!(reg.top8(), 0b1000_0010);
+    }
+
+    #[test]
+    fn shl8_drops_overflow() {
+        let mut reg = BitReg::zero(12);
+        reg.words[0] = 0xFFF;
+        reg.shl8();
+        assert_eq!(reg.words[0], 0xF00);
+    }
+
+    #[test]
+    fn shl_across_word_boundary() {
+        let mut reg = BitReg::zero(80);
+        reg.words[0] = 1 << 60;
+        reg.shl8();
+        assert!(reg.bit(68));
+        assert!(!reg.bit(60));
+        let mut reg1 = BitReg::zero(80);
+        reg1.words[0] = 1 << 63;
+        reg1.shl1();
+        assert!(reg1.bit(64));
+    }
+
+    #[test]
+    fn from_words_masks_extra_bits() {
+        let reg = BitReg::from_words(&[u64::MAX], 10);
+        assert_eq!(reg.words()[0], 0x3FF);
+    }
+}

@@ -1,0 +1,460 @@
+//! A fixed-capability (shortened) binary BCH code.
+
+use std::fmt;
+use std::sync::Arc;
+
+use mlcx_gf2::{minpoly, Gf2Poly, GfField};
+
+use crate::berlekamp;
+use crate::chien;
+use crate::encoder::LfsrEncoder;
+use crate::error::BchError;
+use crate::syndrome::SyndromeCalculator;
+
+/// Result of decoding one codeword.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeOutcome {
+    /// The received codeword was already valid (zero remainder shortcut).
+    Clean,
+    /// Errors were located and corrected in place.
+    Corrected {
+        /// Total corrected bits (message + parity).
+        bit_errors: usize,
+        /// Corrected bits that fell inside the message.
+        message_bit_errors: usize,
+        /// Stream positions of the corrected bits (0 = first message bit).
+        positions: Vec<usize>,
+    },
+    /// More errors than the code can locate: data returned unmodified.
+    ///
+    /// Note that, as in any bounded-distance decoder, error patterns beyond
+    /// the designed distance can also *miscorrect* silently — that residual
+    /// probability is exactly the UBER the cross-layer framework manages.
+    Uncorrectable,
+}
+
+impl DecodeOutcome {
+    /// `true` for [`DecodeOutcome::Clean`] or [`DecodeOutcome::Corrected`].
+    pub fn is_success(&self) -> bool {
+        !matches!(self, DecodeOutcome::Uncorrectable)
+    }
+
+    /// Number of bits corrected (0 for clean or uncorrectable pages).
+    pub fn corrected_bits(&self) -> usize {
+        match self {
+            DecodeOutcome::Corrected { bit_errors, .. } => *bit_errors,
+            _ => 0,
+        }
+    }
+}
+
+/// A shortened binary BCH code `[n, k]` over GF(2^m) correcting `t` errors.
+///
+/// The message length is fixed at construction (the paper uses the full
+/// 4 KiB page, `k = 32768`); parity is `r = deg g(x) <= m*t` bits appended
+/// in the spare area, giving `n = k + r <= 2^m - 1`.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use mlcx_gf2::GfField;
+/// use mlcx_bch::{BchCode, DecodeOutcome};
+///
+/// let field = Arc::new(GfField::new(13)?);
+/// let code = BchCode::new(field, 256 * 8, 3)?;
+/// let message = vec![0x5Au8; 256];
+/// let mut parity = code.encode(&message)?;
+///
+/// let mut received = message.clone();
+/// received[0] ^= 0x81; // two bit errors
+/// received[100] ^= 0x01; // and a third
+/// let outcome = code.decode(&mut received, &mut parity)?;
+/// assert!(matches!(outcome, DecodeOutcome::Corrected { bit_errors: 3, .. }));
+/// assert_eq!(received, message);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone)]
+pub struct BchCode {
+    field: Arc<GfField>,
+    t: u32,
+    k_bits: usize,
+    r_bits: usize,
+    generator: Gf2Poly,
+    encoder: LfsrEncoder,
+    syndromes: SyndromeCalculator,
+}
+
+impl BchCode {
+    /// Builds the `t`-error-correcting code for `k_bits` message bits,
+    /// deriving the generator polynomial from the field.
+    ///
+    /// # Errors
+    ///
+    /// * [`BchError::MessageNotByteAligned`] if `k_bits % 8 != 0`;
+    /// * [`BchError::CodeTooLong`] if `k + r > 2^m - 1`;
+    /// * [`BchError::CorrectionOutOfRange`] if `t == 0`.
+    pub fn new(field: Arc<GfField>, k_bits: usize, t: u32) -> Result<Self, BchError> {
+        if t == 0 {
+            return Err(BchError::CorrectionOutOfRange {
+                t,
+                tmin: 1,
+                tmax: u32::MAX,
+            });
+        }
+        let generator = minpoly::generator_poly(&field, t);
+        Self::with_generator(field, k_bits, t, generator)
+    }
+
+    /// Builds the code from a pre-computed generator polynomial (the
+    /// adaptive codec feeds these from its polynomial ROM).
+    ///
+    /// # Errors
+    ///
+    /// See [`BchCode::new`].
+    pub fn with_generator(
+        field: Arc<GfField>,
+        k_bits: usize,
+        t: u32,
+        generator: Gf2Poly,
+    ) -> Result<Self, BchError> {
+        if k_bits % 8 != 0 || k_bits == 0 {
+            return Err(BchError::MessageNotByteAligned { k_bits });
+        }
+        let r_bits = generator.degree().unwrap_or(0);
+        let n_full = field.order() as usize;
+        if k_bits + r_bits > n_full {
+            return Err(BchError::CodeTooLong {
+                k_bits,
+                r_bits,
+                n_full,
+            });
+        }
+        let encoder = LfsrEncoder::new(&generator);
+        let syndromes = SyndromeCalculator::new(field.clone(), t);
+        Ok(BchCode {
+            field,
+            t,
+            k_bits,
+            r_bits,
+            generator,
+            encoder,
+            syndromes,
+        })
+    }
+
+    /// The correction capability `t`.
+    pub fn correction_capability(&self) -> u32 {
+        self.t
+    }
+
+    /// Message length `k` in bits.
+    pub fn message_bits(&self) -> usize {
+        self.k_bits
+    }
+
+    /// Parity length `r` in bits (`= deg g`).
+    pub fn parity_bits(&self) -> usize {
+        self.r_bits
+    }
+
+    /// Parity length in bytes (`ceil(r/8)`), as stored in the spare area.
+    pub fn parity_bytes(&self) -> usize {
+        self.r_bits.div_ceil(8)
+    }
+
+    /// Shortened codeword length `n = k + r` in bits.
+    pub fn codeword_bits(&self) -> usize {
+        self.k_bits + self.r_bits
+    }
+
+    /// Full (unshortened) length `2^m - 1`.
+    pub fn full_length(&self) -> usize {
+        self.field.order() as usize
+    }
+
+    /// Number of positions removed by shortening.
+    pub fn shortened_by(&self) -> usize {
+        self.full_length() - self.codeword_bits()
+    }
+
+    /// Code rate `k / n`.
+    pub fn rate(&self) -> f64 {
+        self.k_bits as f64 / self.codeword_bits() as f64
+    }
+
+    /// The generator polynomial.
+    pub fn generator(&self) -> &Gf2Poly {
+        &self.generator
+    }
+
+    /// The underlying field.
+    pub fn field(&self) -> &Arc<GfField> {
+        &self.field
+    }
+
+    /// Systematically encodes `message`, returning the parity bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`BchError::BufferSize`] if `message` is not exactly `k/8` bytes.
+    pub fn encode(&self, message: &[u8]) -> Result<Vec<u8>, BchError> {
+        self.check_message(message)?;
+        Ok(self.encoder.remainder(message))
+    }
+
+    /// Decodes in place: locates up to `t` bit errors across `message` and
+    /// `parity` and flips them back.
+    ///
+    /// # Errors
+    ///
+    /// [`BchError::BufferSize`] on wrong buffer lengths. Uncorrectable
+    /// pages are *not* an `Err` — they are the
+    /// [`DecodeOutcome::Uncorrectable`] variant, because they are an
+    /// expected runtime condition the reliability manager consumes.
+    pub fn decode(
+        &self,
+        message: &mut [u8],
+        parity: &mut [u8],
+    ) -> Result<DecodeOutcome, BchError> {
+        self.check_message(message)?;
+        if parity.len() != self.parity_bytes() {
+            return Err(BchError::BufferSize {
+                what: "parity",
+                expected: self.parity_bytes(),
+                actual: parity.len(),
+            });
+        }
+        // Stage 0 (paper: "if all remainders are null the codeword is
+        // error-free and the decoding process ends").
+        if self.encoder.codeword_is_valid(message, parity) {
+            return Ok(DecodeOutcome::Clean);
+        }
+        // Stage 1: syndromes.
+        let syn = self.syndromes.compute(message, parity, self.r_bits);
+        // Stage 2: Berlekamp-Massey.
+        let lambda = berlekamp::error_locator(&self.field, &syn);
+        let deg = berlekamp::locator_degree(&lambda);
+        if deg == 0 || deg > self.t as usize {
+            return Ok(DecodeOutcome::Uncorrectable);
+        }
+        // Stage 3: Chien search over the shortened range.
+        let Some(positions) = chien::find_error_positions(&self.field, &lambda, self.codeword_bits())
+        else {
+            return Ok(DecodeOutcome::Uncorrectable);
+        };
+        let mut message_bit_errors = 0;
+        for &u in &positions {
+            if u < self.k_bits {
+                message[u / 8] ^= 1 << (7 - u % 8);
+                message_bit_errors += 1;
+            } else {
+                let v = u - self.k_bits;
+                parity[v / 8] ^= 1 << (7 - v % 8);
+            }
+        }
+        Ok(DecodeOutcome::Corrected {
+            bit_errors: positions.len(),
+            message_bit_errors,
+            positions,
+        })
+    }
+
+    fn check_message(&self, message: &[u8]) -> Result<(), BchError> {
+        if message.len() != self.k_bits / 8 {
+            return Err(BchError::BufferSize {
+                what: "message",
+                expected: self.k_bits / 8,
+                actual: message.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for BchCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BchCode")
+            .field("m", &self.field.degree())
+            .field("t", &self.t)
+            .field("k_bits", &self.k_bits)
+            .field("r_bits", &self.r_bits)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn code(m: u32, k_bytes: usize, t: u32) -> BchCode {
+        let field = Arc::new(GfField::new(m).unwrap());
+        BchCode::new(field, k_bytes * 8, t).unwrap()
+    }
+
+    fn flip(buf: &mut [u8], bitpos: usize) {
+        buf[bitpos / 8] ^= 1 << (7 - bitpos % 8);
+    }
+
+    #[test]
+    fn clean_round_trip() {
+        let c = code(11, 64, 4);
+        let msg = vec![0x3Cu8; 64];
+        let mut parity = c.encode(&msg).unwrap();
+        let mut recv = msg.clone();
+        assert_eq!(c.decode(&mut recv, &mut parity).unwrap(), DecodeOutcome::Clean);
+        assert_eq!(recv, msg);
+    }
+
+    #[test]
+    fn corrects_exactly_t_errors() {
+        let c = code(12, 128, 5);
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..20 {
+            let msg: Vec<u8> = (0..128).map(|_| rng.random()).collect();
+            let mut parity = c.encode(&msg).unwrap();
+            let mut recv = msg.clone();
+            // 5 distinct error positions across message + parity.
+            let mut positions = std::collections::BTreeSet::new();
+            while positions.len() < 5 {
+                positions.insert(rng.random_range(0..c.codeword_bits()));
+            }
+            for &p in &positions {
+                if p < c.message_bits() {
+                    flip(&mut recv, p);
+                } else {
+                    flip(&mut parity, p - c.message_bits());
+                }
+            }
+            let out = c.decode(&mut recv, &mut parity).unwrap();
+            match out {
+                DecodeOutcome::Corrected {
+                    bit_errors,
+                    positions: got,
+                    ..
+                } => {
+                    assert_eq!(bit_errors, 5, "trial {trial}");
+                    assert_eq!(got, positions.iter().copied().collect::<Vec<_>>());
+                }
+                other => panic!("trial {trial}: expected correction, got {other:?}"),
+            }
+            assert_eq!(recv, msg, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn parity_only_errors_do_not_touch_message() {
+        let c = code(10, 32, 3);
+        let msg = vec![0xF0u8; 32];
+        let mut parity = c.encode(&msg).unwrap();
+        let mut recv = msg.clone();
+        flip(&mut parity, 0);
+        flip(&mut parity, 7);
+        let out = c.decode(&mut recv, &mut parity).unwrap();
+        match out {
+            DecodeOutcome::Corrected {
+                bit_errors,
+                message_bit_errors,
+                ..
+            } => {
+                assert_eq!(bit_errors, 2);
+                assert_eq!(message_bit_errors, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(recv, msg);
+        // Corrected parity must re-validate.
+        assert_eq!(c.decode(&mut recv, &mut parity).unwrap(), DecodeOutcome::Clean);
+    }
+
+    #[test]
+    fn detects_more_than_t_errors_typical_pattern() {
+        let c = code(12, 128, 3);
+        let msg = vec![0u8; 128];
+        let mut parity = c.encode(&msg).unwrap();
+        let mut recv = msg.clone();
+        // A burst of t+2 errors; for this pattern the decoder must not
+        // silently pretend success with wrong data (it either detects or,
+        // with tiny probability, miscorrects — assert what happens here
+        // deterministically: detection).
+        for p in [0usize, 9, 40, 77, 300] {
+            flip(&mut recv, p);
+        }
+        let out = c.decode(&mut recv, &mut parity).unwrap();
+        assert_eq!(out, DecodeOutcome::Uncorrectable);
+        // Buffer untouched on detection.
+        let mut expect = msg.clone();
+        for p in [0usize, 9, 40, 77, 300] {
+            flip(&mut expect, p);
+        }
+        assert_eq!(recv, expect);
+    }
+
+    #[test]
+    fn rejects_wrong_buffer_sizes() {
+        let c = code(10, 32, 2);
+        let mut short = vec![0u8; 31];
+        assert!(matches!(
+            c.encode(&short),
+            Err(BchError::BufferSize { what: "message", .. })
+        ));
+        let mut parity = vec![0u8; c.parity_bytes() + 1];
+        assert!(matches!(
+            c.decode(&mut short, &mut parity),
+            Err(BchError::BufferSize { .. })
+        ));
+    }
+
+    #[test]
+    fn code_too_long_rejected() {
+        let field = Arc::new(GfField::new(8).unwrap());
+        // k = 248 bits + r(t=2) = 16 > 255.
+        assert!(matches!(
+            BchCode::new(field, 248, 2),
+            Err(BchError::CodeTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let c = code(13, 512, 4);
+        assert_eq!(c.message_bits(), 4096);
+        assert_eq!(c.parity_bits(), 52);
+        assert_eq!(c.parity_bytes(), 7);
+        assert_eq!(c.codeword_bits(), 4148);
+        assert_eq!(c.full_length(), 8191);
+        assert_eq!(c.shortened_by(), 8191 - 4148);
+        assert!(c.rate() > 0.98 && c.rate() < 1.0);
+    }
+
+    #[test]
+    fn error_in_final_partial_parity_byte() {
+        // r % 8 != 0 exercises the serial syndrome tail and bit mapping.
+        let c = code(13, 64, 3); // r = 39 bits -> 5 bytes, 1 bit tail
+        assert_eq!(c.parity_bits() % 8, 7);
+        let msg = vec![0xAAu8; 64];
+        let mut parity = c.encode(&msg).unwrap();
+        let mut recv = msg.clone();
+        let last = c.parity_bits() - 1; // final parity bit
+        flip(&mut parity, last);
+        let out = c.decode(&mut recv, &mut parity).unwrap();
+        assert!(matches!(out, DecodeOutcome::Corrected { bit_errors: 1, .. }));
+        assert_eq!(c.decode(&mut recv, &mut parity).unwrap(), DecodeOutcome::Clean);
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        assert!(DecodeOutcome::Clean.is_success());
+        assert!(!DecodeOutcome::Uncorrectable.is_success());
+        assert_eq!(DecodeOutcome::Clean.corrected_bits(), 0);
+        let c = DecodeOutcome::Corrected {
+            bit_errors: 3,
+            message_bit_errors: 2,
+            positions: vec![1, 2, 3],
+        };
+        assert!(c.is_success());
+        assert_eq!(c.corrected_bits(), 3);
+    }
+}

@@ -1,0 +1,251 @@
+//! Systematic BCH encoding through a programmable parallel LFSR.
+//!
+//! The hardware described in the paper (after Chen et al. \[28\]) computes
+//! parity as the remainder `m(x) * x^r mod g(x)` with an `r`-bit LFSR whose
+//! feedback taps are selected by multiplexers from a generator-polynomial
+//! ROM. The datapath consumes the message `p` bits per clock, so encode
+//! latency is `k/p` cycles **independent of the selected `t`** — the
+//! software model mirrors that with a byte-parallel (p = 8) table step.
+
+use mlcx_gf2::Gf2Poly;
+
+use crate::bitreg::BitReg;
+
+/// Byte-parallel LFSR engine for one fixed generator polynomial.
+///
+/// `step_table[v]` holds `(v(x) * x^r) mod g(x)`: folding one message byte
+/// into the remainder costs one table lookup plus one 8-bit shift — the
+/// software analogue of the hardware's 8-bit-parallel LFSR network.
+#[derive(Debug, Clone)]
+pub struct LfsrEncoder {
+    r_bits: usize,
+    words_per_entry: usize,
+    /// Flattened 256-entry table; entry `v` occupies
+    /// `step_table[v*words_per_entry .. (v+1)*words_per_entry]`.
+    step_table: Vec<u64>,
+    /// Low `r` bits of the generator (g without the x^r term), for the
+    /// bit-serial fallback used when `r < 8`.
+    feedback: Vec<u64>,
+}
+
+impl LfsrEncoder {
+    /// Builds the engine for generator polynomial `g` (degree = parity bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is constant (degree < 1).
+    pub fn new(generator: &Gf2Poly) -> Self {
+        let r_bits = generator
+            .degree()
+            .filter(|&d| d >= 1)
+            .expect("generator polynomial must have degree >= 1");
+        let words_per_entry = r_bits.div_ceil(64).max(1);
+        let mut step_table = vec![0u64; 256 * words_per_entry];
+        if r_bits >= 8 {
+            for v in 0u64..256 {
+                let rem = Gf2Poly::from_int(v).shl(r_bits).rem(generator);
+                let dst = &mut step_table
+                    [(v as usize) * words_per_entry..(v as usize + 1) * words_per_entry];
+                for (i, w) in rem.as_words().iter().enumerate() {
+                    dst[i] = *w;
+                }
+            }
+        }
+        let mut fb = generator.clone();
+        fb.set_coeff(r_bits, false);
+        let mut feedback = vec![0u64; words_per_entry];
+        for (i, w) in fb.as_words().iter().enumerate() {
+            feedback[i] = *w;
+        }
+        LfsrEncoder {
+            r_bits,
+            words_per_entry,
+            step_table,
+            feedback,
+        }
+    }
+
+    /// Number of parity bits `r` (the generator degree).
+    pub fn parity_bits(&self) -> usize {
+        self.r_bits
+    }
+
+    /// Number of bytes needed to store the parity (`ceil(r/8)`).
+    pub fn parity_bytes(&self) -> usize {
+        self.r_bits.div_ceil(8)
+    }
+
+    /// Computes `m(x) * x^r mod g(x)` for a byte-aligned message.
+    ///
+    /// Message bit 0 (byte 0, MSB) is the coefficient of `x^(k-1)`.
+    /// Returns the remainder as parity bytes, MSB-first (parity byte 0 bit 7
+    /// is the coefficient of `x^(r-1)`); when `r` is not a multiple of 8 the
+    /// low bits of the last byte are zero padding.
+    pub fn remainder(&self, message: &[u8]) -> Vec<u8> {
+        let mut state = BitReg::zero(self.r_bits);
+        if self.r_bits >= 8 {
+            for &byte in message {
+                self.step_byte(&mut state, byte);
+            }
+        } else {
+            for &byte in message {
+                for j in (0..8).rev() {
+                    self.step_bit(&mut state, byte >> j & 1 == 1);
+                }
+            }
+        }
+        self.emit(&state)
+    }
+
+    /// Folds additional parity bytes into a running remainder — used by the
+    /// decoder's zero-syndrome shortcut, where the full received codeword
+    /// (message then parity) must reduce to zero mod `g`.
+    ///
+    /// Returns `true` when the received codeword is a valid codeword.
+    pub fn codeword_is_valid(&self, message: &[u8], parity: &[u8]) -> bool {
+        let mut state = BitReg::zero(self.r_bits);
+        let mut process = |bytes: &[u8], nbits: usize| {
+            let full = nbits / 8;
+            for &byte in &bytes[..full] {
+                if self.r_bits >= 8 {
+                    self.step_byte(&mut state, byte);
+                } else {
+                    for j in (0..8).rev() {
+                        self.step_bit(&mut state, byte >> j & 1 == 1);
+                    }
+                }
+            }
+            for j in 0..nbits % 8 {
+                self.step_bit(&mut state, bytes[full] >> (7 - j) & 1 == 1);
+            }
+        };
+        process(message, message.len() * 8);
+        process(parity, self.r_bits);
+        state.is_zero()
+    }
+
+    fn step_byte(&self, state: &mut BitReg, byte: u8) {
+        let v = (state.top8() ^ byte) as usize;
+        state.shl8();
+        state.xor(&self.step_table[v * self.words_per_entry..(v + 1) * self.words_per_entry]);
+    }
+
+    fn step_bit(&self, state: &mut BitReg, bit: bool) {
+        let fb = state.bit(self.r_bits - 1) ^ bit;
+        state.shl1();
+        if fb {
+            state.xor(&self.feedback);
+            // x^r term of g folds back as the low taps; bit 0 toggles too
+            // because g always has a nonzero constant term for BCH codes.
+        }
+    }
+
+    fn emit(&self, state: &BitReg) -> Vec<u8> {
+        let mut out = vec![0u8; self.parity_bytes()];
+        for v in 0..self.r_bits {
+            if state.bit(self.r_bits - 1 - v) {
+                out[v / 8] |= 1 << (7 - v % 8);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcx_gf2::{minpoly::generator_poly, GfField};
+
+    /// Reference remainder via polynomial arithmetic.
+    fn reference_remainder(message: &[u8], g: &Gf2Poly) -> Vec<u8> {
+        let r = g.degree().unwrap();
+        let k = message.len() * 8;
+        let mut m = Gf2Poly::zero();
+        for (u, &byte) in message.iter().enumerate() {
+            for j in 0..8 {
+                if byte >> (7 - j) & 1 == 1 {
+                    m.set_coeff(k - 1 - (u * 8 + j), true);
+                }
+            }
+        }
+        let rem = m.shl(r).rem(g);
+        let mut out = vec![0u8; r.div_ceil(8)];
+        for v in 0..r {
+            if rem.coeff(r - 1 - v) {
+                out[v / 8] |= 1 << (7 - v % 8);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_polynomial_reference_gf16() {
+        let f = GfField::new(4).unwrap();
+        let g = generator_poly(&f, 1); // x^4 + x + 1, r = 4 < 8: bit-serial
+        let enc = LfsrEncoder::new(&g);
+        let msg = [0b1011_0010u8];
+        assert_eq!(enc.remainder(&msg), reference_remainder(&msg, &g));
+    }
+
+    #[test]
+    fn matches_polynomial_reference_gf256() {
+        let f = GfField::new(8).unwrap();
+        for t in [1u32, 2, 3, 5] {
+            let g = generator_poly(&f, t);
+            let enc = LfsrEncoder::new(&g);
+            let msg: Vec<u8> = (0..24).map(|i| (i * 37 + 11) as u8).collect();
+            assert_eq!(
+                enc.remainder(&msg),
+                reference_remainder(&msg, &g),
+                "t = {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_message_zero_parity() {
+        let f = GfField::new(10).unwrap();
+        let g = generator_poly(&f, 4);
+        let enc = LfsrEncoder::new(&g);
+        let parity = enc.remainder(&[0u8; 64]);
+        assert!(parity.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn encoder_is_linear() {
+        let f = GfField::new(9).unwrap();
+        let g = generator_poly(&f, 3);
+        let enc = LfsrEncoder::new(&g);
+        let a: Vec<u8> = (0..32).map(|i| (i * 13 + 7) as u8).collect();
+        let b: Vec<u8> = (0..32).map(|i| (i * 29 + 3) as u8).collect();
+        let sum: Vec<u8> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
+        let pa = enc.remainder(&a);
+        let pb = enc.remainder(&b);
+        let psum = enc.remainder(&sum);
+        let xored: Vec<u8> = pa.iter().zip(&pb).map(|(x, y)| x ^ y).collect();
+        assert_eq!(psum, xored);
+    }
+
+    #[test]
+    fn systematic_codeword_validates() {
+        let f = GfField::new(11).unwrap();
+        let g = generator_poly(&f, 6);
+        let enc = LfsrEncoder::new(&g);
+        let msg: Vec<u8> = (0..100).map(|i| (i * 101 + 55) as u8).collect();
+        let parity = enc.remainder(&msg);
+        assert!(enc.codeword_is_valid(&msg, &parity));
+        // Any single flipped bit must invalidate it.
+        let mut bad = msg.clone();
+        bad[50] ^= 0x08;
+        assert!(!enc.codeword_is_valid(&bad, &parity));
+    }
+
+    #[test]
+    fn parity_sizes() {
+        let f = GfField::new(13).unwrap();
+        let g = generator_poly(&f, 2);
+        let enc = LfsrEncoder::new(&g);
+        assert_eq!(enc.parity_bits(), 26);
+        assert_eq!(enc.parity_bytes(), 4);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type for the BCH codec.
+
+use std::error::Error;
+use std::fmt;
+
+use mlcx_gf2::GfError;
+
+/// Errors raised by BCH code construction and the encode/decode paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BchError {
+    /// The underlying field could not be built.
+    Field(GfError),
+    /// The message length must be a whole number of bytes.
+    MessageNotByteAligned {
+        /// Requested message length in bits.
+        k_bits: usize,
+    },
+    /// `k + r` exceeds the full code length `2^m - 1`.
+    CodeTooLong {
+        /// Requested message length in bits.
+        k_bits: usize,
+        /// Parity bits required at the requested capability.
+        r_bits: usize,
+        /// The bound `2^m - 1`.
+        n_full: usize,
+    },
+    /// Requested correction capability outside the configured range.
+    CorrectionOutOfRange {
+        /// Requested capability.
+        t: u32,
+        /// Minimum allowed.
+        tmin: u32,
+        /// Maximum allowed.
+        tmax: u32,
+    },
+    /// Buffer passed to encode/decode has the wrong size.
+    BufferSize {
+        /// What the buffer holds ("message" or "parity").
+        what: &'static str,
+        /// Expected length in bytes.
+        expected: usize,
+        /// Actual length in bytes.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for BchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BchError::Field(e) => write!(f, "field construction failed: {e}"),
+            BchError::MessageNotByteAligned { k_bits } => {
+                write!(f, "message length {k_bits} bits is not byte aligned")
+            }
+            BchError::CodeTooLong {
+                k_bits,
+                r_bits,
+                n_full,
+            } => write!(
+                f,
+                "codeword {k_bits}+{r_bits} bits exceeds the field bound {n_full}"
+            ),
+            BchError::CorrectionOutOfRange { t, tmin, tmax } => {
+                write!(f, "correction capability t={t} outside {tmin}..={tmax}")
+            }
+            BchError::BufferSize {
+                what,
+                expected,
+                actual,
+            } => write!(f, "{what} buffer is {actual} bytes, expected {expected}"),
+        }
+    }
+}
+
+impl Error for BchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BchError::Field(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GfError> for BchError {
+    fn from(e: GfError) -> Self {
+        BchError::Field(e)
+    }
+}

@@ -1,0 +1,34 @@
+//! Architecture ablations (extension): Chien pool basis, flash bus rate
+//! and buffer load strategy — prints the sensitivity tables and times the
+//! sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlcx_core::experiments::ablation;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = mlcx_bench::model();
+    mlcx_bench::banner(
+        "Ablation — Chien multiplier pool",
+        &ablation::chien_table(&ablation::chien_parallelism(&model, &[1, 2, 4, 8, 16])).render(),
+    );
+    mlcx_bench::banner(
+        "Ablation — flash bus rate",
+        &ablation::bus_table(&ablation::bus_rate(&model, &[16.0, 32.0, 66.0, 133.0, 200.0]))
+            .render(),
+    );
+    mlcx_bench::banner(
+        "Ablation — buffer load strategy",
+        &ablation::load_table(&ablation::load_strategy(&model)).render(),
+    );
+
+    c.bench_function("ablation/chien_sweep", |b| {
+        b.iter(|| black_box(ablation::chien_parallelism(&model, &[1, 2, 4, 8, 16])))
+    });
+    c.bench_function("ablation/bus_sweep", |b| {
+        b.iter(|| black_box(ablation::bus_rate(&model, &[16.0, 32.0, 66.0, 133.0, 200.0])))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Functional BCH codec throughput across the capability range — the raw
+//! software performance of the reproduction (not a paper figure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mlcx_bch::AdaptiveBch;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut codec = AdaptiveBch::date2012().unwrap();
+    let msg: Vec<u8> = (0..4096).map(|i| (i * 97 + 13) as u8).collect();
+
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Bytes(4096));
+    for t in [3u32, 14, 30, 65] {
+        codec.set_correction(t).unwrap();
+        let code = codec.code().unwrap();
+        group.bench_with_input(BenchmarkId::new("encode", t), &t, |b, _| {
+            b.iter(|| black_box(code.encode(&msg).unwrap()))
+        });
+        let parity = code.encode(&msg).unwrap();
+        // Clean-page decode: the zero-remainder shortcut path.
+        group.bench_with_input(BenchmarkId::new("decode_clean", t), &t, |b, _| {
+            b.iter(|| {
+                let mut m = msg.clone();
+                let mut p = parity.clone();
+                black_box(code.decode(&mut m, &mut p).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Functional-codec / Monte-Carlo iterations cost milliseconds each:
+    // keep the sample count modest so the full suite stays fast.
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Fig. 4 — compact-model staircase fit: prints the reproduced series and
+//! times the single-cell ISPP ramp simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlcx_core::experiments::fig04;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig04::generate();
+    mlcx_bench::banner("Fig. 4 — VTH vs VCG staircase", &fig04::table(&rows).render());
+    println!("fit RMS error: {:.3} V", fig04::rms_error_v());
+
+    c.bench_function("fig04/staircase_simulation", |b| {
+        b.iter(|| black_box(fig04::generate()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

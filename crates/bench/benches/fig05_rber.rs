@@ -1,0 +1,33 @@
+//! Fig. 5 — RBER vs. P/E cycles for ISPP-SV and ISPP-DV: prints both
+//! curves (the one-order-of-magnitude gap) and times the generator plus
+//! a Monte-Carlo validation page.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlcx_nand::array::ArraySimulator;
+use mlcx_core::experiments::fig05;
+use mlcx_nand::ProgramAlgorithm;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = mlcx_bench::model();
+    let rows = fig05::generate(&model);
+    mlcx_bench::banner("Fig. 5 — RBER vs P/E cycles", &fig05::table(&rows).render());
+
+    c.bench_function("fig05/analytic_curves", |b| {
+        b.iter(|| black_box(fig05::generate(&model)))
+    });
+
+    let sim = ArraySimulator::date2012();
+    c.bench_function("fig05/monte_carlo_page_eol", |b| {
+        b.iter(|| black_box(sim.run_page(ProgramAlgorithm::IsppSv, 1_000_000, 4096, 3)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Functional-codec / Monte-Carlo iterations cost milliseconds each:
+    // keep the sample count modest so the full suite stays fast.
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

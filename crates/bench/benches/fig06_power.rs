@@ -1,0 +1,25 @@
+//! Fig. 6 — program power for {SV, DV} x {L1, L2, L3}: prints the six
+//! series (DV-SV shift ~7.5 mW) and times the pump-model evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlcx_core::experiments::fig06;
+use mlcx_hv::HvSubsystem;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = mlcx_bench::model();
+    let rows = fig06::generate(&model);
+    mlcx_bench::banner("Fig. 6 — program power [W]", &fig06::table(&rows).render());
+
+    c.bench_function("fig06/power_series", |b| {
+        b.iter(|| black_box(fig06::generate(&model)))
+    });
+
+    let hv = HvSubsystem::date2012();
+    c.bench_function("fig06/pump_phase_power", |b| {
+        b.iter(|| black_box(hv.pulse_power_w(16.5) + hv.verify_power_w()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig. 7 — UBER vs. RBER for the ISPP-SV capability set {3, 4, 27, 30,
+//! 65}: prints the curves and the working points (the paper's x-ticks),
+//! and times the eq.-1 evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlcx_core::experiments::fig07;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = mlcx_bench::model();
+    let rows = fig07::generate(&model);
+    mlcx_bench::banner("Fig. 7 — UBER vs RBER (ISPP-SV)", &fig07::table(&rows).render());
+    println!("working points at UBER=1e-11:");
+    for (t, rber) in fig07::working_points(&model) {
+        println!("  t={t:>2} -> RBER {rber:.3e}");
+    }
+
+    c.bench_function("fig07/uber_curves", |b| {
+        b.iter(|| black_box(fig07::generate(&model)))
+    });
+    c.bench_function("fig07/working_points", |b| {
+        b.iter(|| black_box(fig07::working_points(&model)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

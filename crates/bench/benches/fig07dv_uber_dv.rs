@@ -1,0 +1,24 @@
+//! The camera-ready's lost "Fig. ??" — UBER vs. RBER for the ISPP-DV
+//! capability set {3, 4, 9, 14}: prints the reconstructed curves and
+//! times the generator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlcx_core::experiments::fig07dv;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = mlcx_bench::model();
+    let rows = fig07dv::generate(&model);
+    mlcx_bench::banner("Fig. ?? — UBER vs RBER (ISPP-DV)", &fig07dv::table(&rows).render());
+    println!("working points at UBER=1e-11:");
+    for (t, rber) in fig07dv::working_points(&model) {
+        println!("  t={t:>2} -> RBER {rber:.3e}");
+    }
+
+    c.bench_function("fig07dv/uber_curves", |b| {
+        b.iter(|| black_box(fig07dv::generate(&model)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

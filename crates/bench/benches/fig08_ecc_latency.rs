@@ -1,0 +1,49 @@
+//! Fig. 8 — ECC encode/decode latency over lifetime at 80 MHz: prints the
+//! four curves and times both the cycle model and the *functional* codec
+//! at the paper's extreme configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlcx_bch::AdaptiveBch;
+use mlcx_core::experiments::fig08;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = mlcx_bench::model();
+    let rows = fig08::generate(&model);
+    mlcx_bench::banner("Fig. 8 — ECC latency [us]", &fig08::table(&rows).render());
+
+    c.bench_function("fig08/latency_schedule", |b| {
+        b.iter(|| black_box(fig08::generate(&model)))
+    });
+
+    // Functional codec timings at the schedule's endpoints.
+    let mut codec = AdaptiveBch::date2012().unwrap();
+    let msg: Vec<u8> = (0..4096).map(|i| (i * 37) as u8).collect();
+    for t in [3u32, 14, 65] {
+        codec.set_correction(t).unwrap();
+        let parity = codec.encode(&msg).unwrap();
+        c.bench_with_input(BenchmarkId::new("fig08/encode_4k", t), &t, |b, _| {
+            b.iter(|| black_box(codec.code().unwrap().encode(&msg).unwrap()))
+        });
+        let mut recv = msg.clone();
+        for i in 0..t as usize {
+            recv[i * 61] ^= 0x10;
+        }
+        c.bench_with_input(BenchmarkId::new("fig08/decode_4k_t_errors", t), &t, |b, _| {
+            b.iter(|| {
+                let mut m = recv.clone();
+                let mut p = parity.clone();
+                black_box(codec.code().unwrap().decode(&mut m, &mut p).unwrap())
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    // Functional-codec / Monte-Carlo iterations cost milliseconds each:
+    // keep the sample count modest so the full suite stays fast.
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

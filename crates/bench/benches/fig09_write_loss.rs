@@ -1,0 +1,20 @@
+//! Fig. 9 — write-throughput loss of the cross-layer configuration
+//! (~40 % fresh to ~48 % at end of life): prints the curve and times the
+//! write-path evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlcx_core::experiments::fig09;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = mlcx_bench::model();
+    let rows = fig09::generate(&model);
+    mlcx_bench::banner("Fig. 9 — write throughput loss [%]", &fig09::table(&rows).render());
+
+    c.bench_function("fig09/write_loss_curve", |b| {
+        b.iter(|| black_box(fig09::generate(&model)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

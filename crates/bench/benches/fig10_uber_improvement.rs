@@ -1,0 +1,20 @@
+//! Fig. 10 — UBER of the nominal configuration vs. the physical-layer
+//! modification (ISPP-DV at the nominal ECC schedule): prints both curves
+//! and times the log-domain eq.-1 sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlcx_core::experiments::fig10;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = mlcx_bench::model();
+    let rows = fig10::generate(&model);
+    mlcx_bench::banner("Fig. 10 — UBER improvement", &fig10::table(&rows).render());
+
+    c.bench_function("fig10/uber_curves", |b| {
+        b.iter(|| black_box(fig10::generate(&model)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

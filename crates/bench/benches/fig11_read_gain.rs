@@ -1,0 +1,27 @@
+//! Fig. 11 — read-throughput gain of the cross-layer optimization (up to
+//! ~30 % at end of life, at constant UBER): prints the curve and times
+//! the read-path evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlcx_core::experiments::{fig11, power_budget};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = mlcx_bench::model();
+    let rows = fig11::generate(&model);
+    mlcx_bench::banner("Fig. 11 — read throughput gain [%]", &fig11::table(&rows).render());
+    mlcx_bench::banner(
+        "Section 6.3.2 — power budget [mW]",
+        &power_budget::table(&power_budget::generate(&model)).render(),
+    );
+
+    c.bench_function("fig11/read_gain_curve", |b| {
+        b.iter(|| black_box(fig11::generate(&model)))
+    });
+    c.bench_function("fig11/power_budget", |b| {
+        b.iter(|| black_box(power_budget::generate(&model)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Monte-Carlo ISPP engine performance: full-page program simulation for
+//! both algorithms (not a paper figure; the simulator's own speed).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlcx_nand::ispp::{IsppConfig, IsppEngine, ProgramAlgorithm};
+use mlcx_nand::levels::{MlcLevel, ThresholdSpec};
+use mlcx_nand::variability::VariabilityModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let engine = IsppEngine::new(
+        IsppConfig::date2012(),
+        ThresholdSpec::date2012(),
+        VariabilityModel::date2012(),
+    );
+    let targets: Vec<MlcLevel> = (0..4096).map(|i| MlcLevel::from_index(i % 4)).collect();
+
+    for alg in ProgramAlgorithm::ALL {
+        c.bench_with_input(
+            BenchmarkId::new("ispp/program_4k_cells", alg.to_string()),
+            &alg,
+            |b, &alg| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(5);
+                    let mut cells = engine.erased_page(&targets, &mut rng);
+                    black_box(engine.program(&mut cells, alg, 0.05, &mut rng))
+                })
+            },
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    // Functional-codec / Monte-Carlo iterations cost milliseconds each:
+    // keep the sample count modest so the full suite stays fast.
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

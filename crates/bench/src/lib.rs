@@ -1,0 +1,29 @@
+//! Shared helpers for the figure benches.
+//!
+//! The benches themselves live in `benches/`; each regenerates one table
+//! or figure of the paper's evaluation (printing the series once) and
+//! then lets Criterion time the generator.
+
+use mlcx_core::SubsystemModel;
+
+/// The model every figure bench runs against.
+pub fn model() -> SubsystemModel {
+    SubsystemModel::date2012()
+}
+
+/// Prints a bench banner with the figure id and its rendered table, once
+/// per bench invocation, so `cargo bench` output doubles as the
+/// reproduction record.
+pub fn banner(figure: &str, table: &str) {
+    println!("\n===== {figure} =====");
+    println!("{table}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn model_constructs() {
+        let m = super::model();
+        assert_eq!(m.tmax, 65);
+    }
+}

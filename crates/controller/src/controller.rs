@@ -1,0 +1,512 @@
+//! The core controller FSM: full write and read datapaths.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use mlcx_bch::hardware::{EccHardware, EccPowerModel};
+use mlcx_bch::{AdaptiveBch, CodecStats, DecodeOutcome};
+use mlcx_hv::HvSubsystem;
+use mlcx_nand::device::CodeStore;
+use mlcx_nand::ispp::IsppConfig;
+use mlcx_nand::{AgingModel, DeviceGeometry, NandDevice, NandTiming, ProgramAlgorithm};
+
+use crate::buffer::{LoadStrategy, PageBuffer};
+use crate::error::CtrlError;
+use crate::flash_if::FlashInterface;
+use crate::ocp::OcpSocket;
+use crate::regs::{ConfigCommand, RegisterFile, ServiceLevel};
+
+/// Static configuration of the controller instance.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// Galois-field degree of the BCH codec.
+    pub ecc_m: u32,
+    /// Minimum correction capability.
+    pub ecc_tmin: u32,
+    /// Maximum correction capability.
+    pub ecc_tmax: u32,
+    /// Socket interface parameters.
+    pub ocp: OcpSocket,
+    /// Flash bus parameters.
+    pub flash_if: FlashInterface,
+    /// Synthesized ECC hardware parameters (latency model).
+    pub ecc_hw: EccHardware,
+    /// ECC power model.
+    pub ecc_power: EccPowerModel,
+    /// Device geometry.
+    pub geometry: DeviceGeometry,
+}
+
+impl ControllerConfig {
+    /// The paper's full configuration.
+    pub fn date2012() -> Self {
+        ControllerConfig {
+            ecc_m: 16,
+            ecc_tmin: 3,
+            ecc_tmax: 65,
+            ocp: OcpSocket::date2012(),
+            flash_if: FlashInterface::date2012(),
+            ecc_hw: EccHardware::date2012(),
+            ecc_power: EccPowerModel::date2012(),
+            geometry: DeviceGeometry::date2012(),
+        }
+    }
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        Self::date2012()
+    }
+}
+
+/// Latency/energy breakdown of one page write.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WriteReport {
+    /// Total latency, seconds.
+    pub latency_s: f64,
+    /// Total energy, joules.
+    pub energy_j: f64,
+    /// Buffer load exposed on the critical path, seconds.
+    pub load_s: f64,
+    /// ECC encode time, seconds.
+    pub encode_s: f64,
+    /// Data-in transfer over the flash bus, seconds.
+    pub transfer_s: f64,
+    /// ISPP program time, seconds.
+    pub program_s: f64,
+    /// Correction capability the page was encoded at.
+    pub t_used: u32,
+    /// Program algorithm used.
+    pub algorithm: ProgramAlgorithm,
+}
+
+/// Result and breakdown of one page read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadReport {
+    /// The (corrected) page data.
+    pub data: Vec<u8>,
+    /// Decode outcome.
+    pub outcome: DecodeOutcome,
+    /// Total latency, seconds.
+    pub latency_s: f64,
+    /// Total energy, joules.
+    pub energy_j: f64,
+    /// Array sensing time (tR), seconds.
+    pub sense_s: f64,
+    /// Codeword transfer time, seconds.
+    pub transfer_s: f64,
+    /// ECC decode time, seconds.
+    pub decode_s: f64,
+    /// Correction capability used.
+    pub t_used: u32,
+}
+
+/// The memory controller of the paper's Fig. 1.
+///
+/// Owns the adaptive BCH codec, the page buffer, both bus interfaces and
+/// the flash device; exposes the two cross-layer knobs through
+/// [`ConfigCommand`]s.
+///
+/// # Example
+///
+/// ```
+/// use mlcx_controller::{ConfigCommand, ControllerConfig, MemoryController};
+/// use mlcx_nand::ProgramAlgorithm;
+///
+/// let mut ctrl = MemoryController::new(ControllerConfig::date2012(), 3)?;
+/// // Cross-layer reconfiguration at runtime:
+/// ctrl.apply(ConfigCommand::SetAlgorithm(ProgramAlgorithm::IsppDv))?;
+/// ctrl.apply(ConfigCommand::SetCorrection(14))?;
+/// assert_eq!(ctrl.correction(), 14);
+/// # Ok::<(), mlcx_controller::CtrlError>(())
+/// ```
+pub struct MemoryController {
+    config: ControllerConfig,
+    codec: AdaptiveBch,
+    device: NandDevice,
+    buffer: PageBuffer,
+    regs: RegisterFile,
+    load_strategy: LoadStrategy,
+    /// ECC capability each written page used (the controller's page
+    /// metadata table).
+    page_ecc: HashMap<(usize, usize), u32>,
+}
+
+impl MemoryController {
+    /// Builds the controller and its device.
+    ///
+    /// # Errors
+    ///
+    /// Codec construction errors, or [`CtrlError::SpareOverflow`] when the
+    /// worst-case parity cannot fit the spare area.
+    pub fn new(config: ControllerConfig, seed: u64) -> Result<Self, CtrlError> {
+        let codec = AdaptiveBch::new(
+            config.ecc_m,
+            config.geometry.page_bytes * 8,
+            config.ecc_tmin,
+            config.ecc_tmax,
+        )?;
+        if codec.max_parity_bytes() > config.geometry.spare_bytes {
+            return Err(CtrlError::SpareOverflow {
+                parity_bytes: codec.max_parity_bytes(),
+                spare_bytes: config.geometry.spare_bytes,
+            });
+        }
+        let device = NandDevice::with_config(
+            config.geometry,
+            NandTiming::date2012(),
+            IsppConfig::date2012(),
+            AgingModel::date2012(),
+            HvSubsystem::date2012(),
+            CodeStore::dual_rom(),
+            seed,
+        );
+        let buffer = PageBuffer::new(config.geometry.page_bytes);
+        Ok(MemoryController {
+            config,
+            codec,
+            device,
+            buffer,
+            regs: RegisterFile::default(),
+            load_strategy: LoadStrategy::OneRound,
+            page_ecc: HashMap::new(),
+        })
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// Current correction capability.
+    pub fn correction(&self) -> u32 {
+        self.codec.correction()
+    }
+
+    /// Current program algorithm.
+    pub fn algorithm(&self) -> ProgramAlgorithm {
+        self.device.algorithm()
+    }
+
+    /// Current service level (from the register file).
+    pub fn service_level(&self) -> ServiceLevel {
+        self.regs.service_level()
+    }
+
+    /// The register file (status polling).
+    pub fn regs(&self) -> &RegisterFile {
+        &self.regs
+    }
+
+    /// Codec feedback counters (for the reliability manager).
+    pub fn codec_stats(&self) -> CodecStats {
+        self.codec.stats()
+    }
+
+    /// The underlying device (wear inspection).
+    pub fn device(&self) -> &NandDevice {
+        &self.device
+    }
+
+    /// Mutable device access — for experiment setup (positioning wear,
+    /// enabling disturb/retention mechanisms), not for datapath use.
+    pub fn device_mut(&mut self) -> &mut NandDevice {
+        &mut self.device
+    }
+
+    /// Applies a configuration command received over the socket.
+    ///
+    /// # Errors
+    ///
+    /// Knob errors (capability out of range, algorithm not in the code
+    /// store) propagate; the register write itself cannot fail.
+    pub fn apply(&mut self, cmd: ConfigCommand) -> Result<(), CtrlError> {
+        match cmd {
+            ConfigCommand::SetCorrection(t) => {
+                self.codec.set_correction(t)?;
+                self.regs.status_mut().ecc_reconfigured = true;
+            }
+            ConfigCommand::SetAlgorithm(a) => self.device.select_algorithm(a)?,
+            ConfigCommand::SetTwoRoundLoad(enable) => {
+                self.load_strategy = if enable {
+                    LoadStrategy::TwoRound
+                } else {
+                    LoadStrategy::OneRound
+                };
+            }
+            ConfigCommand::SetServiceLevel(_) => {}
+        }
+        self.regs.apply(cmd);
+        Ok(())
+    }
+
+    /// Erases a block.
+    ///
+    /// # Errors
+    ///
+    /// Device errors propagate.
+    pub fn erase_block(&mut self, block: usize) -> Result<(), CtrlError> {
+        self.device.erase_block(block)?;
+        // Page metadata of the erased block is void.
+        self.page_ecc.retain(|&(b, _), _| b != block);
+        Ok(())
+    }
+
+    /// Ages a block to a wear point (lifetime experiments).
+    ///
+    /// # Errors
+    ///
+    /// Device errors propagate.
+    pub fn age_block(&mut self, block: usize, cycles: u64) -> Result<(), CtrlError> {
+        self.device.age_block(block, cycles)?;
+        Ok(())
+    }
+
+    /// Full write datapath: buffer load -> ECC encode -> data-in transfer
+    /// -> ISPP program.
+    ///
+    /// # Errors
+    ///
+    /// [`CtrlError::BufferSize`] for wrong page sizes; device and codec
+    /// errors propagate.
+    pub fn write_page(
+        &mut self,
+        block: usize,
+        page: usize,
+        data: &[u8],
+    ) -> Result<WriteReport, CtrlError> {
+        self.buffer.reset();
+        self.buffer
+            .load(data)
+            .map_err(|expected| CtrlError::BufferSize {
+                expected,
+                actual: data.len(),
+            })?;
+
+        let t = self.codec.correction();
+        let parity = self.codec.encode(self.buffer.contents())?;
+        let r_bits = self.codec.code()?.parity_bits();
+
+        let path = crate::throughput::write_path(
+            &self.config.ocp,
+            self.load_strategy,
+            &self.config.flash_if,
+            &self.config.ecc_hw,
+            data.len() * 8,
+            r_bits,
+            0.0, // program time filled from the device report below
+        );
+        let dev_report = self.device.program_page(block, page, data, &parity)?;
+        self.page_ecc.insert((block, page), t);
+
+        let ecc_energy = self.config.ecc_power.power_w(t) * path.encode_s;
+        Ok(WriteReport {
+            latency_s: path.load_s + path.encode_s + path.transfer_s + dev_report.duration_s,
+            energy_j: dev_report.energy_j + ecc_energy,
+            load_s: path.load_s,
+            encode_s: path.encode_s,
+            transfer_s: path.transfer_s,
+            program_s: dev_report.duration_s,
+            t_used: t,
+            algorithm: self.device.algorithm(),
+        })
+    }
+
+    /// Full read datapath: tR -> codeword transfer -> ECC decode.
+    ///
+    /// The decode is *functionally executed* on the error-injected data:
+    /// the outcome reflects real BCH behaviour, including uncorrectable
+    /// pages at wear-out when the capability is set too low.
+    ///
+    /// # Errors
+    ///
+    /// [`CtrlError::UnknownPageConfig`] if the page was not written
+    /// through this controller; device errors propagate.
+    pub fn read_page(&mut self, block: usize, page: usize) -> Result<ReadReport, CtrlError> {
+        let t = *self
+            .page_ecc
+            .get(&(block, page))
+            .ok_or(CtrlError::UnknownPageConfig { block, page })?;
+
+        let (mut data, mut spare, dev_report) = self.device.read_page(block, page)?;
+
+        // Decode at the page's write-time capability, restoring the host
+        // configuration afterwards; going through the adaptive codec keeps
+        // the reliability-manager feedback counters accurate.
+        let host_t = self.codec.correction();
+        self.codec.set_correction(t)?;
+        let code = self.codec.code()?;
+        let mut parity = spare.split_off(0); // parity occupies the spare prefix
+        parity.truncate(code.parity_bytes());
+        let outcome = self.codec.decode(&mut data, &mut parity);
+        self.codec.set_correction(host_t)?;
+        let outcome = outcome?;
+        if outcome == DecodeOutcome::Uncorrectable {
+            self.regs.status_mut().uncorrectable_seen = true;
+        }
+
+        let path = crate::throughput::read_path(
+            self.device.timing(),
+            &self.config.flash_if,
+            &self.config.ecc_hw,
+            data.len() * 8,
+            code.parity_bits(),
+            t,
+        );
+        let ecc_energy = self.config.ecc_power.power_w(t) * path.decode_s;
+        Ok(ReadReport {
+            data,
+            outcome,
+            latency_s: path.sense_s + path.transfer_s + path.decode_s,
+            energy_j: dev_report.energy_j + ecc_energy,
+            sense_s: path.sense_s,
+            transfer_s: path.transfer_s,
+            decode_s: path.decode_s,
+            t_used: t,
+        })
+    }
+}
+
+impl fmt::Debug for MemoryController {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemoryController")
+            .field("correction", &self.correction())
+            .field("algorithm", &self.algorithm())
+            .field("service_level", &self.service_level())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> MemoryController {
+        MemoryController::new(ControllerConfig::date2012(), 5).unwrap()
+    }
+
+    #[test]
+    fn write_read_round_trip_with_correction() {
+        let mut ctrl = controller();
+        ctrl.erase_block(0).unwrap();
+        // Age heavily so raw errors are certain, then rely on ECC.
+        ctrl.age_block(0, 500_000).unwrap();
+        ctrl.apply(ConfigCommand::SetCorrection(40)).unwrap();
+        let data: Vec<u8> = (0..4096).map(|i| (i * 31) as u8).collect();
+        let w = ctrl.write_page(0, 0, &data).unwrap();
+        assert_eq!(w.t_used, 40);
+        let r = ctrl.read_page(0, 0).unwrap();
+        assert!(r.outcome.is_success());
+        assert_eq!(r.data, data, "ECC must deliver clean data");
+    }
+
+    #[test]
+    fn read_uses_write_time_capability() {
+        let mut ctrl = controller();
+        ctrl.erase_block(0).unwrap();
+        ctrl.apply(ConfigCommand::SetCorrection(10)).unwrap();
+        let data = vec![0x77u8; 4096];
+        ctrl.write_page(0, 1, &data).unwrap();
+        // Re-configure before reading: the read must still use t = 10.
+        ctrl.apply(ConfigCommand::SetCorrection(65)).unwrap();
+        let r = ctrl.read_page(0, 1).unwrap();
+        assert_eq!(r.t_used, 10);
+        assert_eq!(r.data, data);
+    }
+
+    #[test]
+    fn unknown_page_config_rejected() {
+        let mut ctrl = controller();
+        ctrl.erase_block(0).unwrap();
+        assert!(matches!(
+            ctrl.read_page(0, 3),
+            Err(CtrlError::UnknownPageConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn erase_invalidates_page_metadata() {
+        let mut ctrl = controller();
+        ctrl.erase_block(0).unwrap();
+        let data = vec![1u8; 4096];
+        ctrl.write_page(0, 0, &data).unwrap();
+        ctrl.erase_block(0).unwrap();
+        assert!(matches!(
+            ctrl.read_page(0, 0),
+            Err(CtrlError::UnknownPageConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn config_commands_drive_both_layers() {
+        let mut ctrl = controller();
+        ctrl.apply(ConfigCommand::SetAlgorithm(ProgramAlgorithm::IsppDv))
+            .unwrap();
+        ctrl.apply(ConfigCommand::SetCorrection(14)).unwrap();
+        assert_eq!(ctrl.algorithm(), ProgramAlgorithm::IsppDv);
+        assert_eq!(ctrl.correction(), 14);
+        assert!(ctrl.regs().status().ecc_reconfigured);
+        assert!(ctrl
+            .apply(ConfigCommand::SetCorrection(66))
+            .is_err());
+    }
+
+    #[test]
+    fn wrong_page_size_rejected() {
+        let mut ctrl = controller();
+        ctrl.erase_block(0).unwrap();
+        assert!(matches!(
+            ctrl.write_page(0, 0, &[0u8; 100]),
+            Err(CtrlError::BufferSize { .. })
+        ));
+    }
+
+    #[test]
+    fn write_latency_breakdown_consistent() {
+        let mut ctrl = controller();
+        ctrl.erase_block(0).unwrap();
+        let w = ctrl.write_page(0, 0, &vec![0u8; 4096]).unwrap();
+        let sum = w.load_s + w.encode_s + w.transfer_s + w.program_s;
+        assert!((w.latency_s - sum).abs() / sum < 1e-9);
+        // Program dominates the write path (paper 6.3.3).
+        assert!(w.program_s > 0.7 * w.latency_s);
+    }
+
+    #[test]
+    fn dv_write_slower_read_not_slower() {
+        let mut ctrl = controller();
+        ctrl.erase_block(0).unwrap();
+        ctrl.erase_block(1).unwrap();
+        let data = vec![0xABu8; 4096];
+        let w_sv = ctrl.write_page(0, 0, &data).unwrap();
+        let r_sv = ctrl.read_page(0, 0).unwrap();
+        ctrl.apply(ConfigCommand::SetAlgorithm(ProgramAlgorithm::IsppDv))
+            .unwrap();
+        let w_dv = ctrl.write_page(1, 0, &data).unwrap();
+        let r_dv = ctrl.read_page(1, 0).unwrap();
+        assert!(w_dv.latency_s > 1.3 * w_sv.latency_s);
+        assert!((r_dv.latency_s - r_sv.latency_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_round_load_shortens_writes() {
+        let mut ctrl = controller();
+        ctrl.erase_block(0).unwrap();
+        let data = vec![0u8; 4096];
+        let one = ctrl.write_page(0, 0, &data).unwrap();
+        ctrl.apply(ConfigCommand::SetTwoRoundLoad(true)).unwrap();
+        ctrl.erase_block(1).unwrap();
+        let two = ctrl.write_page(1, 0, &data).unwrap();
+        assert!(two.load_s < one.load_s);
+    }
+
+    #[test]
+    fn spare_overflow_detected() {
+        let mut config = ControllerConfig::date2012();
+        config.geometry.spare_bytes = 64; // too small for t = 65 parity
+        assert!(matches!(
+            MemoryController::new(config, 1),
+            Err(CtrlError::SpareOverflow { .. })
+        ));
+    }
+}

@@ -1,0 +1,84 @@
+//! Controller error type.
+
+use std::error::Error;
+use std::fmt;
+
+use mlcx_bch::BchError;
+use mlcx_nand::NandError;
+
+/// Errors raised by the memory controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CtrlError {
+    /// Propagated ECC codec error.
+    Ecc(BchError),
+    /// Propagated flash device error.
+    Nand(NandError),
+    /// The ECC parity at the configured capability does not fit the
+    /// device spare area.
+    SpareOverflow {
+        /// Required parity bytes.
+        parity_bytes: usize,
+        /// Available spare bytes.
+        spare_bytes: usize,
+    },
+    /// Host buffer does not match the page size.
+    BufferSize {
+        /// Expected byte length.
+        expected: usize,
+        /// Provided byte length.
+        actual: usize,
+    },
+    /// A read hit a page whose ECC configuration is unknown (written
+    /// outside this controller).
+    UnknownPageConfig {
+        /// Offending block.
+        block: usize,
+        /// Offending page.
+        page: usize,
+    },
+}
+
+impl fmt::Display for CtrlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtrlError::Ecc(e) => write!(f, "ecc: {e}"),
+            CtrlError::Nand(e) => write!(f, "nand: {e}"),
+            CtrlError::SpareOverflow {
+                parity_bytes,
+                spare_bytes,
+            } => write!(
+                f,
+                "parity ({parity_bytes} B) exceeds the spare area ({spare_bytes} B)"
+            ),
+            CtrlError::BufferSize { expected, actual } => {
+                write!(f, "host buffer is {actual} bytes, expected {expected}")
+            }
+            CtrlError::UnknownPageConfig { block, page } => {
+                write!(f, "page {page} of block {block} has no recorded ECC configuration")
+            }
+        }
+    }
+}
+
+impl Error for CtrlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CtrlError::Ecc(e) => Some(e),
+            CtrlError::Nand(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BchError> for CtrlError {
+    fn from(e: BchError) -> Self {
+        CtrlError::Ecc(e)
+    }
+}
+
+impl From<NandError> for CtrlError {
+    fn from(e: NandError) -> Self {
+        CtrlError::Nand(e)
+    }
+}

@@ -1,0 +1,60 @@
+//! Memory controller for the adaptive NAND flash sub-system (paper Fig. 1).
+//!
+//! The controller sits between the on-chip network (an OCP-like socket)
+//! and the flash device: read/write requests flow through a one-page RAM
+//! buffer and the adaptive BCH codec; configuration commands land in a
+//! command/status register file that selects the ECC correction
+//! capability, the program algorithm and the service level.
+//!
+//! Components:
+//!
+//! * [`ocp`] — the socket interface and its burst-transfer timing;
+//! * [`buffer`] — the page buffer with the one-round and two-round data
+//!   load strategies (Section 6.3.3's write-overhead mitigation);
+//! * [`flash_if`] — the flash bus interface (command/address/data phase
+//!   timing at the ~32 MB/s of an asynchronous-NAND-era bus);
+//! * [`regs`] — the command/status register file;
+//! * [`MemoryController`] — the core FSM: full write
+//!   (load -> encode -> program) and read (tR -> transfer -> decode)
+//!   datapaths with latency and energy reports;
+//! * [`reliability`] — the integrated reliability manager: consumes ECC
+//!   feedback and test-unit probes, re-configures `t` (and, cross-layer,
+//!   the program algorithm) at runtime;
+//! * [`throughput`] — closed-form read/write throughput used by the
+//!   figure harness;
+//! * [`ftl`] — a wear-leveling flash translation layer (extension) so
+//!   overwrite workloads can run on top of the cross-layer machinery.
+//!
+//! # Example
+//!
+//! ```
+//! use mlcx_controller::{ControllerConfig, MemoryController};
+//!
+//! let mut ctrl = MemoryController::new(ControllerConfig::date2012(), 7)?;
+//! ctrl.erase_block(0)?;
+//! let data = vec![0x42u8; 4096];
+//! let w = ctrl.write_page(0, 0, &data)?;
+//! let r = ctrl.read_page(0, 0)?;
+//! assert_eq!(r.data, data);
+//! assert!(w.latency_s > r.latency_s); // programming dominates
+//! # Ok::<(), mlcx_controller::CtrlError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod controller;
+mod error;
+
+pub mod buffer;
+pub mod flash_if;
+pub mod ftl;
+pub mod ocp;
+pub mod regs;
+pub mod reliability;
+pub mod throughput;
+
+pub use controller::{ControllerConfig, MemoryController, ReadReport, WriteReport};
+pub use error::CtrlError;
+pub use regs::{ConfigCommand, RegisterFile, ServiceLevel, StatusFlags};
+pub use reliability::{ReliabilityManager, ReliabilityPolicy};

@@ -1,0 +1,82 @@
+//! Property-based tests of the full controller datapath.
+
+use mlcx_controller::{ConfigCommand, ControllerConfig, MemoryController};
+use mlcx_nand::ProgramAlgorithm;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Data integrity: whatever the wear point (within the codec's
+    /// serviceable range), algorithm and scheduled-capability headroom,
+    /// a written page reads back bit-exact through the ECC.
+    #[test]
+    fn write_read_integrity_across_configurations(
+        seed in any::<u64>(),
+        wear_decade in 0u32..=5,
+        dv in any::<bool>(),
+        extra_t in 0u32..=10,
+    ) {
+        let mut ctrl = MemoryController::new(ControllerConfig::date2012(), seed).unwrap();
+        let cycles = 10u64.pow(wear_decade);
+        ctrl.age_block(0, cycles).unwrap();
+        ctrl.erase_block(0).unwrap();
+
+        let algorithm = if dv { ProgramAlgorithm::IsppDv } else { ProgramAlgorithm::IsppSv };
+        ctrl.apply(ConfigCommand::SetAlgorithm(algorithm)).unwrap();
+        // Schedule with generous empirical headroom: expected raw errors
+        // per page ~ n*rber; capability = that + margin, clamped.
+        let rber = ctrl.device().aging().rber(algorithm, cycles.max(1));
+        let expected_errors = (34_000.0 * rber).ceil() as u32;
+        let t = (2 * expected_errors + 3 + extra_t).clamp(3, 65);
+        ctrl.apply(ConfigCommand::SetCorrection(t)).unwrap();
+
+        let data: Vec<u8> = (0..4096).map(|i| ((i as u64 * 31 + seed) % 256) as u8).collect();
+        ctrl.write_page(0, 0, &data).unwrap();
+        let r = ctrl.read_page(0, 0).unwrap();
+        prop_assert!(r.outcome.is_success(), "t={t} cycles={cycles}");
+        prop_assert_eq!(r.data, data);
+    }
+
+    /// Latency composition invariants hold for every configuration: the
+    /// breakdown sums to the total, reads are insensitive to the program
+    /// algorithm, and decode latency is monotone in the capability.
+    #[test]
+    fn latency_invariants(t1 in 3u32..=65, t2 in 3u32..=65) {
+        let mut ctrl = MemoryController::new(ControllerConfig::date2012(), 1).unwrap();
+        ctrl.erase_block(0).unwrap();
+        let data = vec![0u8; 4096];
+
+        ctrl.apply(ConfigCommand::SetCorrection(t1)).unwrap();
+        ctrl.write_page(0, 0, &data).unwrap();
+        let r1 = ctrl.read_page(0, 0).unwrap();
+        prop_assert!((r1.latency_s - (r1.sense_s + r1.transfer_s + r1.decode_s)).abs() < 1e-12);
+
+        ctrl.apply(ConfigCommand::SetCorrection(t2)).unwrap();
+        ctrl.write_page(0, 1, &data).unwrap();
+        let r2 = ctrl.read_page(0, 1).unwrap();
+        if t1 < t2 {
+            prop_assert!(r1.decode_s <= r2.decode_s + 1e-12);
+        } else if t2 < t1 {
+            prop_assert!(r2.decode_s <= r1.decode_s + 1e-12);
+        }
+    }
+
+    /// The register file reflects every accepted command, and rejected
+    /// commands leave the configuration untouched.
+    #[test]
+    fn register_file_consistency(ts in proptest::collection::vec(0u32..80, 1..8)) {
+        let mut ctrl = MemoryController::new(ControllerConfig::date2012(), 2).unwrap();
+        let mut expected = ctrl.correction();
+        for t in ts {
+            match ctrl.apply(ConfigCommand::SetCorrection(t)) {
+                Ok(()) => {
+                    prop_assert!((3..=65).contains(&t));
+                    expected = t;
+                }
+                Err(_) => prop_assert!(!(3..=65).contains(&t)),
+            }
+            prop_assert_eq!(ctrl.correction(), expected);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Fig. 4 — compact-model fit: VTH vs. VCG during an ISPP ramp.
+
+use mlcx_nand::compact::{
+    experimental_reference, fit_rms_error_v, simulate_staircase, RampConditions,
+};
+
+use crate::report::{fixed2, Table};
+
+/// One VCG step with the simulated and experimental thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Row {
+    /// Control-gate voltage, volts.
+    pub vcg: f64,
+    /// Simulated threshold, volts.
+    pub simulated_vth: f64,
+    /// Experimental (reference) threshold, volts.
+    pub experimental_vth: f64,
+}
+
+/// Generates the staircase comparison under the paper's ramp conditions.
+pub fn generate() -> Vec<Row> {
+    let cond = RampConditions::fig4();
+    simulate_staircase(&cond)
+        .into_iter()
+        .zip(experimental_reference(&cond))
+        .map(|(sim, exp)| Row {
+            vcg: sim.vcg,
+            simulated_vth: sim.vth,
+            experimental_vth: exp.vth,
+        })
+        .collect()
+}
+
+/// The fit quality in RMS volts.
+pub fn rms_error_v() -> f64 {
+    fit_rms_error_v(&RampConditions::fig4())
+}
+
+/// Renders the comparison table.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new(vec!["VCG [V]", "VTH sim [V]", "VTH exp [V]"]);
+    for r in rows {
+        t.row(vec![
+            fixed2(r.vcg),
+            fixed2(r.simulated_vth),
+            fixed2(r.experimental_vth),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_the_fig4_axes() {
+        let rows = generate();
+        assert_eq!(rows.first().unwrap().vcg, 6.0);
+        assert_eq!(rows.last().unwrap().vcg, 24.0);
+        assert!(rows.last().unwrap().simulated_vth > 5.5);
+    }
+
+    #[test]
+    fn simulation_tracks_experiment() {
+        assert!(rms_error_v() < 0.2, "rms = {}", rms_error_v());
+    }
+
+    #[test]
+    fn table_has_one_row_per_step() {
+        let rows = generate();
+        assert_eq!(table(&rows).len(), rows.len());
+    }
+}

@@ -1,0 +1,76 @@
+//! Fig. 5 — RBER characterization for ISPP-SV and ISPP-DV over lifetime.
+
+use mlcx_nand::{AgingModel, ProgramAlgorithm};
+
+use crate::model::SubsystemModel;
+use crate::report::{sci, Table};
+
+/// One lifetime point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Row {
+    /// Program/erase cycles.
+    pub cycles: u64,
+    /// ISPP-SV raw bit error rate.
+    pub rber_sv: f64,
+    /// ISPP-DV raw bit error rate.
+    pub rber_dv: f64,
+}
+
+/// Generates the two Fig. 5 curves on the paper's 1e2..1e6 grid.
+pub fn generate(model: &SubsystemModel) -> Vec<Row> {
+    AgingModel::lifetime_grid(100, 1_000_000, 2)
+        .into_iter()
+        .map(|cycles| Row {
+            cycles,
+            rber_sv: model.rber(ProgramAlgorithm::IsppSv, cycles),
+            rber_dv: model.rber(ProgramAlgorithm::IsppDv, cycles),
+        })
+        .collect()
+}
+
+/// Renders the table.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new(vec!["P/E cycles", "RBER ISPP-SV", "RBER ISPP-DV", "SV/DV"]);
+    for r in rows {
+        t.row(vec![
+            r.cycles.to_string(),
+            sci(r.rber_sv),
+            sci(r.rber_dv),
+            format!("{:.1}", r.rber_sv / r.rber_dv),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_order_of_magnitude_improvement() {
+        // The headline of Fig. 5.
+        let model = SubsystemModel::date2012();
+        for r in generate(&model) {
+            let ratio = r.rber_sv / r.rber_dv;
+            assert!((8.0..15.0).contains(&ratio), "at {}: {ratio}", r.cycles);
+        }
+    }
+
+    #[test]
+    fn both_curves_monotone() {
+        let model = SubsystemModel::date2012();
+        let rows = generate(&model);
+        for w in rows.windows(2) {
+            assert!(w[1].rber_sv > w[0].rber_sv);
+            assert!(w[1].rber_dv > w[0].rber_dv);
+        }
+    }
+
+    #[test]
+    fn grid_spans_fig5_axis() {
+        let model = SubsystemModel::date2012();
+        let rows = generate(&model);
+        assert_eq!(rows.first().unwrap().cycles, 100);
+        assert_eq!(rows.last().unwrap().cycles, 1_000_000);
+    }
+}

@@ -1,0 +1,132 @@
+//! Fig. 7 — UBER vs. RBER for the ISPP-SV capability set.
+
+use crate::model::SubsystemModel;
+use crate::report::{sci, Table};
+use crate::uber;
+
+/// The capability curves the paper plots for ISPP-SV.
+pub const T_SET: [u32; 5] = [3, 4, 27, 30, 65];
+
+/// One RBER grid point with `log10(UBER)` per plotted capability.
+///
+/// Cells are `None` outside eq. (1)'s validity regime (capability below
+/// the mean error count) — the region the paper's y-window never shows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Raw bit error rate (x axis).
+    pub rber: f64,
+    /// `log10(UBER)` for each entry of [`T_SET`].
+    pub log10_uber: Vec<Option<f64>>,
+}
+
+/// The working points: the largest RBER each capability serves at the
+/// UBER target (the paper's printed x-ticks).
+pub fn working_points(model: &SubsystemModel) -> Vec<(u32, f64)> {
+    T_SET
+        .iter()
+        .map(|&t| {
+            (
+                t,
+                uber::max_rber_for_t(model.k_bits, model.ecc_m, t, model.uber_target),
+            )
+        })
+        .collect()
+}
+
+/// Generates the curves on a log grid over the paper's 1e-6..1e-3 axis
+/// (extended one grid step past the last printed tick so the t = 65
+/// curve's crossing of the target is visible, as in the plot).
+pub fn generate(model: &SubsystemModel) -> Vec<Row> {
+    generate_for(model, &T_SET, 1e-6, 1.25e-3)
+}
+
+pub(crate) fn generate_for(
+    model: &SubsystemModel,
+    t_set: &[u32],
+    rber_lo: f64,
+    rber_hi: f64,
+) -> Vec<Row> {
+    let points = 25;
+    (0..=points)
+        .map(|i| {
+            let log = rber_lo.log10() + (rber_hi / rber_lo).log10() * i as f64 / points as f64;
+            let rber = 10f64.powf(log);
+            let log10_uber = t_set
+                .iter()
+                .map(|&t| {
+                    let n = model.k_bits + model.parity_bits(t);
+                    uber::first_term_valid(n, t, rber)
+                        .then(|| uber::log10_uber(n, t, rber))
+                })
+                .collect();
+            Row { rber, log10_uber }
+        })
+        .collect()
+}
+
+/// Renders the table.
+pub fn table(rows: &[Row]) -> Table {
+    table_for(rows, &T_SET)
+}
+
+pub(crate) fn table_for(rows: &[Row], t_set: &[u32]) -> Table {
+    let mut headers = vec!["RBER".to_string()];
+    headers.extend(t_set.iter().map(|t| format!("t={t}")));
+    let mut t = Table::new(headers);
+    for r in rows {
+        let mut cells = vec![sci(r.rber)];
+        cells.extend(r.log10_uber.iter().map(|u| match u {
+            Some(v) => format!("{v:.1}"),
+            None => "-".to_string(),
+        }));
+        t.row(cells);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn working_points_match_printed_xticks() {
+        // Paper Fig. 7 x-ticks: 2.75e-4 (t=27), 3.35e-4 (t=30), 1e-3 (t=65).
+        let model = SubsystemModel::date2012();
+        let wp = working_points(&model);
+        let find = |t: u32| wp.iter().find(|(tt, _)| *tt == t).unwrap().1;
+        assert!((find(27) - 2.75e-4).abs() / 2.75e-4 < 0.05);
+        assert!((find(30) - 3.35e-4).abs() / 3.35e-4 < 0.05);
+        assert!((find(65) - 1.0e-3).abs() / 1.0e-3 < 0.05);
+        // And the left side: t = 3 serves ~1.6e-6.
+        assert!((find(3) - 1.64e-6).abs() / 1.64e-6 < 0.05);
+    }
+
+    #[test]
+    fn curves_ordered_by_capability() {
+        // Wherever two curves are both valid, the larger t gives a
+        // (much) lower UBER.
+        let model = SubsystemModel::date2012();
+        for row in generate(&model) {
+            for pair in row.log10_uber.windows(2) {
+                if let (Some(lo_t), Some(hi_t)) = (pair[0], pair[1]) {
+                    assert!(hi_t < lo_t, "at RBER {:.2e}", row.rber);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn each_curve_crosses_the_target_inside_the_axis() {
+        let model = SubsystemModel::date2012();
+        let rows = generate(&model);
+        for (idx, t) in T_SET.iter().enumerate() {
+            let below = rows
+                .iter()
+                .any(|r| r.log10_uber[idx].is_some_and(|u| u < -11.0));
+            let above = rows
+                .iter()
+                .any(|r| r.log10_uber[idx].is_some_and(|u| u > -11.0));
+            assert!(below && above, "t={t} never crosses 1e-11 on the axis");
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! The "Fig. ??" lost from the camera-ready: UBER vs. RBER for ISPP-DV.
+//!
+//! The paper's text fully specifies it: "Fig. ?? shows that, in the worst
+//! case, the correction capability required by the code is tMAX = 14
+//! errors for the ISPP-DV algorithm", with tMIN = 3 on the left-hand
+//! side. We plot the same capability ladder over the DV RBER range
+//! (one order of magnitude below the SV axis of Fig. 7).
+
+use crate::experiments::fig07;
+use crate::model::SubsystemModel;
+use crate::report::Table;
+use crate::uber;
+
+/// The capability curves for the ISPP-DV working range.
+pub const T_SET: [u32; 4] = [3, 4, 9, 14];
+
+/// Row type shared with Fig. 7.
+pub type Row = fig07::Row;
+
+/// Generates the curves over the DV axis (1e-7..1e-4).
+pub fn generate(model: &SubsystemModel) -> Vec<Row> {
+    fig07::generate_for(model, &T_SET, 1e-7, 1e-4)
+}
+
+/// The DV working points at the UBER target.
+pub fn working_points(model: &SubsystemModel) -> Vec<(u32, f64)> {
+    T_SET
+        .iter()
+        .map(|&t| {
+            (
+                t,
+                uber::max_rber_for_t(model.k_bits, model.ecc_m, t, model.uber_target),
+            )
+        })
+        .collect()
+}
+
+/// Renders the table.
+pub fn table(rows: &[Row]) -> Table {
+    fig07::table_for(rows, &T_SET)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcx_nand::ProgramAlgorithm;
+
+    #[test]
+    fn t14_serves_the_dv_end_of_life() {
+        // The reconstructed figure's defining property: the DV RBER at
+        // 1e6 cycles sits exactly at the t = 14 working point.
+        let model = SubsystemModel::date2012();
+        let wp = working_points(&model);
+        let t14 = wp.iter().find(|(t, _)| *t == 14).unwrap().1;
+        let dv_eol = model.rber(ProgramAlgorithm::IsppDv, 1_000_000);
+        assert!(
+            dv_eol <= t14 * 1.01,
+            "DV EOL RBER {dv_eol:e} must be served by t=14 (bound {t14:e})"
+        );
+        // ...and t = 13 must NOT suffice (otherwise tMAX would be 13).
+        let t13 = uber::max_rber_for_t(model.k_bits, model.ecc_m, 13, model.uber_target);
+        assert!(dv_eol > t13, "t=13 bound {t13:e} vs DV EOL {dv_eol:e}");
+    }
+
+    #[test]
+    fn axis_sits_one_decade_below_fig7() {
+        let model = SubsystemModel::date2012();
+        let dv_rows = generate(&model);
+        assert!(dv_rows.first().unwrap().rber <= 1.1e-7);
+        assert!(dv_rows.last().unwrap().rber >= 0.9e-4);
+    }
+
+    #[test]
+    fn table_shape() {
+        let model = SubsystemModel::date2012();
+        let rows = generate(&model);
+        let t = table(&rows);
+        assert_eq!(t.len(), rows.len());
+    }
+}

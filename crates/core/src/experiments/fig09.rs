@@ -1,0 +1,100 @@
+//! Fig. 9 — write-throughput loss of the cross-layer configurations.
+//!
+//! Both adaptivity modes switch the device to ISPP-DV, whose longer run
+//! time (~1.5 ms vs. ~0.9 ms) costs write throughput against the ISPP-SV
+//! baseline: ~40 % fresh, drifting towards ~48 % at end of life.
+
+use mlcx_nand::AgingModel;
+
+use crate::model::SubsystemModel;
+use crate::policy::Objective;
+use crate::report::Table;
+
+/// One lifetime point of the write-loss curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Row {
+    /// Program/erase cycles.
+    pub cycles: u64,
+    /// Baseline (ISPP-SV) write throughput, MB/s.
+    pub baseline_mbps: f64,
+    /// Cross-layer (ISPP-DV) write throughput, MB/s.
+    pub cross_layer_mbps: f64,
+    /// Throughput loss, percent.
+    pub loss_percent: f64,
+}
+
+/// Generates the loss curve over the lifetime grid.
+pub fn generate(model: &SubsystemModel) -> Vec<Row> {
+    AgingModel::lifetime_grid(1, 1_000_000, 2)
+        .into_iter()
+        .map(|cycles| {
+            let base = model.configure(Objective::Baseline, cycles);
+            let cross = model.configure(Objective::MaxReadThroughput, cycles);
+            let baseline_mbps = model
+                .write_path(&base, cycles)
+                .throughput_mbps(model.k_bits / 8);
+            let cross_layer_mbps = model
+                .write_path(&cross, cycles)
+                .throughput_mbps(model.k_bits / 8);
+            Row {
+                cycles,
+                baseline_mbps,
+                cross_layer_mbps,
+                loss_percent: (1.0 - cross_layer_mbps / baseline_mbps) * 100.0,
+            }
+        })
+        .collect()
+}
+
+/// Renders the table.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new(vec![
+        "P/E cycles",
+        "SV write [MB/s]",
+        "DV write [MB/s]",
+        "loss [%]",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.cycles.to_string(),
+            format!("{:.2}", r.baseline_mbps),
+            format!("{:.2}", r.cross_layer_mbps),
+            format!("{:.1}", r.loss_percent),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_spans_fig9_envelope() {
+        let model = SubsystemModel::date2012();
+        let rows = generate(&model);
+        let fresh = rows.first().unwrap().loss_percent;
+        let eol = rows.last().unwrap().loss_percent;
+        assert!((37.0..44.0).contains(&fresh), "fresh = {fresh}");
+        assert!((44.0..52.0).contains(&eol), "eol = {eol}");
+    }
+
+    #[test]
+    fn loss_grows_with_wear() {
+        let model = SubsystemModel::date2012();
+        let rows = generate(&model);
+        for w in rows.windows(2) {
+            assert!(w[1].loss_percent >= w[0].loss_percent - 0.5);
+        }
+    }
+
+    #[test]
+    fn average_loss_about_40_percent() {
+        // Paper: "the write throughput loss ... on average amounts to 40%".
+        let model = SubsystemModel::date2012();
+        let rows = generate(&model);
+        let avg: f64 =
+            rows.iter().map(|r| r.loss_percent).sum::<f64>() / rows.len() as f64;
+        assert!((38.0..46.0).contains(&avg), "avg = {avg}");
+    }
+}

@@ -1,0 +1,136 @@
+//! Fig. 10 — UBER improvement from the physical layer alone.
+//!
+//! Minimizing UBER (Section 6.3.1): keep the ECC exactly on the nominal
+//! ISPP-SV schedule, switch only the program algorithm to ISPP-DV. The
+//! nominal curve hugs the 1e-11 requirement (sawtooth from the quantized
+//! `t` schedule); the modified curve falls far below it, the gap widening
+//! with age.
+//!
+//! Note on magnitudes: the paper's prose quotes a 2-4 order-of-magnitude
+//! boost, but eq. (1) — with the paper's own RBER curves — yields far
+//! more at high `t` (the binomial tail is steep: a ~11x RBER reduction
+//! scales UBER by ~11^-(t+1)). We follow eq. (1) and record the deviation
+//! in EXPERIMENTS.md.
+
+use mlcx_nand::AgingModel;
+
+use crate::model::SubsystemModel;
+use crate::policy::Objective;
+use crate::report::Table;
+
+/// One lifetime point of the two UBER curves (log10).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Row {
+    /// Program/erase cycles.
+    pub cycles: u64,
+    /// The shared ECC capability (nominal schedule).
+    pub t_nominal: u32,
+    /// `log10(UBER)` of the nominal configuration (ISPP-SV).
+    pub nominal_log10_uber: f64,
+    /// `log10(UBER)` after the physical-layer modification (ISPP-DV).
+    pub modified_log10_uber: f64,
+}
+
+impl Row {
+    /// Orders of magnitude of UBER improvement at this point.
+    pub fn boost_orders(&self) -> f64 {
+        self.nominal_log10_uber - self.modified_log10_uber
+    }
+}
+
+/// Generates both curves over the lifetime grid.
+pub fn generate(model: &SubsystemModel) -> Vec<Row> {
+    AgingModel::lifetime_grid(1, 1_000_000, 2)
+        .into_iter()
+        .map(|cycles| {
+            let nominal = model.configure(Objective::Baseline, cycles);
+            let modified = model.configure(Objective::MinUber, cycles);
+            debug_assert_eq!(nominal.correction, modified.correction);
+            Row {
+                cycles,
+                t_nominal: nominal.correction,
+                nominal_log10_uber: model.log10_uber(&nominal, cycles),
+                modified_log10_uber: model.log10_uber(&modified, cycles),
+            }
+        })
+        .collect()
+}
+
+/// Renders the table.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new(vec![
+        "P/E cycles",
+        "t",
+        "log10 UBER nominal",
+        "log10 UBER phys-mod",
+        "boost [orders]",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.cycles.to_string(),
+            r.t_nominal.to_string(),
+            format!("{:.2}", r.nominal_log10_uber),
+            format!("{:.2}", r.modified_log10_uber),
+            format!("{:.1}", r.boost_orders()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_hugs_the_requirement() {
+        // The adaptive schedule keeps nominal UBER at or below 1e-11 but,
+        // once past the tmin clamp region, never more than ~3.5 orders
+        // under it (quantized sawtooth).
+        let model = SubsystemModel::date2012();
+        for r in generate(&model) {
+            assert!(r.nominal_log10_uber <= -11.0 + 1e-9, "at {}", r.cycles);
+            if r.cycles >= 100 {
+                assert!(
+                    r.nominal_log10_uber > -14.5,
+                    "at {}: nominal fell to {}",
+                    r.cycles,
+                    r.nominal_log10_uber
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn modification_always_improves() {
+        let model = SubsystemModel::date2012();
+        for r in generate(&model) {
+            assert!(
+                r.boost_orders() > 2.0,
+                "at {}: boost = {}",
+                r.cycles,
+                r.boost_orders()
+            );
+        }
+    }
+
+    #[test]
+    fn boost_peaks_at_end_of_life() {
+        // The paper's qualitative claim: the gap widens as the memory
+        // wears (t grows, steepening the eq.-1 tail).
+        let model = SubsystemModel::date2012();
+        let rows = generate(&model);
+        let fresh = rows.first().unwrap().boost_orders();
+        let eol = rows.last().unwrap().boost_orders();
+        assert!(eol > 3.0 * fresh, "fresh {fresh} vs eol {eol}");
+    }
+
+    #[test]
+    fn same_ecc_schedule_for_both_curves() {
+        let model = SubsystemModel::date2012();
+        for r in generate(&model) {
+            // By construction both curves share t; the boost comes only
+            // from the physical layer.
+            assert!(r.t_nominal >= model.tmin && r.t_nominal <= model.tmax);
+        }
+    }
+}

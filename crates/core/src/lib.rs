@@ -1,0 +1,49 @@
+//! Cross-layer optimization framework for MLC NAND flash memories.
+//!
+//! This crate is the **primary contribution** of the DATE 2012 paper: it
+//! co-configures the architecture layer (the adaptive BCH correction
+//! capability `t` of `mlcx-bch`) with the technology layer (the ISPP-SV /
+//! ISPP-DV program-algorithm selection of `mlcx-nand`) and quantifies the
+//! resulting trade-off space:
+//!
+//! * [`uber`] — eq. (1) of the paper: the uncorrectable bit error rate of
+//!   a `t`-error-correcting page code at a given RBER, in log domain, and
+//!   the required-`t` solver that drives every ECC schedule.
+//! * `model` — [`SubsystemModel`]: one struct bundling every calibrated
+//!   sub-model (aging, ISPP timing, ECC hardware, buses, HV power) with
+//!   evaluation of complete operating points.
+//! * [`policy`] — the cross-layer optimizer: objective-driven
+//!   configuration ([`Objective::MinUber`], [`Objective::MaxReadThroughput`])
+//!   and the controller-only strawman the paper argues against.
+//! * [`experiments`] — one generator per evaluation figure (Fig. 4-11
+//!   plus the ISPP-DV twin of Fig. 7 lost from the camera-ready), each
+//!   rendering the same series the paper plots.
+//!
+//! # Example
+//!
+//! ```
+//! use mlcx_core::{Objective, SubsystemModel};
+//!
+//! let model = SubsystemModel::date2012();
+//! // At end of life, the cross-layer max-read configuration gains ~30 %
+//! // read throughput over the baseline at the same UBER target.
+//! let base = model.configure(Objective::Baseline, 1_000_000);
+//! let fast = model.configure(Objective::MaxReadThroughput, 1_000_000);
+//! let mb = model.metrics(&base, 1_000_000);
+//! let mf = model.metrics(&fast, 1_000_000);
+//! assert!(mf.read_mbps / mb.read_mbps > 1.25);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod model;
+
+pub mod experiments;
+pub mod policy;
+pub mod services;
+pub mod report;
+pub mod uber;
+
+pub use model::{Metrics, OperatingPoint, SubsystemModel};
+pub use policy::Objective;

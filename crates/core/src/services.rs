@@ -1,0 +1,349 @@
+//! Differentiated storage services — the paper's future-work realized.
+//!
+//! The conclusions promise to "implement the memory controller taking
+//! advantage of the new trade-offs, thus exposing differentiated storage
+//! services to applications". This module does exactly that: it carves
+//! the device's block space into named *service regions*, each bound to a
+//! cross-layer [`Objective`], and routes every write through the
+//! region-appropriate (algorithm, t) configuration — re-deriving it from
+//! the region's wear before each write, so the schedule tracks aging
+//! automatically.
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use mlcx_controller::{ConfigCommand, CtrlError, MemoryController, ReadReport, WriteReport};
+
+use crate::model::SubsystemModel;
+use crate::policy::Objective;
+
+/// A named region of the device bound to a service objective.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceRegion {
+    /// Human-readable service name ("os-image", "media", ...).
+    pub name: String,
+    /// The cross-layer objective governing the region.
+    pub objective: Objective,
+    /// The block range the region owns.
+    pub blocks: Range<usize>,
+}
+
+/// Errors raised by the service directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// Two regions claim the same block.
+    Overlap {
+        /// The existing region.
+        existing: String,
+        /// The new region that collides with it.
+        incoming: String,
+    },
+    /// No region has the requested name.
+    UnknownService {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A page address fell outside the region.
+    OutOfRegion {
+        /// The service name.
+        name: String,
+        /// The offending block.
+        block: usize,
+    },
+    /// Propagated controller error.
+    Ctrl(CtrlError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Overlap { existing, incoming } => {
+                write!(f, "region {incoming} overlaps existing region {existing}")
+            }
+            ServiceError::UnknownService { name } => write!(f, "unknown service {name}"),
+            ServiceError::OutOfRegion { name, block } => {
+                write!(f, "block {block} outside region {name}")
+            }
+            ServiceError::Ctrl(e) => write!(f, "controller: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Ctrl(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CtrlError> for ServiceError {
+    fn from(e: CtrlError) -> Self {
+        ServiceError::Ctrl(e)
+    }
+}
+
+impl From<mlcx_nand::NandError> for ServiceError {
+    fn from(e: mlcx_nand::NandError) -> Self {
+        ServiceError::Ctrl(CtrlError::Nand(e))
+    }
+}
+
+/// Per-service traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Pages written through the service.
+    pub pages_written: u64,
+    /// Pages read through the service.
+    pub pages_read: u64,
+    /// Raw bit errors the ECC corrected for this service.
+    pub corrected_bits: u64,
+}
+
+/// A memory controller fronted by a service directory.
+///
+/// # Example
+///
+/// ```
+/// use mlcx_controller::{ControllerConfig, MemoryController};
+/// use mlcx_core::services::ServicedStore;
+/// use mlcx_core::{Objective, SubsystemModel};
+///
+/// let ctrl = MemoryController::new(ControllerConfig::date2012(), 9)?;
+/// let mut store = ServicedStore::new(ctrl, SubsystemModel::date2012());
+/// store.add_region("payments", Objective::MinUber, 0..4)?;
+/// store.add_region("media", Objective::MaxReadThroughput, 4..16)?;
+/// store.erase("media", 4)?;
+/// store.write("media", 4, 0, &vec![0u8; 4096])?;
+/// let read = store.read("media", 4, 0)?;
+/// assert!(read.outcome.is_success());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ServicedStore {
+    ctrl: MemoryController,
+    model: SubsystemModel,
+    regions: Vec<ServiceRegion>,
+    stats: HashMap<String, ServiceStats>,
+}
+
+impl ServicedStore {
+    /// Wraps a controller with an empty service directory.
+    pub fn new(ctrl: MemoryController, model: SubsystemModel) -> Self {
+        ServicedStore {
+            ctrl,
+            model,
+            regions: Vec::new(),
+            stats: HashMap::new(),
+        }
+    }
+
+    /// Registers a service region.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Overlap`] when the block range collides with an
+    /// existing region.
+    pub fn add_region(
+        &mut self,
+        name: &str,
+        objective: Objective,
+        blocks: Range<usize>,
+    ) -> Result<(), ServiceError> {
+        for existing in &self.regions {
+            if blocks.start < existing.blocks.end && existing.blocks.start < blocks.end {
+                return Err(ServiceError::Overlap {
+                    existing: existing.name.clone(),
+                    incoming: name.to_string(),
+                });
+            }
+        }
+        self.regions.push(ServiceRegion {
+            name: name.to_string(),
+            objective,
+            blocks,
+        });
+        self.stats.insert(name.to_string(), ServiceStats::default());
+        Ok(())
+    }
+
+    /// The registered regions.
+    pub fn regions(&self) -> &[ServiceRegion] {
+        &self.regions
+    }
+
+    /// Traffic counters for a service.
+    pub fn stats(&self, name: &str) -> Option<ServiceStats> {
+        self.stats.get(name).copied()
+    }
+
+    /// The wrapped controller (wear inspection etc.).
+    pub fn controller(&self) -> &MemoryController {
+        &self.ctrl
+    }
+
+    /// Mutable controller access (aging blocks in experiments).
+    pub fn controller_mut(&mut self) -> &mut MemoryController {
+        &mut self.ctrl
+    }
+
+    fn region(&self, name: &str) -> Result<ServiceRegion, ServiceError> {
+        self.regions
+            .iter()
+            .find(|r| r.name == name)
+            .cloned()
+            .ok_or_else(|| ServiceError::UnknownService {
+                name: name.to_string(),
+            })
+    }
+
+    fn check_block(region: &ServiceRegion, block: usize) -> Result<(), ServiceError> {
+        if !region.blocks.contains(&block) {
+            return Err(ServiceError::OutOfRegion {
+                name: region.name.clone(),
+                block,
+            });
+        }
+        Ok(())
+    }
+
+    /// Erases a block belonging to a service.
+    ///
+    /// # Errors
+    ///
+    /// Region-membership and controller errors.
+    pub fn erase(&mut self, name: &str, block: usize) -> Result<(), ServiceError> {
+        let region = self.region(name)?;
+        Self::check_block(&region, block)?;
+        self.ctrl.erase_block(block)?;
+        Ok(())
+    }
+
+    /// Writes a page through a service: the cross-layer configuration is
+    /// re-derived from the region's objective and the block's current
+    /// wear, then applied before the write.
+    ///
+    /// # Errors
+    ///
+    /// Region-membership and controller errors.
+    pub fn write(
+        &mut self,
+        name: &str,
+        block: usize,
+        page: usize,
+        data: &[u8],
+    ) -> Result<WriteReport, ServiceError> {
+        let region = self.region(name)?;
+        Self::check_block(&region, block)?;
+        let wear = self.ctrl.device().block_cycles(block)?;
+        let op = self.model.configure(region.objective, wear.max(1));
+        self.ctrl.apply(ConfigCommand::SetAlgorithm(op.algorithm))?;
+        self.ctrl.apply(ConfigCommand::SetCorrection(op.correction))?;
+        let report = self.ctrl.write_page(block, page, data)?;
+        let stats = self.stats.entry(name.to_string()).or_default();
+        stats.pages_written += 1;
+        Ok(report)
+    }
+
+    /// Reads a page through a service.
+    ///
+    /// # Errors
+    ///
+    /// Region-membership and controller errors.
+    pub fn read(
+        &mut self,
+        name: &str,
+        block: usize,
+        page: usize,
+    ) -> Result<ReadReport, ServiceError> {
+        let region = self.region(name)?;
+        Self::check_block(&region, block)?;
+        let report = self.ctrl.read_page(block, page)?;
+        let stats = self.stats.entry(name.to_string()).or_default();
+        stats.pages_read += 1;
+        stats.corrected_bits += report.outcome.corrected_bits() as u64;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcx_controller::ControllerConfig;
+    use mlcx_nand::ProgramAlgorithm;
+
+    fn store() -> ServicedStore {
+        let ctrl = MemoryController::new(ControllerConfig::date2012(), 77).unwrap();
+        ServicedStore::new(ctrl, SubsystemModel::date2012())
+    }
+
+    #[test]
+    fn overlapping_regions_rejected() {
+        let mut s = store();
+        s.add_region("a", Objective::Baseline, 0..8).unwrap();
+        let err = s.add_region("b", Objective::MinUber, 7..12).unwrap_err();
+        assert!(matches!(err, ServiceError::Overlap { .. }));
+        // Adjacent is fine.
+        s.add_region("c", Objective::MinUber, 8..12).unwrap();
+    }
+
+    #[test]
+    fn unknown_service_and_out_of_region() {
+        let mut s = store();
+        s.add_region("a", Objective::Baseline, 0..2).unwrap();
+        assert!(matches!(
+            s.erase("nope", 0),
+            Err(ServiceError::UnknownService { .. })
+        ));
+        assert!(matches!(
+            s.erase("a", 5),
+            Err(ServiceError::OutOfRegion { .. })
+        ));
+    }
+
+    #[test]
+    fn services_apply_their_objectives() {
+        let mut s = store();
+        s.add_region("payments", Objective::MinUber, 0..2).unwrap();
+        s.add_region("media", Objective::MaxReadThroughput, 2..4)
+            .unwrap();
+        // Age the media region to end of life so the objectives diverge.
+        s.controller_mut().age_block(2, 1_000_000).unwrap();
+        s.erase("payments", 0).unwrap();
+        s.erase("media", 2).unwrap();
+
+        let data = vec![0x5Au8; 4096];
+        let w_pay = s.write("payments", 0, 0, &data).unwrap();
+        let w_med = s.write("media", 2, 0, &data).unwrap();
+        // Both services run ISPP-DV, but at very different capabilities:
+        // payments at the fresh SV schedule (t = 3), media at the DV
+        // end-of-life schedule (t = 14).
+        assert_eq!(w_pay.algorithm, ProgramAlgorithm::IsppDv);
+        assert_eq!(w_med.algorithm, ProgramAlgorithm::IsppDv);
+        assert_eq!(w_pay.t_used, 3);
+        assert_eq!(w_med.t_used, 14);
+
+        let r = s.read("media", 2, 0).unwrap();
+        assert!(r.outcome.is_success());
+        assert_eq!(r.data, data);
+
+        let stats = s.stats("media").unwrap();
+        assert_eq!(stats.pages_written, 1);
+        assert_eq!(stats.pages_read, 1);
+    }
+
+    #[test]
+    fn stats_isolated_per_service() {
+        let mut s = store();
+        s.add_region("a", Objective::Baseline, 0..2).unwrap();
+        s.add_region("b", Objective::Baseline, 2..4).unwrap();
+        s.erase("a", 0).unwrap();
+        let data = vec![0u8; 4096];
+        s.write("a", 0, 0, &data).unwrap();
+        assert_eq!(s.stats("a").unwrap().pages_written, 1);
+        assert_eq!(s.stats("b").unwrap().pages_written, 0);
+        assert!(s.stats("zzz").is_none());
+    }
+}

@@ -1,0 +1,427 @@
+//! GF(2^m) finite fields via log/antilog tables.
+
+use std::error::Error;
+use std::fmt;
+
+/// Default primitive polynomials for GF(2^m), `m = 2..=16`.
+///
+/// Entry `i` is the polynomial for `m = i + 2`, encoded as an integer with
+/// bit `j` the coefficient of `x^j`. These are the standard minimum-weight
+/// primitive polynomials used throughout the coding literature (and in the
+/// BCH codec ROMs of NAND flash controllers).
+const PRIMITIVE_POLYS: [u32; 15] = [
+    0x7,     // m=2:  x^2 + x + 1
+    0xB,     // m=3:  x^3 + x + 1
+    0x13,    // m=4:  x^4 + x + 1
+    0x25,    // m=5:  x^5 + x^2 + 1
+    0x43,    // m=6:  x^6 + x + 1
+    0x89,    // m=7:  x^7 + x^3 + 1
+    0x11D,   // m=8:  x^8 + x^4 + x^3 + x^2 + 1
+    0x211,   // m=9:  x^9 + x^4 + 1
+    0x409,   // m=10: x^10 + x^3 + 1
+    0x805,   // m=11: x^11 + x^2 + 1
+    0x1053,  // m=12: x^12 + x^6 + x^4 + x + 1
+    0x201B,  // m=13: x^13 + x^4 + x^3 + x + 1
+    0x4443,  // m=14: x^14 + x^10 + x^6 + x + 1
+    0x8003,  // m=15: x^15 + x + 1
+    0x1100B, // m=16: x^16 + x^12 + x^3 + x + 1
+];
+
+/// Errors raised when constructing or operating on a [`GfField`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GfError {
+    /// The requested extension degree is outside the supported `2..=16`.
+    UnsupportedDegree {
+        /// The degree that was requested.
+        m: u32,
+    },
+    /// The supplied polynomial did not generate the full multiplicative
+    /// group (it is not primitive over GF(2)).
+    NotPrimitive {
+        /// The offending polynomial, encoded as an integer.
+        poly: u64,
+    },
+    /// An element outside `0..2^m` was passed to a field operation.
+    ElementOutOfRange {
+        /// The offending element.
+        element: u32,
+        /// The field size `2^m`.
+        size: u32,
+    },
+    /// Multiplicative inverse of zero was requested.
+    ZeroInverse,
+}
+
+impl fmt::Display for GfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GfError::UnsupportedDegree { m } => {
+                write!(f, "unsupported extension degree m={m}, expected 2..=16")
+            }
+            GfError::NotPrimitive { poly } => {
+                write!(f, "polynomial {poly:#x} is not primitive over GF(2)")
+            }
+            GfError::ElementOutOfRange { element, size } => {
+                write!(f, "element {element} outside field of size {size}")
+            }
+            GfError::ZeroInverse => write!(f, "multiplicative inverse of zero requested"),
+        }
+    }
+}
+
+impl Error for GfError {}
+
+/// The finite field GF(2^m), `2 <= m <= 16`.
+///
+/// Elements are represented as integers in `0..2^m` (polynomial basis: bit
+/// `i` is the coefficient of `x^i`). Multiplication, inversion and powers go
+/// through log/antilog tables — the same structure a hardware Galois unit
+/// keeps in ROM, and the reason syndrome/Chien datapaths evaluate one field
+/// multiply per clock.
+///
+/// # Example
+///
+/// ```
+/// use mlcx_gf2::GfField;
+///
+/// let f = GfField::new(8)?;
+/// let a = f.alpha_pow(5);
+/// let b = f.alpha_pow(9);
+/// assert_eq!(f.mul(a, b), f.alpha_pow(14));
+/// assert_eq!(f.mul(a, f.inv(a).unwrap()), 1);
+/// # Ok::<(), mlcx_gf2::GfError>(())
+/// ```
+#[derive(Clone)]
+pub struct GfField {
+    m: u32,
+    size: u32,
+    prim_poly: u32,
+    /// `log[a]` = discrete log of `a` base alpha; `log[0]` is unused.
+    log: Vec<u16>,
+    /// `exp[i]` = alpha^i for `i in 0..2*(size-1)` (doubled to skip a mod).
+    exp: Vec<u16>,
+}
+
+impl GfField {
+    /// Constructs GF(2^m) with the standard primitive polynomial.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GfError::UnsupportedDegree`] if `m` is outside `2..=16`.
+    pub fn new(m: u32) -> Result<Self, GfError> {
+        if !(2..=16).contains(&m) {
+            return Err(GfError::UnsupportedDegree { m });
+        }
+        Self::with_primitive_poly(m, PRIMITIVE_POLYS[(m - 2) as usize])
+    }
+
+    /// Constructs GF(2^m) from a caller-supplied primitive polynomial.
+    ///
+    /// The polynomial is encoded as an integer with bit `i` the coefficient
+    /// of `x^i`; it must have degree exactly `m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GfError::UnsupportedDegree`] for `m` outside `2..=16` and
+    /// [`GfError::NotPrimitive`] if the polynomial fails to generate the
+    /// whole multiplicative group.
+    pub fn with_primitive_poly(m: u32, poly: u32) -> Result<Self, GfError> {
+        if !(2..=16).contains(&m) {
+            return Err(GfError::UnsupportedDegree { m });
+        }
+        if poly >> m != 1 {
+            return Err(GfError::NotPrimitive { poly: poly as u64 });
+        }
+        let size = 1u32 << m;
+        let n = size - 1;
+        let mut log = vec![0u16; size as usize];
+        let mut exp = vec![0u16; 2 * n as usize];
+        let mut x = 1u32;
+        for i in 0..n {
+            if x >= size || (x == 1 && i != 0) {
+                // Cycle closed early: the polynomial is not primitive.
+                return Err(GfError::NotPrimitive { poly: poly as u64 });
+            }
+            exp[i as usize] = x as u16;
+            exp[(i + n) as usize] = x as u16;
+            log[x as usize] = i as u16;
+            // Multiply by alpha (= x) and reduce.
+            x <<= 1;
+            if x & size != 0 {
+                x ^= poly;
+            }
+        }
+        if x != 1 {
+            return Err(GfError::NotPrimitive { poly: poly as u64 });
+        }
+        Ok(GfField {
+            m,
+            size,
+            prim_poly: poly,
+            log,
+            exp,
+        })
+    }
+
+    /// The extension degree `m`.
+    pub fn degree(&self) -> u32 {
+        self.m
+    }
+
+    /// The field size `2^m`.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// The multiplicative group order `2^m - 1` (the full BCH code length).
+    pub fn order(&self) -> u32 {
+        self.size - 1
+    }
+
+    /// The primitive polynomial, encoded as an integer.
+    pub fn primitive_poly(&self) -> u32 {
+        self.prim_poly
+    }
+
+    /// Field addition (= XOR; the field has characteristic 2).
+    #[inline]
+    pub fn add(&self, a: u32, b: u32) -> u32 {
+        a ^ b
+    }
+
+    /// Field multiplication via log/antilog tables.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that both operands lie in `0..2^m`.
+    #[inline]
+    pub fn mul(&self, a: u32, b: u32) -> u32 {
+        debug_assert!(a < self.size && b < self.size);
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        let idx = self.log[a as usize] as usize + self.log[b as usize] as usize;
+        self.exp[idx] as u32
+    }
+
+    /// The discrete logarithm base alpha, or `None` for zero.
+    #[inline]
+    pub fn log(&self, a: u32) -> Option<u32> {
+        debug_assert!(a < self.size);
+        (a != 0).then(|| self.log[a as usize] as u32)
+    }
+
+    /// `alpha^i` for any signed exponent (reduced mod `2^m - 1`).
+    #[inline]
+    pub fn alpha_pow(&self, i: i64) -> u32 {
+        let n = self.order() as i64;
+        let e = i.rem_euclid(n) as usize;
+        self.exp[e] as u32
+    }
+
+    /// Raises `a` to the (signed) power `e`.
+    ///
+    /// `pow(0, 0)` is defined as 1 by the empty-product convention;
+    /// `pow(0, e)` for `e > 0` is 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == 0` and `e < 0` (inverse of zero).
+    pub fn pow(&self, a: u32, e: i64) -> u32 {
+        debug_assert!(a < self.size);
+        if a == 0 {
+            if e == 0 {
+                return 1;
+            }
+            assert!(e > 0, "zero cannot be raised to a negative power");
+            return 0;
+        }
+        let n = self.order() as i64;
+        let l = self.log[a as usize] as i64;
+        self.alpha_pow(l * (e % n))
+    }
+
+    /// Multiplicative inverse, or `Err` for zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GfError::ZeroInverse`] when `a == 0`.
+    #[inline]
+    pub fn inv(&self, a: u32) -> Result<u32, GfError> {
+        debug_assert!(a < self.size);
+        if a == 0 {
+            return Err(GfError::ZeroInverse);
+        }
+        let n = self.order();
+        Ok(self.alpha_pow((n - self.log[a as usize] as u32) as i64))
+    }
+
+    /// Division `a / b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GfError::ZeroInverse`] when `b == 0`.
+    #[inline]
+    pub fn div(&self, a: u32, b: u32) -> Result<u32, GfError> {
+        Ok(self.mul(a, self.inv(b)?))
+    }
+
+    /// Checks that an element is a valid field member.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GfError::ElementOutOfRange`] when `a >= 2^m`.
+    pub fn check_element(&self, a: u32) -> Result<(), GfError> {
+        if a >= self.size {
+            return Err(GfError::ElementOutOfRange {
+                element: a,
+                size: self.size,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for GfField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GfField")
+            .field("m", &self.m)
+            .field("primitive_poly", &format_args!("{:#x}", self.prim_poly))
+            .finish()
+    }
+}
+
+impl PartialEq for GfField {
+    fn eq(&self, other: &Self) -> bool {
+        self.m == other.m && self.prim_poly == other.prim_poly
+    }
+}
+
+impl Eq for GfField {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructs_all_supported_degrees() {
+        for m in 2..=16 {
+            let f = GfField::new(m).unwrap();
+            assert_eq!(f.degree(), m);
+            assert_eq!(f.size(), 1 << m);
+            assert_eq!(f.order(), (1 << m) - 1);
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported_degrees() {
+        assert!(matches!(
+            GfField::new(1),
+            Err(GfError::UnsupportedDegree { m: 1 })
+        ));
+        assert!(matches!(
+            GfField::new(17),
+            Err(GfError::UnsupportedDegree { m: 17 })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_primitive_polynomial() {
+        // x^4 + x^3 + x^2 + x + 1 divides x^5 - 1: order 5, not 15.
+        assert!(matches!(
+            GfField::with_primitive_poly(4, 0x1F),
+            Err(GfError::NotPrimitive { .. })
+        ));
+        // Wrong degree encoding.
+        assert!(GfField::with_primitive_poly(4, 0x3).is_err());
+    }
+
+    #[test]
+    fn gf16_multiplication_table_spot_checks() {
+        // GF(16) with x^4+x+1: alpha^4 = alpha + 1 = 0b0011 = 3.
+        let f = GfField::new(4).unwrap();
+        assert_eq!(f.alpha_pow(0), 1);
+        assert_eq!(f.alpha_pow(1), 2);
+        assert_eq!(f.alpha_pow(4), 3);
+        assert_eq!(f.mul(2, 2), 4); // alpha * alpha = alpha^2
+        assert_eq!(f.mul(8, 2), 3); // alpha^3 * alpha = alpha^4
+    }
+
+    #[test]
+    fn zero_behaviour() {
+        let f = GfField::new(6).unwrap();
+        assert_eq!(f.mul(0, 37), 0);
+        assert_eq!(f.mul(37, 0), 0);
+        assert_eq!(f.log(0), None);
+        assert_eq!(f.inv(0), Err(GfError::ZeroInverse));
+        assert_eq!(f.pow(0, 0), 1);
+        assert_eq!(f.pow(0, 5), 0);
+    }
+
+    #[test]
+    fn inverse_round_trip_full_field() {
+        let f = GfField::new(8).unwrap();
+        for a in 1..f.size() {
+            let inv = f.inv(a).unwrap();
+            assert_eq!(f.mul(a, inv), 1, "a={a}");
+        }
+    }
+
+    #[test]
+    fn alpha_pow_negative_exponents() {
+        let f = GfField::new(5).unwrap();
+        let n = f.order() as i64;
+        assert_eq!(f.alpha_pow(-1), f.alpha_pow(n - 1));
+        assert_eq!(f.mul(f.alpha_pow(-7), f.alpha_pow(7)), 1);
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let f = GfField::new(7).unwrap();
+        let a = f.alpha_pow(19);
+        let mut acc = 1u32;
+        for e in 0..10i64 {
+            assert_eq!(f.pow(a, e), acc, "e={e}");
+            acc = f.mul(acc, a);
+        }
+        // Negative powers: a^-e * a^e == 1
+        assert_eq!(f.mul(f.pow(a, -3), f.pow(a, 3)), 1);
+    }
+
+    #[test]
+    fn fermat_little_theorem_all_elements_gf256() {
+        let f = GfField::new(8).unwrap();
+        for a in 1..f.size() {
+            assert_eq!(f.pow(a, f.order() as i64), 1);
+        }
+    }
+
+    #[test]
+    fn check_element_bounds() {
+        let f = GfField::new(4).unwrap();
+        assert!(f.check_element(15).is_ok());
+        assert_eq!(
+            f.check_element(16),
+            Err(GfError::ElementOutOfRange {
+                element: 16,
+                size: 16
+            })
+        );
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            GfError::UnsupportedDegree { m: 1 },
+            GfError::NotPrimitive { poly: 3 },
+            GfError::ElementOutOfRange {
+                element: 9,
+                size: 8,
+            },
+            GfError::ZeroInverse,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

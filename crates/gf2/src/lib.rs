@@ -1,0 +1,41 @@
+//! Binary-field arithmetic for the `mlcx` NAND-flash simulator.
+//!
+//! This crate provides the two algebraic substrates required by the adaptive
+//! BCH codec of the DATE 2012 cross-layer paper:
+//!
+//! * [`Gf2Poly`] — dense polynomials over GF(2), bit-packed into machine
+//!   words. Used to construct and manipulate BCH generator polynomials and to
+//!   implement the LFSR (remainder) view of systematic encoding.
+//! * [`GfField`] — the finite field GF(2^m) for `2 <= m <= 16`, implemented
+//!   with log/antilog tables exactly as a hardware Galois-field unit would
+//!   store them in ROM. Syndrome evaluation, Berlekamp-Massey and the Chien
+//!   search all run over this field.
+//! * [`minpoly`] — cyclotomic cosets, minimal polynomials and BCH generator
+//!   polynomial construction (the contents of the small "polynomial ROM" the
+//!   paper's adaptable encoder multiplexes over).
+//!
+//! # Example
+//!
+//! Build GF(2^4) and verify a classic identity (every nonzero element has
+//! multiplicative order dividing 15):
+//!
+//! ```
+//! use mlcx_gf2::GfField;
+//!
+//! let field = GfField::new(4)?;
+//! for a in 1..16u32 {
+//!     assert_eq!(field.pow(a, 15), 1);
+//! }
+//! # Ok::<(), mlcx_gf2::GfError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod field;
+mod poly;
+
+pub mod minpoly;
+
+pub use field::{GfError, GfField};
+pub use poly::Gf2Poly;

@@ -1,0 +1,285 @@
+//! Cyclotomic cosets, minimal polynomials and BCH generator polynomials.
+//!
+//! A binary BCH code correcting `t` errors over GF(2^m) has generator
+//! polynomial `g(x) = lcm(M_1(x), M_2(x), ..., M_2t(x))`, where `M_s` is the
+//! minimal polynomial of `alpha^s`. Because conjugate powers share a minimal
+//! polynomial, the lcm multiplies one `M_s` per *cyclotomic coset*.
+//!
+//! The adaptive codec of the DATE 2012 paper keeps the per-`t` generator
+//! polynomials in a small ROM that reconfigures the encoder LFSR; this module
+//! computes exactly those ROM contents.
+
+use crate::{Gf2Poly, GfField};
+
+/// The cyclotomic coset of `s` modulo `2^m - 1`: `{s, 2s, 4s, ...}`.
+///
+/// Returned in ascending orbit order starting from `s mod (2^m - 1)`.
+///
+/// # Example
+///
+/// ```
+/// use mlcx_gf2::minpoly::cyclotomic_coset;
+///
+/// assert_eq!(cyclotomic_coset(4, 3), vec![3, 6, 12, 9]);
+/// ```
+pub fn cyclotomic_coset(m: u32, s: u32) -> Vec<u32> {
+    let n = (1u32 << m) - 1;
+    let start = s % n;
+    let mut coset = vec![start];
+    let mut cur = (start * 2) % n;
+    while cur != start {
+        coset.push(cur);
+        cur = (cur * 2) % n;
+    }
+    coset
+}
+
+/// The minimal polynomial of `alpha^s` over GF(2).
+///
+/// Computed as the product over the cyclotomic coset of `s` of the linear
+/// factors `(x + alpha^i)`, carried out in GF(2^m); the result provably has
+/// coefficients in GF(2).
+///
+/// # Panics
+///
+/// Panics (debug assertion) if a coefficient falls outside {0, 1}, which
+/// would indicate a broken field implementation.
+///
+/// # Example
+///
+/// ```
+/// use mlcx_gf2::{GfField, Gf2Poly, minpoly::minimal_poly};
+///
+/// let f = GfField::new(4)?;
+/// // The minimal polynomial of alpha itself is the primitive polynomial.
+/// assert_eq!(minimal_poly(&f, 1), Gf2Poly::from_int(f.primitive_poly() as u64));
+/// # Ok::<(), mlcx_gf2::GfError>(())
+/// ```
+pub fn minimal_poly(field: &GfField, s: u32) -> Gf2Poly {
+    let coset = cyclotomic_coset(field.degree(), s);
+    // Polynomial over GF(2^m), coefficient of x^i at index i. Start with 1.
+    let mut coeffs: Vec<u32> = vec![1];
+    for &i in &coset {
+        let root = field.alpha_pow(i as i64);
+        // Multiply coeffs by (x + root).
+        let mut next = vec![0u32; coeffs.len() + 1];
+        for (d, &c) in coeffs.iter().enumerate() {
+            next[d + 1] ^= c; // c * x
+            next[d] ^= field.mul(c, root); // c * root
+        }
+        coeffs = next;
+    }
+    let mut out = Gf2Poly::zero();
+    for (d, &c) in coeffs.iter().enumerate() {
+        debug_assert!(c <= 1, "minimal polynomial coefficient not in GF(2)");
+        if c == 1 {
+            out.set_coeff(d, true);
+        }
+    }
+    out
+}
+
+/// The generator polynomial of the `t`-error-correcting binary BCH code
+/// over GF(2^m): `lcm(M_1, ..., M_2t)`.
+///
+/// # Example
+///
+/// ```
+/// use mlcx_gf2::{GfField, minpoly::generator_poly};
+///
+/// let f = GfField::new(4)?;
+/// // Double-error-correcting BCH(15,7): g(x) has degree 8.
+/// let g = generator_poly(&f, 2);
+/// assert_eq!(g.degree(), Some(8));
+/// # Ok::<(), mlcx_gf2::GfError>(())
+/// ```
+pub fn generator_poly(field: &GfField, t: u32) -> Gf2Poly {
+    GeneratorTable::new(field, t).take(t)
+}
+
+/// Incrementally-built table of generator polynomials `g_1 .. g_tmax`.
+///
+/// Models the polynomial ROM of the adaptable encoder: entry `t` is the
+/// generator (and thus the LFSR tap configuration) for correction
+/// capability `t`. Building incrementally shares the coset bookkeeping so
+/// the full `t = 1..=64+` table for GF(2^16) costs milliseconds.
+#[derive(Debug, Clone)]
+pub struct GeneratorTable {
+    polys: Vec<Gf2Poly>,
+}
+
+impl GeneratorTable {
+    /// Computes generator polynomials for all `t in 1..=tmax`.
+    pub fn new(field: &GfField, tmax: u32) -> Self {
+        let n = field.order();
+        let mut seen = vec![false; n as usize];
+        let mut g = Gf2Poly::one();
+        let mut polys = Vec::with_capacity(tmax as usize);
+        for t in 1..=tmax {
+            // New designed roots for this t: alpha^(2t-1) and alpha^(2t).
+            for s in [2 * t - 1, 2 * t] {
+                let rep = s % n;
+                if rep == 0 || seen[rep as usize] {
+                    continue;
+                }
+                for c in cyclotomic_coset(field.degree(), rep) {
+                    seen[c as usize] = true;
+                }
+                g = g.mul(&minimal_poly(field, rep));
+            }
+            polys.push(g.clone());
+        }
+        GeneratorTable { polys }
+    }
+
+    /// The maximum correction capability stored in the table.
+    pub fn tmax(&self) -> u32 {
+        self.polys.len() as u32
+    }
+
+    /// The generator polynomial for correction capability `t` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is zero or exceeds [`GeneratorTable::tmax`].
+    pub fn get(&self, t: u32) -> &Gf2Poly {
+        assert!(
+            t >= 1 && t <= self.tmax(),
+            "correction capability t={t} outside ROM range 1..={}",
+            self.tmax()
+        );
+        &self.polys[(t - 1) as usize]
+    }
+
+    fn take(mut self, t: u32) -> Gf2Poly {
+        assert!(t >= 1 && t <= self.tmax());
+        self.polys.swap_remove((t - 1) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coset_of_zero_power() {
+        // s = n wraps to 0; the coset of 0 is {0}.
+        assert_eq!(cyclotomic_coset(4, 15), vec![0]);
+    }
+
+    #[test]
+    fn cosets_partition_and_close_under_doubling() {
+        let m = 6;
+        let n = (1u32 << m) - 1;
+        let mut seen = vec![false; n as usize];
+        let mut total = 0;
+        for s in 0..n {
+            if seen[s as usize] {
+                continue;
+            }
+            let coset = cyclotomic_coset(m, s);
+            for &c in &coset {
+                assert!(!seen[c as usize], "cosets must be disjoint");
+                seen[c as usize] = true;
+                assert!(coset.contains(&((c * 2) % n)), "closure under doubling");
+            }
+            total += coset.len();
+        }
+        assert_eq!(total, n as usize);
+    }
+
+    #[test]
+    fn minimal_poly_of_alpha_is_primitive_poly() {
+        for m in [3u32, 4, 8, 13] {
+            let f = GfField::new(m).unwrap();
+            let mp = minimal_poly(&f, 1);
+            assert_eq!(mp, Gf2Poly::from_int(f.primitive_poly() as u64), "m={m}");
+        }
+    }
+
+    #[test]
+    fn minimal_polys_are_irreducible_and_generators_square_free() {
+        // Minimal polynomials are irreducible by definition; generator
+        // polynomials are products of distinct minimal polynomials, hence
+        // square-free but reducible for t >= 2.
+        let f = GfField::new(8).unwrap();
+        for s in [1u32, 3, 5, 7, 11] {
+            assert!(minimal_poly(&f, s).is_irreducible(), "s = {s}");
+        }
+        let g2 = generator_poly(&f, 2);
+        assert!(!g2.is_irreducible());
+        assert!(g2.is_square_free());
+    }
+
+    #[test]
+    fn minimal_poly_vanishes_on_whole_coset() {
+        let f = GfField::new(8).unwrap();
+        for s in [1u32, 3, 5, 9, 17] {
+            let mp = minimal_poly(&f, s);
+            for c in cyclotomic_coset(8, s) {
+                assert_eq!(mp.eval_in_field(&f, f.alpha_pow(c as i64)), 0);
+            }
+            // Degree equals coset size.
+            assert_eq!(mp.degree(), Some(cyclotomic_coset(8, s).len()));
+        }
+    }
+
+    #[test]
+    fn bch_15_classic_generators() {
+        // Canonical table: BCH(15,11,t=1) g = x^4+x+1;
+        // BCH(15,7,t=2) g = x^8+x^7+x^6+x^4+1; BCH(15,5,t=3) degree 10.
+        let f = GfField::new(4).unwrap();
+        let table = GeneratorTable::new(&f, 3);
+        assert_eq!(table.get(1), &Gf2Poly::from_exponents(&[4, 1, 0]));
+        assert_eq!(table.get(2), &Gf2Poly::from_exponents(&[8, 7, 6, 4, 0]));
+        assert_eq!(table.get(3).degree(), Some(10));
+    }
+
+    #[test]
+    fn generator_vanishes_on_designed_roots() {
+        let f = GfField::new(10).unwrap();
+        for t in [1u32, 2, 5, 11] {
+            let g = generator_poly(&f, t);
+            for i in 1..=2 * t {
+                assert_eq!(
+                    g.eval_in_field(&f, f.alpha_pow(i as i64)),
+                    0,
+                    "g_t for t={t} must vanish at alpha^{i}"
+                );
+            }
+            // Bose bound: deg g <= m*t.
+            assert!(g.degree().unwrap() <= (10 * t) as usize);
+        }
+    }
+
+    #[test]
+    fn generator_divides_x_n_minus_1() {
+        let f = GfField::new(5).unwrap();
+        let n = f.order() as usize;
+        let xn1 = Gf2Poly::from_exponents(&[n, 0]);
+        for t in 1..=3 {
+            let g = generator_poly(&f, t);
+            assert!(xn1.rem(&g).is_zero(), "g_{t} must divide x^{n}+1");
+        }
+    }
+
+    #[test]
+    fn generator_table_monotone_degrees() {
+        let f = GfField::new(8).unwrap();
+        let table = GeneratorTable::new(&f, 10);
+        let mut prev = 0;
+        for t in 1..=10 {
+            let d = table.get(t).degree().unwrap();
+            assert!(d >= prev, "generator degree must not decrease with t");
+            prev = d;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside ROM range")]
+    fn generator_table_rejects_out_of_range() {
+        let f = GfField::new(4).unwrap();
+        let table = GeneratorTable::new(&f, 2);
+        let _ = table.get(3);
+    }
+}

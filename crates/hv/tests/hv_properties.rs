@@ -1,0 +1,100 @@
+//! Property-based tests of the charge-pump and regulation models.
+
+use mlcx_hv::{DicksonPump, HvSubsystem, Phase, PhaseKind, RegulatedPump, Sequencer};
+use proptest::prelude::*;
+
+fn arb_pump() -> impl Strategy<Value = DicksonPump> {
+    (4u32..=16, 50e-12..300e-12, 10e6..50e6, 1.5f64..3.3)
+        .prop_map(|(stages, c, f, vdd)| DicksonPump {
+            stages,
+            stage_capacitance_f: c,
+            clock_hz: f,
+            supply_v: vdd,
+            parasitic_ratio: 0.12,
+            output_capacitance_f: 80e-12,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pump physics invariants: no-load voltage scales with stages,
+    /// output droops monotonically with load, efficiency stays in (0, 1).
+    #[test]
+    fn pump_invariants(pump in arb_pump(), load_ua in 1.0f64..500.0) {
+        let load = load_ua * 1e-6;
+        let v_nl = pump.no_load_output_v();
+        prop_assert!((v_nl - (pump.stages as f64 + 1.0) * pump.supply_v).abs() < 1e-9);
+        let v = pump.steady_state_output_v(load);
+        prop_assert!(v < v_nl);
+        prop_assert!(pump.steady_state_output_v(load * 2.0) < v);
+        if v > 0.0 {
+            let eta = pump.efficiency(v, load);
+            prop_assert!(eta > 0.0 && eta < 1.0, "eta = {eta}");
+        }
+    }
+
+    /// The regulated pump holds any reachable target within its band and
+    /// its duty cycle stays in [0, 1].
+    #[test]
+    fn regulation_holds_reachable_targets(
+        pump in arb_pump(),
+        frac in 0.3f64..0.8,
+        load_ua in 1.0f64..200.0,
+    ) {
+        let target = pump.supply_v + frac * (pump.no_load_output_v() - pump.supply_v);
+        let load = (load_ua * 1e-6).min(0.5 * pump.max_load_current_a(target));
+        prop_assume!(load > 0.0);
+        let mut reg = RegulatedPump::new(pump, target);
+        reg.run_phase(60e-6, load); // settle
+        let report = reg.run_phase(30e-6, load);
+        prop_assert!(report.duty_cycle >= 0.0 && report.duty_cycle <= 1.0);
+        prop_assert!(
+            (report.mean_output_v - target).abs() < 0.08 * target,
+            "target {target}, mean {}",
+            report.mean_output_v
+        );
+    }
+
+    /// Sequencer energy accounting: total energy equals the sum over
+    /// phases, and scales linearly with phase duration.
+    #[test]
+    fn sequencer_energy_additivity(
+        durations in proptest::collection::vec(1e-6f64..50e-6, 1..10),
+    ) {
+        let seq = Sequencer::new(HvSubsystem::date2012());
+        let phases: Vec<Phase> = durations
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| Phase {
+                kind: if i % 2 == 0 {
+                    PhaseKind::ProgramPulse { target_v: 15.0 }
+                } else {
+                    PhaseKind::Verify { level: 1 }
+                },
+                duration_s: d,
+            })
+            .collect();
+        let op = seq.execute(&phases);
+        let total: f64 = op.phases().iter().map(|p| p.energy_j).sum();
+        prop_assert!((op.total_energy_j() - total).abs() < 1e-15);
+
+        // Doubling every duration doubles the energy.
+        let doubled: Vec<Phase> = phases
+            .iter()
+            .map(|p| Phase { kind: p.kind, duration_s: 2.0 * p.duration_s })
+            .collect();
+        let op2 = seq.execute(&doubled);
+        prop_assert!((op2.total_energy_j() - 2.0 * op.total_energy_j()).abs() < 1e-12);
+    }
+
+    /// Pulse power is monotone in the staircase voltage across the whole
+    /// ISPP range — required for the L1 < L2 < L3 pattern ordering.
+    #[test]
+    fn pulse_power_monotone(v1 in 14.0f64..19.0, v2 in 14.0f64..19.0) {
+        let hv = HvSubsystem::date2012();
+        prop_assume!((v1 - v2).abs() > 1e-6);
+        let (lo, hi) = if v1 < v2 { (v1, v2) } else { (v2, v1) };
+        prop_assert!(hv.pulse_power_w(lo) < hv.pulse_power_w(hi));
+    }
+}

@@ -1,0 +1,135 @@
+//! Compact-model validation against the ISPP staircase (paper Fig. 4).
+//!
+//! The paper validates its NAND compact model by reproducing measured
+//! cell threshold voltage during an ISPP ramp on a 41 nm device (Spessot
+//! et al. \[26\]): 7 us pulses, `delta_ISPP` = 1 V, control gate swept from
+//! 6 V to 24 V. The staircase enters the injection regime once the gate
+//! overdrive exceeds the cell's tunneling onset, after which VTH tracks
+//! VCG at slope one.
+
+use crate::cell::Cell;
+use crate::levels::MlcLevel;
+
+/// One point of the Fig. 4 characteristic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaircasePoint {
+    /// Control-gate voltage of the pulse, volts.
+    pub vcg: f64,
+    /// Cell threshold voltage after the pulse, volts.
+    pub vth: f64,
+}
+
+/// The ISPP ramp conditions of the Fig. 4 experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RampConditions {
+    /// First gate voltage, volts.
+    pub vcg_start: f64,
+    /// Last gate voltage, volts.
+    pub vcg_end: f64,
+    /// Staircase step, volts (1 V in the paper's fit).
+    pub step_v: f64,
+    /// Initial (erased) threshold, volts.
+    pub vth_start: f64,
+    /// Gate-to-threshold offset of the measured 41 nm cell, volts.
+    pub cell_offset_v: f64,
+}
+
+impl RampConditions {
+    /// The Fig. 4 conditions (7 us pulses, 1 V steps, 41 nm device).
+    pub fn fig4() -> Self {
+        RampConditions {
+            vcg_start: 6.0,
+            vcg_end: 24.0,
+            step_v: 1.0,
+            vth_start: -6.0,
+            cell_offset_v: 18.0,
+        }
+    }
+}
+
+/// Simulates the single-cell ISPP ramp with the compact model.
+pub fn simulate_staircase(cond: &RampConditions) -> Vec<StaircasePoint> {
+    let mut cell = Cell::new(cond.vth_start, cond.cell_offset_v, MlcLevel::L3);
+    let steps = ((cond.vcg_end - cond.vcg_start) / cond.step_v).round() as usize;
+    (0..=steps)
+        .map(|i| {
+            let vcg = cond.vcg_start + cond.step_v * i as f64;
+            cell.apply_pulse(vcg, 0.0, 0.0);
+            StaircasePoint {
+                vcg,
+                vth: cell.vth(),
+            }
+        })
+        .collect()
+}
+
+/// The experimental reference points digitized from the paper's Fig. 4
+/// (Spessot et al. 41 nm data): flat at the erased level until the
+/// injection onset, then slope-one tracking.
+pub fn experimental_reference(cond: &RampConditions) -> Vec<StaircasePoint> {
+    let steps = ((cond.vcg_end - cond.vcg_start) / cond.step_v).round() as usize;
+    (0..=steps)
+        .map(|i| {
+            let vcg = cond.vcg_start + cond.step_v * i as f64;
+            let vth = (vcg - cond.cell_offset_v).max(cond.vth_start);
+            StaircasePoint { vcg, vth }
+        })
+        .collect()
+}
+
+/// Root-mean-square error between simulation and the experimental
+/// reference — the fit quality metric for the Fig. 4 reproduction.
+pub fn fit_rms_error_v(cond: &RampConditions) -> f64 {
+    let sim = simulate_staircase(cond);
+    let exp = experimental_reference(cond);
+    let n = sim.len() as f64;
+    let sq: f64 = sim
+        .iter()
+        .zip(&exp)
+        .map(|(s, e)| (s.vth - e.vth).powi(2))
+        .sum();
+    (sq / n).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staircase_spans_fig4_axes() {
+        let pts = simulate_staircase(&RampConditions::fig4());
+        assert_eq!(pts.first().unwrap().vcg, 6.0);
+        assert_eq!(pts.last().unwrap().vcg, 24.0);
+        // VTH sweeps the -6..6 V range of the figure.
+        assert!(pts.first().unwrap().vth <= -5.9);
+        assert!((pts.last().unwrap().vth - 6.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn slope_one_in_injection_regime() {
+        let pts = simulate_staircase(&RampConditions::fig4());
+        // Above onset (VCG > offset + vth_start + a couple of steps) the
+        // per-step VTH increment equals the staircase step.
+        let late: Vec<&StaircasePoint> = pts.iter().filter(|p| p.vcg >= 15.0).collect();
+        for w in late.windows(2) {
+            let dv = w[1].vth - w[0].vth;
+            assert!((dv - 1.0).abs() < 1e-9, "slope at VCG {}: {dv}", w[1].vcg);
+        }
+    }
+
+    #[test]
+    fn flat_before_onset() {
+        let pts = simulate_staircase(&RampConditions::fig4());
+        for p in pts.iter().filter(|p| p.vcg < 11.0) {
+            assert!((p.vth - (-6.0)).abs() < 1e-9, "VCG {}: {}", p.vcg, p.vth);
+        }
+    }
+
+    #[test]
+    fn fit_error_is_small() {
+        // The paper shows simulation overlapping experiment; our compact
+        // model must match the reference within a small RMS budget.
+        let rms = fit_rms_error_v(&RampConditions::fig4());
+        assert!(rms < 0.2, "RMS = {rms}");
+    }
+}

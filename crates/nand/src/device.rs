@@ -1,0 +1,799 @@
+//! A complete NAND flash device with runtime-selectable program algorithm.
+//!
+//! Integrates geometry, timing, the HV subsystem, the aging model and the
+//! Section 6.4 code store: erase/program/read operations with energy and
+//! duration accounting, per-block wear tracking, and read-back error
+//! injection driven by the lifetime RBER model. A detailed Monte-Carlo
+//! path for physics experiments lives in [`crate::array`]; the device
+//! model injects statistically equivalent errors at page granularity so
+//! whole-workload simulations stay fast.
+
+use std::fmt;
+
+use mlcx_hv::{EnergyMeter, HvSubsystem, Phase, PhaseKind, Sequencer};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::aging::AgingModel;
+use crate::disturb::DisturbModel;
+use crate::error::NandError;
+use crate::geometry::DeviceGeometry;
+use crate::ispp::{program_profile, IsppConfig, ProgramAlgorithm};
+use crate::timing::NandTiming;
+
+/// What kind of operation an [`OpReport`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Block erase.
+    Erase,
+    /// Page program.
+    Program,
+    /// Page read.
+    Read,
+}
+
+/// Duration and energy of one device operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpReport {
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Busy time of the device, seconds.
+    pub duration_s: f64,
+    /// Supply energy consumed, joules.
+    pub energy_j: f64,
+    /// Average power over the operation, watts.
+    pub power_w: f64,
+}
+
+/// The microcode store of Section 6.4.
+///
+/// Production devices hardwire one algorithm in a code ROM; the paper's
+/// proposal stores *both* ISPP variants in the ROM (runtime-selectable at
+/// negligible area cost) or, more radically, replaces the ROM with an
+/// SRAM the controller loads with "the most suitable algorithm for the
+/// memory transaction at hand".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodeStore {
+    /// Fixed set of algorithms burnt at fabrication time.
+    Rom(Vec<ProgramAlgorithm>),
+    /// Loadable microcode SRAM (empty until the controller writes it).
+    Sram(Option<ProgramAlgorithm>),
+}
+
+impl CodeStore {
+    /// The paper's proposal: both algorithms in ROM.
+    pub fn dual_rom() -> Self {
+        CodeStore::Rom(vec![ProgramAlgorithm::IsppSv, ProgramAlgorithm::IsppDv])
+    }
+
+    /// A legacy single-algorithm ROM (the pre-paper status quo).
+    pub fn legacy_rom() -> Self {
+        CodeStore::Rom(vec![ProgramAlgorithm::IsppSv])
+    }
+
+    /// Whether `algorithm` can be executed from this store.
+    pub fn supports(&self, algorithm: ProgramAlgorithm) -> bool {
+        match self {
+            CodeStore::Rom(algs) => algs.contains(&algorithm),
+            CodeStore::Sram(loaded) => *loaded == Some(algorithm),
+        }
+    }
+}
+
+struct StoredPage {
+    data: Vec<u8>,
+    spare: Vec<u8>,
+    algorithm: ProgramAlgorithm,
+    cycles_at_program: u64,
+    programmed_at_hours: f64,
+}
+
+struct Block {
+    pe_cycles: u64,
+    reads_since_erase: u64,
+    pages: Vec<Option<StoredPage>>,
+}
+
+/// A simulated MLC NAND device.
+///
+/// # Example
+///
+/// ```
+/// use mlcx_nand::{NandDevice, ProgramAlgorithm};
+///
+/// let mut dev = NandDevice::date2012(1234);
+/// dev.erase_block(3)?;
+/// let data = vec![0x5Au8; 4096];
+/// let spare = vec![0xFFu8; 130];
+/// let report = dev.program_page(3, 0, &data, &spare)?;
+/// assert!(report.duration_s > 0.5e-3); // ISPP runs take ~a millisecond
+/// let (d, s, _) = dev.read_page(3, 0)?;
+/// assert_eq!(d.len(), 4096);
+/// assert_eq!(s.len(), 130);
+/// # Ok::<(), mlcx_nand::NandError>(())
+/// ```
+pub struct NandDevice {
+    geometry: DeviceGeometry,
+    timing: NandTiming,
+    ispp: IsppConfig,
+    aging: AgingModel,
+    sequencer: Sequencer,
+    code_store: CodeStore,
+    algorithm: ProgramAlgorithm,
+    disturb: DisturbModel,
+    clock_hours: f64,
+    blocks: Vec<Block>,
+    rng: StdRng,
+    meter: EnergyMeter,
+}
+
+impl NandDevice {
+    /// The paper's device with the dual-algorithm code ROM.
+    pub fn date2012(seed: u64) -> Self {
+        Self::with_config(
+            DeviceGeometry::date2012(),
+            NandTiming::date2012(),
+            IsppConfig::date2012(),
+            AgingModel::date2012(),
+            HvSubsystem::date2012(),
+            CodeStore::dual_rom(),
+            seed,
+        )
+    }
+
+    /// Full-control constructor.
+    pub fn with_config(
+        geometry: DeviceGeometry,
+        timing: NandTiming,
+        ispp: IsppConfig,
+        aging: AgingModel,
+        hv: HvSubsystem,
+        code_store: CodeStore,
+        seed: u64,
+    ) -> Self {
+        let blocks = (0..geometry.blocks)
+            .map(|_| Block {
+                pe_cycles: 0,
+                reads_since_erase: 0,
+                pages: (0..geometry.pages_per_block).map(|_| None).collect(),
+            })
+            .collect();
+        NandDevice {
+            geometry,
+            timing,
+            ispp,
+            aging,
+            sequencer: Sequencer::new(hv),
+            code_store,
+            algorithm: ProgramAlgorithm::IsppSv,
+            disturb: DisturbModel::disabled(),
+            clock_hours: 0.0,
+            blocks,
+            rng: StdRng::seed_from_u64(seed),
+            meter: EnergyMeter::new(),
+        }
+    }
+
+    /// The device geometry.
+    pub fn geometry(&self) -> &DeviceGeometry {
+        &self.geometry
+    }
+
+    /// The timing constants.
+    pub fn timing(&self) -> &NandTiming {
+        &self.timing
+    }
+
+    /// The aging model.
+    pub fn aging(&self) -> &AgingModel {
+        &self.aging
+    }
+
+    /// The currently selected program algorithm.
+    pub fn algorithm(&self) -> ProgramAlgorithm {
+        self.algorithm
+    }
+
+    /// The code store.
+    pub fn code_store(&self) -> &CodeStore {
+        &self.code_store
+    }
+
+    /// Lifetime energy/busy-time totals.
+    pub fn energy_meter(&self) -> EnergyMeter {
+        self.meter
+    }
+
+    /// Enables (or replaces) the read-disturb / retention model. The
+    /// default device runs with [`DisturbModel::disabled`], matching the
+    /// paper's evaluation conditions.
+    pub fn set_disturb_model(&mut self, model: DisturbModel) {
+        self.disturb = model;
+    }
+
+    /// The active disturb model.
+    pub fn disturb_model(&self) -> &DisturbModel {
+        &self.disturb
+    }
+
+    /// Advances the device wall clock (retention time base).
+    pub fn advance_time_hours(&mut self, hours: f64) {
+        assert!(hours >= 0.0, "time flows forward");
+        self.clock_hours += hours;
+    }
+
+    /// The device wall clock, hours since construction.
+    pub fn now_hours(&self) -> f64 {
+        self.clock_hours
+    }
+
+    /// Block reads since the last erase (read-disturb accumulator).
+    ///
+    /// # Errors
+    ///
+    /// [`NandError::BlockOutOfRange`] for bad indices.
+    pub fn block_reads_since_erase(&self, block: usize) -> Result<u64, NandError> {
+        self.check_block(block)?;
+        Ok(self.blocks[block].reads_since_erase)
+    }
+
+    /// P/E cycles endured by a block.
+    ///
+    /// # Errors
+    ///
+    /// [`NandError::BlockOutOfRange`] for bad indices.
+    pub fn block_cycles(&self, block: usize) -> Result<u64, NandError> {
+        self.check_block(block)?;
+        Ok(self.blocks[block].pe_cycles)
+    }
+
+    /// Ages a block by `cycles` P/E cycles without simulating each one —
+    /// the lifetime-sweep experiments use this to position the device at a
+    /// wear point.
+    ///
+    /// # Errors
+    ///
+    /// [`NandError::BlockOutOfRange`] for bad indices.
+    pub fn age_block(&mut self, block: usize, cycles: u64) -> Result<(), NandError> {
+        self.check_block(block)?;
+        self.blocks[block].pe_cycles += cycles;
+        Ok(())
+    }
+
+    /// Selects the program algorithm (the runtime knob of the paper).
+    ///
+    /// # Errors
+    ///
+    /// [`NandError::AlgorithmUnavailable`] when the code store does not
+    /// hold the requested algorithm.
+    pub fn select_algorithm(&mut self, algorithm: ProgramAlgorithm) -> Result<(), NandError> {
+        if !self.code_store.supports(algorithm) {
+            return Err(NandError::AlgorithmUnavailable { algorithm });
+        }
+        self.algorithm = algorithm;
+        Ok(())
+    }
+
+    /// Loads microcode into a [`CodeStore::Sram`] store.
+    ///
+    /// # Errors
+    ///
+    /// [`NandError::AlgorithmUnavailable`] when the store is a ROM.
+    pub fn load_microcode(&mut self, algorithm: ProgramAlgorithm) -> Result<(), NandError> {
+        match &mut self.code_store {
+            CodeStore::Sram(slot) => {
+                *slot = Some(algorithm);
+                Ok(())
+            }
+            CodeStore::Rom(_) => Err(NandError::AlgorithmUnavailable { algorithm }),
+        }
+    }
+
+    /// Erases a block.
+    ///
+    /// # Errors
+    ///
+    /// [`NandError::BlockOutOfRange`] for bad indices.
+    pub fn erase_block(&mut self, block: usize) -> Result<OpReport, NandError> {
+        self.check_block(block)?;
+        let b = &mut self.blocks[block];
+        for page in &mut b.pages {
+            *page = None;
+        }
+        b.pe_cycles += 1;
+        b.reads_since_erase = 0;
+        let phases = [Phase {
+            kind: PhaseKind::ErasePulse,
+            duration_s: self.timing.erase_block_s,
+        }];
+        let op = self.sequencer.execute(&phases);
+        let report = self.finish(OpKind::Erase, op.duration_s(), op.total_energy_j());
+        Ok(report)
+    }
+
+    /// Programs a page with the currently selected algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Geometry errors for bad indices or buffer sizes;
+    /// [`NandError::PageNotErased`] when overwriting;
+    /// [`NandError::CodeSramEmpty`] when an SRAM store has no microcode.
+    pub fn program_page(
+        &mut self,
+        block: usize,
+        page: usize,
+        data: &[u8],
+        spare: &[u8],
+    ) -> Result<OpReport, NandError> {
+        self.check_page(block, page)?;
+        if data.len() != self.geometry.page_bytes {
+            return Err(NandError::BufferSize {
+                what: "data",
+                expected: self.geometry.page_bytes,
+                actual: data.len(),
+            });
+        }
+        if spare.len() > self.geometry.spare_bytes {
+            return Err(NandError::BufferSize {
+                what: "spare",
+                expected: self.geometry.spare_bytes,
+                actual: spare.len(),
+            });
+        }
+        if matches!(self.code_store, CodeStore::Sram(None)) {
+            return Err(NandError::CodeSramEmpty);
+        }
+        if self.blocks[block].pages[page].is_some() {
+            return Err(NandError::PageNotErased { block, page });
+        }
+
+        let cycles = self.blocks[block].pe_cycles;
+        let profile = program_profile(&self.ispp, self.algorithm, cycles);
+        // Expected phase program: pulses at the mean staircase voltage
+        // plus the verify mix — statistically equivalent to the
+        // Monte-Carlo engine's emission, at device-simulation cost.
+        let pulse_count = profile.pulses.round().max(1.0) as u32;
+        let mut phases = Vec::with_capacity(pulse_count as usize * 4);
+        for i in 0..pulse_count {
+            phases.push(Phase {
+                kind: PhaseKind::ProgramPulse {
+                    target_v: self.ispp.pulse_voltage(i),
+                },
+                duration_s: self.ispp.pulse_s,
+            });
+            phases.push(Phase {
+                kind: PhaseKind::Verify { level: 1 },
+                duration_s: profile.verifies_per_pulse * self.ispp.verify_s,
+            });
+        }
+        let op = self.sequencer.execute(&phases);
+
+        self.blocks[block].pages[page] = Some(StoredPage {
+            data: data.to_vec(),
+            spare: spare.to_vec(),
+            algorithm: self.algorithm,
+            cycles_at_program: cycles,
+            programmed_at_hours: self.clock_hours,
+        });
+        let report = self.finish(OpKind::Program, op.duration_s(), op.total_energy_j());
+        Ok(report)
+    }
+
+    /// Reads a page back, injecting raw bit errors per the lifetime RBER
+    /// model (errors depend on the algorithm and wear *at program time*).
+    ///
+    /// # Errors
+    ///
+    /// Geometry errors; [`NandError::PageNotProgrammed`] for blank pages.
+    pub fn read_page(
+        &mut self,
+        block: usize,
+        page: usize,
+    ) -> Result<(Vec<u8>, Vec<u8>, OpReport), NandError> {
+        self.check_page(block, page)?;
+        let geometry_spare = self.geometry.spare_bytes;
+        self.blocks[block].reads_since_erase += 1;
+        let reads = self.blocks[block].reads_since_erase;
+        let stored = self.blocks[block].pages[page]
+            .as_ref()
+            .ok_or(NandError::PageNotProgrammed { block, page })?;
+        let mut data = stored.data.clone();
+        let mut spare = stored.spare.clone();
+        let endurance = self
+            .aging
+            .rber(stored.algorithm, stored.cycles_at_program.max(1));
+        let extra = self.disturb.additional_rber(
+            reads,
+            self.clock_hours - stored.programmed_at_hours,
+            stored.cycles_at_program,
+        );
+        let rber = (endurance + extra).min(0.5);
+        debug_assert!(spare.len() <= geometry_spare);
+
+        let total_bits = (data.len() + spare.len()) * 8;
+        let errors = sample_binomial(&mut self.rng, total_bits as u64, rber);
+        for _ in 0..errors {
+            let bit = self.rng.random_range(0..total_bits);
+            let (buf, idx) = if bit < data.len() * 8 {
+                (&mut data, bit)
+            } else {
+                (&mut spare, bit - data.len() * 8)
+            };
+            buf[idx / 8] ^= 1 << (7 - idx % 8);
+        }
+
+        let phases = [Phase {
+            kind: PhaseKind::Read,
+            duration_s: self.timing.read_page_s,
+        }];
+        let op = self.sequencer.execute(&phases);
+        let report = self.finish(OpKind::Read, op.duration_s(), op.total_energy_j());
+        Ok((data, spare, report))
+    }
+
+    fn finish(&mut self, kind: OpKind, duration_s: f64, energy_j: f64) -> OpReport {
+        let duration_s = duration_s + self.timing.command_overhead_s;
+        let op = mlcx_hv::OperationEnergy::from_phases(vec![mlcx_hv::PhaseEnergy {
+            label: "op",
+            duration_s,
+            energy_j,
+        }]);
+        self.meter.record(&op);
+        OpReport {
+            kind,
+            duration_s,
+            energy_j,
+            power_w: if duration_s > 0.0 {
+                energy_j / duration_s
+            } else {
+                0.0
+            },
+        }
+    }
+
+    fn check_block(&self, block: usize) -> Result<(), NandError> {
+        if block >= self.geometry.blocks {
+            return Err(NandError::BlockOutOfRange {
+                block,
+                blocks: self.geometry.blocks,
+            });
+        }
+        Ok(())
+    }
+
+    fn check_page(&self, block: usize, page: usize) -> Result<(), NandError> {
+        self.check_block(block)?;
+        if page >= self.geometry.pages_per_block {
+            return Err(NandError::PageOutOfRange {
+                page,
+                pages_per_block: self.geometry.pages_per_block,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for NandDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NandDevice")
+            .field("geometry", &self.geometry)
+            .field("algorithm", &self.algorithm)
+            .field("code_store", &self.code_store)
+            .finish()
+    }
+}
+
+/// Samples Binomial(n, p) — exact Bernoulli walk for tiny expectations,
+/// Poisson/normal approximations beyond.
+fn sample_binomial<R: RngExt + ?Sized>(rng: &mut R, n: u64, p: f64) -> usize {
+    let mean = n as f64 * p;
+    if mean < 1e-4 {
+        // Effectively "zero or one error" territory.
+        return usize::from(rng.random::<f64>() < mean);
+    }
+    if mean < 30.0 {
+        // Knuth Poisson sampler.
+        let limit = (-mean).exp();
+        let mut k = 0usize;
+        let mut prod: f64 = rng.random();
+        while prod > limit {
+            k += 1;
+            prod *= rng.random::<f64>();
+        }
+        return k.min(n as usize);
+    }
+    // Normal approximation with continuity clamp.
+    let sigma = (mean * (1.0 - p)).sqrt();
+    let z = crate::variability::sample_normal(rng, mean, sigma);
+    z.round().max(0.0).min(n as f64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> NandDevice {
+        NandDevice::date2012(99)
+    }
+
+    #[test]
+    fn erase_program_read_round_trip() {
+        let mut dev = device();
+        dev.erase_block(0).unwrap();
+        let data = vec![0xC3u8; 4096];
+        let spare = vec![0x0Fu8; 64];
+        dev.program_page(0, 7, &data, &spare).unwrap();
+        let (d, s, report) = dev.read_page(0, 7).unwrap();
+        assert_eq!(report.kind, OpKind::Read);
+        assert_eq!(d.len(), 4096);
+        assert_eq!(s.len(), 64);
+        // Fresh block: at RBER ~1.5e-6 a clean read-back is overwhelmingly
+        // likely but not guaranteed; allow a stray bit.
+        let diff: usize = d
+            .iter()
+            .zip(&data)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum();
+        assert!(diff <= 2, "diff = {diff}");
+    }
+
+    #[test]
+    fn program_requires_erase() {
+        let mut dev = device();
+        dev.erase_block(1).unwrap();
+        let data = vec![0u8; 4096];
+        dev.program_page(1, 0, &data, &[]).unwrap();
+        assert_eq!(
+            dev.program_page(1, 0, &data, &[]),
+            Err(NandError::PageNotErased { block: 1, page: 0 })
+        );
+        dev.erase_block(1).unwrap();
+        dev.program_page(1, 0, &data, &[]).unwrap();
+    }
+
+    #[test]
+    fn read_blank_page_fails() {
+        let mut dev = device();
+        dev.erase_block(2).unwrap();
+        assert!(matches!(
+            dev.read_page(2, 5),
+            Err(NandError::PageNotProgrammed { .. })
+        ));
+    }
+
+    #[test]
+    fn geometry_validation() {
+        let mut dev = device();
+        assert!(matches!(
+            dev.erase_block(10_000),
+            Err(NandError::BlockOutOfRange { .. })
+        ));
+        dev.erase_block(0).unwrap();
+        assert!(matches!(
+            dev.program_page(0, 9_999, &vec![0u8; 4096], &[]),
+            Err(NandError::PageOutOfRange { .. })
+        ));
+        assert!(matches!(
+            dev.program_page(0, 0, &vec![0u8; 100], &[]),
+            Err(NandError::BufferSize { what: "data", .. })
+        ));
+        assert!(matches!(
+            dev.program_page(0, 0, &vec![0u8; 4096], &vec![0u8; 1000]),
+            Err(NandError::BufferSize { what: "spare", .. })
+        ));
+    }
+
+    #[test]
+    fn algorithm_selection_respects_code_store() {
+        let mut dev = device();
+        assert_eq!(dev.algorithm(), ProgramAlgorithm::IsppSv);
+        dev.select_algorithm(ProgramAlgorithm::IsppDv).unwrap();
+        assert_eq!(dev.algorithm(), ProgramAlgorithm::IsppDv);
+
+        let mut legacy = NandDevice::with_config(
+            DeviceGeometry::date2012(),
+            NandTiming::date2012(),
+            IsppConfig::date2012(),
+            AgingModel::date2012(),
+            HvSubsystem::date2012(),
+            CodeStore::legacy_rom(),
+            1,
+        );
+        assert_eq!(
+            legacy.select_algorithm(ProgramAlgorithm::IsppDv),
+            Err(NandError::AlgorithmUnavailable {
+                algorithm: ProgramAlgorithm::IsppDv
+            })
+        );
+    }
+
+    #[test]
+    fn sram_store_needs_loading() {
+        let mut dev = NandDevice::with_config(
+            DeviceGeometry::date2012(),
+            NandTiming::date2012(),
+            IsppConfig::date2012(),
+            AgingModel::date2012(),
+            HvSubsystem::date2012(),
+            CodeStore::Sram(None),
+            1,
+        );
+        dev.erase_block(0).unwrap();
+        assert_eq!(
+            dev.program_page(0, 0, &vec![0u8; 4096], &[]),
+            Err(NandError::CodeSramEmpty)
+        );
+        dev.load_microcode(ProgramAlgorithm::IsppDv).unwrap();
+        dev.select_algorithm(ProgramAlgorithm::IsppDv).unwrap();
+        dev.program_page(0, 0, &vec![0u8; 4096], &[]).unwrap();
+    }
+
+    #[test]
+    fn dv_program_slower_and_read_unaffected() {
+        let mut dev = device();
+        dev.erase_block(0).unwrap();
+        dev.erase_block(1).unwrap();
+        let data = vec![0xAAu8; 4096];
+        let sv = dev.program_page(0, 0, &data, &[]).unwrap();
+        dev.select_algorithm(ProgramAlgorithm::IsppDv).unwrap();
+        let dv = dev.program_page(1, 0, &data, &[]).unwrap();
+        assert!(dv.duration_s > 1.3 * sv.duration_s);
+        // Read time does not depend on the program algorithm.
+        let (_, _, r0) = dev.read_page(0, 0).unwrap();
+        let (_, _, r1) = dev.read_page(1, 0).unwrap();
+        assert!((r0.duration_s - r1.duration_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worn_blocks_read_with_more_errors() {
+        let mut dev = device();
+        dev.erase_block(0).unwrap();
+        dev.age_block(0, 1_000_000).unwrap();
+        dev.erase_block(0).unwrap();
+        let data = vec![0u8; 4096];
+        dev.program_page(0, 0, &data, &[]).unwrap();
+        // Expect ~ 4096*8*1e-3 ~ 33 bit errors; assert a broad band.
+        let mut total = 0usize;
+        for _ in 0..4 {
+            let (d, _, _) = dev.read_page(0, 0).unwrap();
+            total += d
+                .iter()
+                .zip(&data)
+                .map(|(a, b)| (a ^ b).count_ones() as usize)
+                .sum::<usize>();
+        }
+        let mean = total as f64 / 4.0;
+        assert!((10.0..80.0).contains(&mean), "mean errors = {mean}");
+    }
+
+    #[test]
+    fn wear_accounting() {
+        let mut dev = device();
+        assert_eq!(dev.block_cycles(5).unwrap(), 0);
+        dev.erase_block(5).unwrap();
+        dev.erase_block(5).unwrap();
+        assert_eq!(dev.block_cycles(5).unwrap(), 2);
+        dev.age_block(5, 100).unwrap();
+        assert_eq!(dev.block_cycles(5).unwrap(), 102);
+    }
+
+    #[test]
+    fn energy_meter_accumulates() {
+        let mut dev = device();
+        dev.erase_block(0).unwrap();
+        dev.program_page(0, 0, &vec![0u8; 4096], &[]).unwrap();
+        dev.read_page(0, 0).unwrap();
+        let m = dev.energy_meter();
+        assert_eq!(m.operations, 3);
+        assert!(m.total_energy_j > 0.0);
+        assert!(m.average_power_w() > 0.05 && m.average_power_w() < 0.5);
+    }
+
+    #[test]
+    fn program_power_in_fig6_band() {
+        let mut dev = device();
+        dev.erase_block(0).unwrap();
+        let sv = dev.program_page(0, 0, &vec![0u8; 4096], &[]).unwrap();
+        assert!(
+            (0.14..0.19).contains(&sv.power_w),
+            "SV program power = {}",
+            sv.power_w
+        );
+        dev.select_algorithm(ProgramAlgorithm::IsppDv).unwrap();
+        dev.erase_block(1).unwrap();
+        let dv = dev.program_page(1, 0, &vec![0u8; 4096], &[]).unwrap();
+        let delta_mw = (dv.power_w - sv.power_w) * 1e3;
+        assert!(
+            (2.0..15.0).contains(&delta_mw),
+            "DV-SV power delta = {delta_mw} mW"
+        );
+    }
+
+    #[test]
+    fn read_disturb_accumulates_and_erase_resets() {
+        use crate::disturb::DisturbModel;
+        let mut dev = device();
+        // An aggressive disturb model so the effect is measurable fast.
+        dev.set_disturb_model(DisturbModel {
+            read_disturb_per_read: 1e-6,
+            ..DisturbModel::disabled()
+        });
+        dev.erase_block(0).unwrap();
+        let data = vec![0u8; 4096];
+        dev.program_page(0, 0, &data, &[]).unwrap();
+        // Hammer the block with reads; errors should grow.
+        let mut early = 0usize;
+        let mut late = 0usize;
+        for i in 0..600 {
+            let (d, _, _) = dev.read_page(0, 0).unwrap();
+            let errs: usize = d
+                .iter()
+                .zip(&data)
+                .map(|(a, b)| (a ^ b).count_ones() as usize)
+                .sum();
+            if i < 100 {
+                early += errs;
+            } else if i >= 500 {
+                late += errs;
+            }
+        }
+        assert!(late > early, "late {late} vs early {early}");
+        assert_eq!(dev.block_reads_since_erase(0).unwrap(), 600);
+        dev.erase_block(0).unwrap();
+        assert_eq!(dev.block_reads_since_erase(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn retention_raises_error_rate_over_time() {
+        use crate::disturb::DisturbModel;
+        let mut dev = device();
+        dev.set_disturb_model(DisturbModel {
+            read_disturb_per_read: 0.0,
+            retention_scale: 5e-4,
+            retention_wear_exponent: 0.5,
+            reference_cycles: 1e6,
+        });
+        dev.age_block(0, 1_000_000).unwrap();
+        dev.erase_block(0).unwrap();
+        let data = vec![0u8; 4096];
+        dev.program_page(0, 0, &data, &[]).unwrap();
+        let count_errs = |dev: &mut NandDevice| -> usize {
+            let mut total = 0;
+            for _ in 0..8 {
+                let (d, _, _) = dev.read_page(0, 0).unwrap();
+                total += d
+                    .iter()
+                    .zip(&data)
+                    .map(|(a, b)| (a ^ b).count_ones() as usize)
+                    .sum::<usize>();
+            }
+            total
+        };
+        let fresh = count_errs(&mut dev);
+        dev.advance_time_hours(10_000.0);
+        assert!((dev.now_hours() - 10_000.0).abs() < 1e-9);
+        let aged = count_errs(&mut dev);
+        assert!(aged > fresh, "aged {aged} vs fresh {fresh}");
+    }
+
+    #[test]
+    fn binomial_sampler_sane() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // Tiny expectation: almost always zero.
+        let tiny: usize = (0..1000)
+            .map(|_| sample_binomial(&mut rng, 1000, 1e-9))
+            .sum();
+        assert!(tiny <= 1);
+        // Moderate expectation: mean within 20%.
+        let n = 2000u64;
+        let p = 0.005;
+        let total: usize = (0..2000)
+            .map(|_| sample_binomial(&mut rng, n, p))
+            .sum();
+        let mean = total as f64 / 2000.0;
+        assert!((mean - 10.0).abs() < 2.0, "mean = {mean}");
+        // Large expectation: normal path.
+        let big = sample_binomial(&mut rng, 100_000, 0.01);
+        assert!((500..1500).contains(&big), "big = {big}");
+    }
+}

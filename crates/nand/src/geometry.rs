@@ -1,0 +1,75 @@
+//! Device geometry.
+
+/// Physical organization of the simulated NAND device.
+///
+/// The paper's case study is a 4 KiB-page MLC device; the spare area holds
+/// the ECC parity (up to 130 bytes at `t = 65`) plus file-system metadata,
+/// matching the 224-byte spare of contemporary 4 KiB-page parts.
+///
+/// # Example
+///
+/// ```
+/// use mlcx_nand::DeviceGeometry;
+///
+/// let g = DeviceGeometry::date2012();
+/// assert_eq!(g.page_bytes, 4096);
+/// assert!(g.spare_bytes >= 130); // worst-case BCH parity fits
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceGeometry {
+    /// Erase blocks in the device.
+    pub blocks: usize,
+    /// Pages per erase block.
+    pub pages_per_block: usize,
+    /// Main-area bytes per page.
+    pub page_bytes: usize,
+    /// Spare-area bytes per page.
+    pub spare_bytes: usize,
+}
+
+impl DeviceGeometry {
+    /// The paper's case-study geometry (sized small enough to simulate
+    /// whole-device workloads comfortably).
+    pub fn date2012() -> Self {
+        DeviceGeometry {
+            blocks: 64,
+            pages_per_block: 128,
+            page_bytes: 4096,
+            spare_bytes: 224,
+        }
+    }
+
+    /// Cells per page (two bits per cell on an MLC device).
+    pub fn cells_per_page(&self) -> usize {
+        (self.page_bytes + self.spare_bytes) * 8 / 2
+    }
+
+    /// Total pages in the device.
+    pub fn total_pages(&self) -> usize {
+        self.blocks * self.pages_per_block
+    }
+
+    /// Total main-area capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.total_pages() * self.page_bytes
+    }
+}
+
+impl Default for DeviceGeometry {
+    fn default() -> Self {
+        Self::date2012()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let g = DeviceGeometry::date2012();
+        assert_eq!(g.cells_per_page(), (4096 + 224) * 4);
+        assert_eq!(g.total_pages(), 64 * 128);
+        assert_eq!(g.capacity_bytes(), 64 * 128 * 4096);
+    }
+}

@@ -1,0 +1,47 @@
+//! Device timing constants.
+
+/// Operation timings of the simulated device.
+///
+/// `read_page_s` is the 75 us array-to-register time the paper quotes from
+/// the Micron MT29F64G08 datasheet \[27\]; program timing is *not* a
+/// constant here — it emerges from the ISPP engine (see
+/// [`crate::ispp::ProgramProfile`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NandTiming {
+    /// Page read (tR): array sensing into the page register, seconds.
+    pub read_page_s: f64,
+    /// Block erase time, seconds.
+    pub erase_block_s: f64,
+    /// Command/address overhead per operation, seconds.
+    pub command_overhead_s: f64,
+}
+
+impl NandTiming {
+    /// The paper's timing set.
+    pub fn date2012() -> Self {
+        NandTiming {
+            read_page_s: 75e-6,
+            erase_block_s: 2e-3,
+            command_overhead_s: 0.5e-6,
+        }
+    }
+}
+
+impl Default for NandTiming {
+    fn default() -> Self {
+        Self::date2012()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let t = NandTiming::date2012();
+        assert!((t.read_page_s - 75e-6).abs() < 1e-12);
+        assert!(t.erase_block_s > t.read_page_s);
+        assert!(t.command_overhead_s < 1e-5);
+    }
+}

@@ -1,0 +1,65 @@
+//! Lifetime explorer: sweep the device from fresh silicon to wear-out and
+//! print, at each decade, the full cross-layer trade-off space — the ECC
+//! schedules, all three objectives' metrics, and the Pareto frontier size.
+//!
+//! Run with: `cargo run --release --example lifetime_explorer`
+
+use mlcx::nand::AgingModel;
+use mlcx::xlayer::policy::{controller_only_read_boost, pareto_frontier};
+use mlcx::{Objective, ProgramAlgorithm, SubsystemModel};
+
+fn main() {
+    let model = SubsystemModel::date2012();
+
+    println!("ECC schedules over lifetime (UBER target 1e-11):\n");
+    println!(
+        "{:>10} {:>12} {:>12} {:>8} {:>8}",
+        "cycles", "RBER(SV)", "RBER(DV)", "t(SV)", "t(DV)"
+    );
+    for cycles in AgingModel::lifetime_grid(1, 1_000_000, 1) {
+        println!(
+            "{:>10} {:>12.3e} {:>12.3e} {:>8} {:>8}",
+            cycles,
+            model.rber(ProgramAlgorithm::IsppSv, cycles),
+            model.rber(ProgramAlgorithm::IsppDv, cycles),
+            model
+                .required_t(ProgramAlgorithm::IsppSv, cycles)
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "-".into()),
+            model
+                .required_t(ProgramAlgorithm::IsppDv, cycles)
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+
+    println!("\nobjective metrics at three life stages:\n");
+    for cycles in [100u64, 100_000, 1_000_000] {
+        println!("--- {cycles} P/E cycles ---");
+        for objective in Objective::ALL {
+            let op = model.configure(objective, cycles);
+            let m = model.metrics(&op, cycles);
+            println!(
+                "{:>22?}: {:>16}  read {:6.2} MB/s  write {:5.2} MB/s  log10(UBER) {:7.2}  P(prog) {:5.1} mW  P(ecc) {:4.2} mW",
+                objective,
+                op.to_string(),
+                m.read_mbps,
+                m.write_mbps,
+                m.log10_uber,
+                m.program_power_w * 1e3,
+                m.ecc_power_w * 1e3,
+            );
+        }
+        // The controller-only strawman the paper argues against:
+        let strawman = controller_only_read_boost(&model, cycles);
+        println!(
+            "{:>22}: {:>16}  read {:6.2} MB/s  (UBER degraded to 1e{:.1})",
+            "controller-only boost",
+            strawman.op.to_string(),
+            strawman.metrics.read_mbps,
+            strawman.metrics.log10_uber,
+        );
+        let frontier = pareto_frontier(&model, cycles, 4);
+        println!("pareto frontier: {} operating points\n", frontier.len());
+    }
+}

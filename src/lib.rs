@@ -1,0 +1,51 @@
+//! # mlcx — cross-layer reliability/performance trade-offs for MLC NAND
+//!
+//! A full reproduction of *Zambelli et al., "A Cross-Layer Approach for
+//! New Reliability-Performance Trade-Offs in MLC NAND Flash Memories",
+//! DATE 2012*: an adaptive BCH memory controller co-configured with
+//! runtime-selectable ISPP program algorithms, on top of complete
+//! simulation substrates for every subsystem the paper models.
+//!
+//! ## Layout
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`gf2`] | `mlcx-gf2` | GF(2)\[x\] and GF(2^m) arithmetic |
+//! | [`bch`] | `mlcx-bch` | adaptive BCH codec + hardware latency/power model |
+//! | [`hv`]  | `mlcx-hv` | Dickson charge pumps, regulators, phase sequencer |
+//! | [`nand`] | `mlcx-nand` | MLC cell/array model, ISPP-SV/DV engines, aging, device |
+//! | [`controller`] | `mlcx-controller` | OCP socket, page buffer, core FSM, reliability manager |
+//! | [`xlayer`] | `mlcx-core` | UBER math, operating points, optimizer, figure experiments |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mlcx::{Objective, SubsystemModel};
+//!
+//! let model = SubsystemModel::date2012();
+//! let op = model.configure(Objective::MaxReadThroughput, 1_000_000);
+//! let metrics = model.metrics(&op, 1_000_000);
+//! assert!(metrics.log10_uber <= -11.0); // UBER target held
+//! ```
+//!
+//! Run `cargo run --example reproduce_figures` to regenerate every table
+//! and figure of the paper's evaluation; see `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mlcx_bch as bch;
+pub use mlcx_controller as controller;
+pub use mlcx_core as xlayer;
+pub use mlcx_gf2 as gf2;
+pub use mlcx_hv as hv;
+pub use mlcx_nand as nand;
+
+pub use mlcx_bch::{AdaptiveBch, BchCode, DecodeOutcome};
+pub use mlcx_controller::{
+    ConfigCommand, ControllerConfig, CtrlError, MemoryController, ReliabilityManager,
+    ReliabilityPolicy, ServiceLevel,
+};
+pub use mlcx_core::{Metrics, Objective, OperatingPoint, SubsystemModel};
+pub use mlcx_nand::{AgingModel, MlcLevel, NandDevice, ProgramAlgorithm};

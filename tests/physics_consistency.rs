@@ -1,0 +1,136 @@
+//! Cross-crate consistency between the fast analytic models (figures of
+//! record) and the detailed Monte-Carlo / time-stepped simulations.
+
+use mlcx::nand::array::ArraySimulator;
+use mlcx::nand::ispp::program_profile;
+use mlcx::{ProgramAlgorithm, SubsystemModel};
+
+#[test]
+fn monte_carlo_rber_tracks_analytic_curve() {
+    // At end of life the RBER is large enough to measure on ~400k bits.
+    // Tolerance note: RBER here is a ~3.5-sigma tail probability, which
+    // is exponentially sensitive to distribution shape; the DV placement
+    // is a fine/full-step mixture (slightly heavy-tailed vs. the Gaussian
+    // the analytic model assumes), so agreement within ~3x is the
+    // realistic validation bound. ISPP-SV lands within a few percent.
+    let sim = ArraySimulator::date2012();
+    let model = SubsystemModel::date2012();
+    for alg in ProgramAlgorithm::ALL {
+        let analytic = model.rber(alg, 1_000_000);
+        let measured = sim.measure_rber(alg, 1_000_000, 24, 8192, 7);
+        let ratio = measured / analytic;
+        let band = match alg {
+            ProgramAlgorithm::IsppSv => 0.5..2.0,
+            ProgramAlgorithm::IsppDv => 0.33..3.0,
+        };
+        assert!(
+            band.contains(&ratio),
+            "{alg}: measured {measured:.3e} vs analytic {analytic:.3e}"
+        );
+    }
+}
+
+#[test]
+fn monte_carlo_program_time_tracks_closed_form() {
+    use mlcx::nand::ispp::{IsppConfig, IsppEngine};
+    use mlcx::nand::levels::ThresholdSpec;
+    use mlcx::nand::variability::VariabilityModel;
+    use mlcx::MlcLevel;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    let engine = IsppEngine::new(
+        IsppConfig::date2012(),
+        ThresholdSpec::date2012(),
+        VariabilityModel::date2012(),
+    );
+    let mut rng = StdRng::seed_from_u64(13);
+    let targets: Vec<MlcLevel> = (0..8192).map(|i| MlcLevel::from_index(i % 4)).collect();
+    for alg in ProgramAlgorithm::ALL {
+        let mut cells = engine.erased_page(&targets, &mut rng);
+        let run = engine.program(&mut cells, alg, 0.0, &mut rng);
+        assert!(run.converged, "{alg} must converge");
+        let profile = program_profile(engine.config(), alg, 1);
+        let err = (run.duration_s - profile.duration_s).abs() / profile.duration_s;
+        assert!(
+            err < 0.35,
+            "{alg}: engine {:.0} us vs profile {:.0} us",
+            run.duration_s * 1e6,
+            profile.duration_s * 1e6
+        );
+    }
+}
+
+#[test]
+fn hysteretic_regulator_tracks_closed_form_power() {
+    use mlcx::hv::{DicksonPump, RegulatedPump};
+    // The phase-power closed form used by the figures must agree with the
+    // time-stepped bang-bang regulation it abstracts.
+    for (pump, target, load) in [
+        (DicksonPump::program_pump_45nm(), 16.0, 0.3e-3),
+        (DicksonPump::inhibit_pump_45nm(), 8.0, 0.8e-3),
+        (DicksonPump::verify_pump_45nm(), 4.5, 2.0e-3),
+    ] {
+        let mut reg = RegulatedPump::new(pump, target);
+        reg.run_phase(40e-6, load); // settle
+        let simulated = reg.run_phase(40e-6, load).mean_power_w();
+        let closed_form = reg.steady_state_power_w(load);
+        let err = (simulated - closed_form).abs() / closed_form;
+        assert!(
+            err < 0.2,
+            "pump {}-stage: sim {simulated:.4} vs model {closed_form:.4}",
+            pump.stages
+        );
+    }
+}
+
+#[test]
+fn eq1_first_term_approximates_exact_tail_in_design_regime() {
+    use mlcx::xlayer::uber::{first_term_valid, log10_uber, log10_uber_exact};
+    // Wherever the schedule operates (t+1 well above n*p), eq. (1) and
+    // the exact tail agree within a factor of ~3 (half an order).
+    let k = 32768usize;
+    for (t, rber) in [(3u32, 1.5e-6), (14, 8.7e-5), (30, 3.0e-4), (65, 1.0e-3)] {
+        let n = k + 16 * t as usize;
+        assert!(first_term_valid(n, t, rber));
+        let approx = log10_uber(n, t, rber);
+        let exact = log10_uber_exact(n, t, rber);
+        assert!(
+            (exact - approx).abs() < 0.5,
+            "t={t}, rber={rber:e}: eq1 {approx:.2} vs exact {exact:.2}"
+        );
+        // The first term always underestimates the full tail.
+        assert!(exact >= approx);
+    }
+}
+
+#[test]
+fn device_level_error_injection_matches_rber() {
+    // The fast device model injects binomial errors; measured rates over
+    // many pages must match the aging curve that drives them.
+    use mlcx::NandDevice;
+    let mut dev = NandDevice::date2012(31);
+    dev.age_block(0, 1_000_000).unwrap();
+    dev.erase_block(0).unwrap();
+    let data = vec![0u8; 4096];
+    let mut errors = 0usize;
+    let mut bits = 0usize;
+    for page in 0..64 {
+        dev.program_page(0, page, &data, &[]).unwrap();
+    }
+    for page in 0..64 {
+        let (d, _, _) = dev.read_page(0, page).unwrap();
+        errors += d
+            .iter()
+            .zip(&data)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum::<usize>();
+        bits += d.len() * 8;
+    }
+    let measured = errors as f64 / bits as f64;
+    let expected = dev.aging().rber(ProgramAlgorithm::IsppSv, 1_000_000);
+    let ratio = measured / expected;
+    assert!(
+        (0.7..1.4).contains(&ratio),
+        "measured {measured:.3e} vs expected {expected:.3e}"
+    );
+}
