@@ -95,7 +95,7 @@ impl AdaptiveBch {
                 tmax,
             });
         }
-        if k_bits % 8 != 0 || k_bits == 0 {
+        if !k_bits.is_multiple_of(8) || k_bits == 0 {
             return Err(BchError::MessageNotByteAligned { k_bits });
         }
         let rom = GeneratorTable::new(&field, tmax);

@@ -75,10 +75,7 @@ pub fn error_locator(field: &GfField, syndromes: &[u32]) -> Vec<u32> {
 
 /// The degree of an error-locator polynomial returned by [`error_locator`].
 pub fn locator_degree(lambda: &[u32]) -> usize {
-    lambda
-        .iter()
-        .rposition(|&x| x != 0)
-        .unwrap_or(0)
+    lambda.iter().rposition(|&x| x != 0).unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -113,7 +110,7 @@ mod tests {
     #[test]
     fn no_errors_gives_constant_locator() {
         let f = GfField::new(8).unwrap();
-        let lambda = error_locator(&f, &vec![0u32; 8]);
+        let lambda = error_locator(&f, &[0u32; 8]);
         assert_eq!(lambda, vec![1]);
         assert_eq!(locator_degree(&lambda), 0);
     }
@@ -154,21 +151,23 @@ mod tests {
         let f = GfField::new(8).unwrap();
         let syn = syndromes_for_errors(&f, 2, &[1, 50, 100, 200]);
         let lambda = error_locator(&f, &syn);
-        assert!(locator_degree(&lambda) > 2 || {
-            // If degree <= 2, the locator must NOT reproduce the 4 errors.
-            let mut ok = false;
-            for &e in &[1u32, 50, 100, 200] {
-                let x = f.alpha_pow(-(e as i64));
-                let mut acc = 0u32;
-                for (d, &coef) in lambda.iter().enumerate() {
-                    acc ^= f.mul(coef, f.pow(x, d as i64));
+        assert!(
+            locator_degree(&lambda) > 2 || {
+                // If degree <= 2, the locator must NOT reproduce the 4 errors.
+                let mut ok = false;
+                for &e in &[1u32, 50, 100, 200] {
+                    let x = f.alpha_pow(-(e as i64));
+                    let mut acc = 0u32;
+                    for (d, &coef) in lambda.iter().enumerate() {
+                        acc ^= f.mul(coef, f.pow(x, d as i64));
+                    }
+                    if acc != 0 {
+                        ok = true;
+                    }
                 }
-                if acc != 0 {
-                    ok = true;
-                }
+                ok
             }
-            ok
-        });
+        );
     }
 
     #[test]

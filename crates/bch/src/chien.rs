@@ -51,9 +51,7 @@ pub fn find_error_positions(field: &GfField, lambda: &[u32], n_bits: usize) -> O
         .enumerate()
         .map(|(d, &coef)| field.mul(coef, field.alpha_pow(d as i64 * start)))
         .collect();
-    let steppers: Vec<u32> = (0..=deg)
-        .map(|d| field.alpha_pow(d as i64))
-        .collect();
+    let steppers: Vec<u32> = (0..=deg).map(|d| field.alpha_pow(d as i64)).collect();
 
     let mut positions = Vec::with_capacity(deg);
     for s in 0..n_bits {
@@ -111,7 +109,7 @@ mod tests {
     fn finds_positions_in_shortened_code() {
         let f = GfField::new(10).unwrap();
         let n = 400usize; // shortened from 1023
-        // Errors at stream positions 0, 57, 399.
+                          // Errors at stream positions 0, 57, 399.
         let positions = [0usize, 57, 399];
         let exps: Vec<u32> = positions.iter().map(|&p| (n - 1 - p) as u32).collect();
         let lambda = locator_for(&f, &exps);

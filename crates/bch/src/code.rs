@@ -118,7 +118,7 @@ impl BchCode {
         t: u32,
         generator: Gf2Poly,
     ) -> Result<Self, BchError> {
-        if k_bits % 8 != 0 || k_bits == 0 {
+        if !k_bits.is_multiple_of(8) || k_bits == 0 {
             return Err(BchError::MessageNotByteAligned { k_bits });
         }
         let r_bits = generator.degree().unwrap_or(0);
@@ -212,11 +212,7 @@ impl BchCode {
     /// pages are *not* an `Err` — they are the
     /// [`DecodeOutcome::Uncorrectable`] variant, because they are an
     /// expected runtime condition the reliability manager consumes.
-    pub fn decode(
-        &self,
-        message: &mut [u8],
-        parity: &mut [u8],
-    ) -> Result<DecodeOutcome, BchError> {
+    pub fn decode(&self, message: &mut [u8], parity: &mut [u8]) -> Result<DecodeOutcome, BchError> {
         self.check_message(message)?;
         if parity.len() != self.parity_bytes() {
             return Err(BchError::BufferSize {
@@ -239,7 +235,8 @@ impl BchCode {
             return Ok(DecodeOutcome::Uncorrectable);
         }
         // Stage 3: Chien search over the shortened range.
-        let Some(positions) = chien::find_error_positions(&self.field, &lambda, self.codeword_bits())
+        let Some(positions) =
+            chien::find_error_positions(&self.field, &lambda, self.codeword_bits())
         else {
             return Ok(DecodeOutcome::Uncorrectable);
         };
@@ -304,7 +301,10 @@ mod tests {
         let msg = vec![0x3Cu8; 64];
         let mut parity = c.encode(&msg).unwrap();
         let mut recv = msg.clone();
-        assert_eq!(c.decode(&mut recv, &mut parity).unwrap(), DecodeOutcome::Clean);
+        assert_eq!(
+            c.decode(&mut recv, &mut parity).unwrap(),
+            DecodeOutcome::Clean
+        );
         assert_eq!(recv, msg);
     }
 
@@ -366,7 +366,10 @@ mod tests {
         }
         assert_eq!(recv, msg);
         // Corrected parity must re-validate.
-        assert_eq!(c.decode(&mut recv, &mut parity).unwrap(), DecodeOutcome::Clean);
+        assert_eq!(
+            c.decode(&mut recv, &mut parity).unwrap(),
+            DecodeOutcome::Clean
+        );
     }
 
     #[test]
@@ -398,7 +401,10 @@ mod tests {
         let mut short = vec![0u8; 31];
         assert!(matches!(
             c.encode(&short),
-            Err(BchError::BufferSize { what: "message", .. })
+            Err(BchError::BufferSize {
+                what: "message",
+                ..
+            })
         ));
         let mut parity = vec![0u8; c.parity_bytes() + 1];
         assert!(matches!(
@@ -440,8 +446,14 @@ mod tests {
         let last = c.parity_bits() - 1; // final parity bit
         flip(&mut parity, last);
         let out = c.decode(&mut recv, &mut parity).unwrap();
-        assert!(matches!(out, DecodeOutcome::Corrected { bit_errors: 1, .. }));
-        assert_eq!(c.decode(&mut recv, &mut parity).unwrap(), DecodeOutcome::Clean);
+        assert!(matches!(
+            out,
+            DecodeOutcome::Corrected { bit_errors: 1, .. }
+        ));
+        assert_eq!(
+            c.decode(&mut recv, &mut parity).unwrap(),
+            DecodeOutcome::Clean
+        );
     }
 
     #[test]

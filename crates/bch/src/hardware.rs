@@ -212,10 +212,7 @@ mod tests {
     fn decode_cycles_breakdown_consistent() {
         let hw = EccHardware::date2012();
         let c = hw.decode_cycles(n(65), 65);
-        assert_eq!(
-            c.total(),
-            c.alignment + c.syndrome + c.ibm + c.chien
-        );
+        assert_eq!(c.total(), c.alignment + c.syndrome + c.ibm + c.chien);
         // Chien dominates at large t.
         assert!(c.chien > c.syndrome);
         // At t = 3 the syndrome dominates instead.

@@ -64,7 +64,7 @@ impl SyndromeCalculator {
     pub fn compute(&self, message: &[u8], parity: &[u8], parity_bits: usize) -> Vec<u32> {
         let f = &self.field;
         let mut syn = vec![0u32; self.two_t];
-        for i in 0..self.two_t {
+        for (i, syn_i) in syn.iter_mut().enumerate() {
             let fold = self.pow8[i];
             let tbl = &self.tables[i * 256..(i + 1) * 256];
             let mut s = 0u32;
@@ -81,7 +81,7 @@ impl SyndromeCalculator {
                 let bit = parity[full] >> (7 - j) & 1;
                 s = f.mul(s, beta) ^ bit as u32;
             }
-            syn[i] = s;
+            *syn_i = s;
         }
         syn
     }
@@ -185,9 +185,6 @@ mod tests {
         let msg = [0xFFu8; 4];
         let parity = [0x00u8, 0x00];
         let syn = calc.compute(&msg, &parity, 16);
-        assert_eq!(
-            syn,
-            reference_syndromes(&field, 1, &msg, &parity, 16)
-        );
+        assert_eq!(syn, reference_syndromes(&field, 1, &msg, &parity, 16));
     }
 }

@@ -14,8 +14,11 @@ fn bench(c: &mut Criterion) {
     );
     mlcx_bench::banner(
         "Ablation — flash bus rate",
-        &ablation::bus_table(&ablation::bus_rate(&model, &[16.0, 32.0, 66.0, 133.0, 200.0]))
-            .render(),
+        &ablation::bus_table(&ablation::bus_rate(
+            &model,
+            &[16.0, 32.0, 66.0, 133.0, 200.0],
+        ))
+        .render(),
     );
     mlcx_bench::banner(
         "Ablation — buffer load strategy",
@@ -26,7 +29,12 @@ fn bench(c: &mut Criterion) {
         b.iter(|| black_box(ablation::chien_parallelism(&model, &[1, 2, 4, 8, 16])))
     });
     c.bench_function("ablation/bus_sweep", |b| {
-        b.iter(|| black_box(ablation::bus_rate(&model, &[16.0, 32.0, 66.0, 133.0, 200.0])))
+        b.iter(|| {
+            black_box(ablation::bus_rate(
+                &model,
+                &[16.0, 32.0, 66.0, 133.0, 200.0],
+            ))
+        })
     });
 }
 

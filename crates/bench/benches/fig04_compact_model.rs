@@ -7,7 +7,10 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let rows = fig04::generate();
-    mlcx_bench::banner("Fig. 4 — VTH vs VCG staircase", &fig04::table(&rows).render());
+    mlcx_bench::banner(
+        "Fig. 4 — VTH vs VCG staircase",
+        &fig04::table(&rows).render(),
+    );
     println!("fit RMS error: {:.3} V", fig04::rms_error_v());
 
     c.bench_function("fig04/staircase_simulation", |b| {

@@ -3,8 +3,8 @@
 //! a Monte-Carlo validation page.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mlcx_nand::array::ArraySimulator;
 use mlcx_core::experiments::fig05;
+use mlcx_nand::array::ArraySimulator;
 use mlcx_nand::ProgramAlgorithm;
 use std::hint::black_box;
 

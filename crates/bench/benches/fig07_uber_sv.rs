@@ -9,7 +9,10 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let model = mlcx_bench::model();
     let rows = fig07::generate(&model);
-    mlcx_bench::banner("Fig. 7 — UBER vs RBER (ISPP-SV)", &fig07::table(&rows).render());
+    mlcx_bench::banner(
+        "Fig. 7 — UBER vs RBER (ISPP-SV)",
+        &fig07::table(&rows).render(),
+    );
     println!("working points at UBER=1e-11:");
     for (t, rber) in fig07::working_points(&model) {
         println!("  t={t:>2} -> RBER {rber:.3e}");

@@ -9,7 +9,10 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let model = mlcx_bench::model();
     let rows = fig07dv::generate(&model);
-    mlcx_bench::banner("Fig. ?? — UBER vs RBER (ISPP-DV)", &fig07dv::table(&rows).render());
+    mlcx_bench::banner(
+        "Fig. ?? — UBER vs RBER (ISPP-DV)",
+        &fig07dv::table(&rows).render(),
+    );
     println!("working points at UBER=1e-11:");
     for (t, rber) in fig07dv::working_points(&model) {
         println!("  t={t:>2} -> RBER {rber:.3e}");

@@ -29,13 +29,17 @@ fn bench(c: &mut Criterion) {
         for i in 0..t as usize {
             recv[i * 61] ^= 0x10;
         }
-        c.bench_with_input(BenchmarkId::new("fig08/decode_4k_t_errors", t), &t, |b, _| {
-            b.iter(|| {
-                let mut m = recv.clone();
-                let mut p = parity.clone();
-                black_box(codec.code().unwrap().decode(&mut m, &mut p).unwrap())
-            })
-        });
+        c.bench_with_input(
+            BenchmarkId::new("fig08/decode_4k_t_errors", t),
+            &t,
+            |b, _| {
+                b.iter(|| {
+                    let mut m = recv.clone();
+                    let mut p = parity.clone();
+                    black_box(codec.code().unwrap().decode(&mut m, &mut p).unwrap())
+                })
+            },
+        );
     }
 }
 

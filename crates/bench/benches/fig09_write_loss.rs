@@ -9,7 +9,10 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let model = mlcx_bench::model();
     let rows = fig09::generate(&model);
-    mlcx_bench::banner("Fig. 9 — write throughput loss [%]", &fig09::table(&rows).render());
+    mlcx_bench::banner(
+        "Fig. 9 — write throughput loss [%]",
+        &fig09::table(&rows).render(),
+    );
 
     c.bench_function("fig09/write_loss_curve", |b| {
         b.iter(|| black_box(fig09::generate(&model)))

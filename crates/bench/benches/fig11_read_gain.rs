@@ -9,7 +9,10 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let model = mlcx_bench::model();
     let rows = fig11::generate(&model);
-    mlcx_bench::banner("Fig. 11 — read throughput gain [%]", &fig11::table(&rows).render());
+    mlcx_bench::banner(
+        "Fig. 11 — read throughput gain [%]",
+        &fig11::table(&rows).render(),
+    );
     mlcx_bench::banner(
         "Section 6.3.2 — power budget [mW]",
         &power_budget::table(&power_budget::generate(&model)).render(),

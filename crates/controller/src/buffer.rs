@@ -127,7 +127,7 @@ mod tests {
     fn one_round_load() {
         let mut buf = PageBuffer::new(64);
         assert!(!buf.is_full());
-        buf.load(&vec![1u8; 64]).unwrap();
+        buf.load(&[1u8; 64]).unwrap();
         assert!(buf.is_full());
         assert_eq!(buf.contents().len(), 64);
     }
@@ -141,10 +141,10 @@ mod tests {
     #[test]
     fn two_round_chunked_load() {
         let mut buf = PageBuffer::new(64);
-        buf.load_chunk(&vec![1u8; 32]).unwrap();
+        buf.load_chunk(&[1u8; 32]).unwrap();
         assert!(!buf.is_full());
         assert_eq!(buf.valid_bytes(), 32);
-        buf.load_chunk(&vec![2u8; 32]).unwrap();
+        buf.load_chunk(&[2u8; 32]).unwrap();
         assert!(buf.is_full());
         assert_eq!(buf.contents()[0], 1);
         assert_eq!(buf.contents()[63], 2);
@@ -153,7 +153,7 @@ mod tests {
     #[test]
     fn chunk_overflow_rejected() {
         let mut buf = PageBuffer::new(64);
-        buf.load_chunk(&vec![0u8; 60]).unwrap();
+        buf.load_chunk(&[0u8; 60]).unwrap();
         assert_eq!(buf.load_chunk(&[0u8; 8]), Err(4));
     }
 
@@ -168,7 +168,7 @@ mod tests {
     #[test]
     fn reset_empties() {
         let mut buf = PageBuffer::new(16);
-        buf.load(&vec![9u8; 16]).unwrap();
+        buf.load(&[9u8; 16]).unwrap();
         buf.reset();
         assert_eq!(buf.valid_bytes(), 0);
     }

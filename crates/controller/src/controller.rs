@@ -8,7 +8,7 @@ use mlcx_bch::{AdaptiveBch, CodecStats, DecodeOutcome};
 use mlcx_hv::HvSubsystem;
 use mlcx_nand::device::CodeStore;
 use mlcx_nand::ispp::IsppConfig;
-use mlcx_nand::{AgingModel, DeviceGeometry, NandDevice, NandTiming, ProgramAlgorithm};
+use mlcx_nand::{AgingModel, DeviceGeometry, NandDevice, NandTiming, OpReport, ProgramAlgorithm};
 
 use crate::buffer::{LoadStrategy, PageBuffer};
 use crate::error::CtrlError;
@@ -50,6 +50,108 @@ impl ControllerConfig {
             ecc_power: EccPowerModel::date2012(),
             geometry: DeviceGeometry::date2012(),
         }
+    }
+
+    /// A fluent builder seeded with the [`ControllerConfig::date2012`]
+    /// preset; every knob is overridable before [`ControllerConfigBuilder::build`].
+    pub fn builder() -> ControllerConfigBuilder {
+        ControllerConfigBuilder {
+            config: Self::date2012(),
+        }
+    }
+}
+
+/// Fluent construction of a [`ControllerConfig`], starting from the
+/// paper's calibration.
+///
+/// # Example
+///
+/// ```
+/// use mlcx_controller::ControllerConfig;
+///
+/// let config = ControllerConfig::builder().ecc_tmax(40).build()?;
+/// assert_eq!(config.ecc_tmax, 40);
+/// assert_eq!(config.ecc_m, 16); // preset value untouched
+/// # Ok::<(), mlcx_controller::CtrlError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ControllerConfigBuilder {
+    config: ControllerConfig,
+}
+
+impl ControllerConfigBuilder {
+    /// Galois-field degree of the BCH codec.
+    pub fn ecc_m(mut self, m: u32) -> Self {
+        self.config.ecc_m = m;
+        self
+    }
+
+    /// Minimum correction capability.
+    pub fn ecc_tmin(mut self, t: u32) -> Self {
+        self.config.ecc_tmin = t;
+        self
+    }
+
+    /// Maximum correction capability.
+    pub fn ecc_tmax(mut self, t: u32) -> Self {
+        self.config.ecc_tmax = t;
+        self
+    }
+
+    /// Socket interface parameters.
+    pub fn ocp(mut self, ocp: OcpSocket) -> Self {
+        self.config.ocp = ocp;
+        self
+    }
+
+    /// Flash bus parameters.
+    pub fn flash_if(mut self, flash_if: FlashInterface) -> Self {
+        self.config.flash_if = flash_if;
+        self
+    }
+
+    /// ECC hardware latency parameters.
+    pub fn ecc_hw(mut self, hw: EccHardware) -> Self {
+        self.config.ecc_hw = hw;
+        self
+    }
+
+    /// ECC power model.
+    pub fn ecc_power(mut self, power: EccPowerModel) -> Self {
+        self.config.ecc_power = power;
+        self
+    }
+
+    /// Device geometry.
+    pub fn geometry(mut self, geometry: DeviceGeometry) -> Self {
+        self.config.geometry = geometry;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CtrlError::InvalidConfig`] when the capability range is empty,
+    /// the field degree is outside 2..=16, or the geometry is degenerate.
+    pub fn build(self) -> Result<ControllerConfig, CtrlError> {
+        let c = &self.config;
+        if c.ecc_tmin == 0 || c.ecc_tmin > c.ecc_tmax {
+            return Err(CtrlError::InvalidConfig {
+                reason: format!("empty capability range {}..={}", c.ecc_tmin, c.ecc_tmax),
+            });
+        }
+        if !(2..=16).contains(&c.ecc_m) {
+            return Err(CtrlError::InvalidConfig {
+                reason: format!("field degree m = {} outside 2..=16", c.ecc_m),
+            });
+        }
+        if c.geometry.blocks == 0 || c.geometry.pages_per_block == 0 || c.geometry.page_bytes == 0 {
+            return Err(CtrlError::InvalidConfig {
+                reason: "degenerate device geometry".into(),
+            });
+        }
+        Ok(self.config)
     }
 }
 
@@ -240,16 +342,83 @@ impl MemoryController {
         Ok(())
     }
 
-    /// Erases a block.
+    /// Erases a block, reporting the device's timing/energy cost.
     ///
     /// # Errors
     ///
     /// Device errors propagate.
-    pub fn erase_block(&mut self, block: usize) -> Result<(), CtrlError> {
-        self.device.erase_block(block)?;
+    pub fn erase_block(&mut self, block: usize) -> Result<OpReport, CtrlError> {
+        let report = self.device.erase_block(block)?;
         // Page metadata of the erased block is void.
         self.page_ecc.retain(|&(b, _), _| b != block);
+        Ok(report)
+    }
+
+    /// Drops the ECC metadata of one page (host trim/discard), returning
+    /// whether the page was mapped. Subsequent reads of the page fail
+    /// with [`CtrlError::UnknownPageConfig`] until it is rewritten.
+    pub fn trim_page(&mut self, block: usize, page: usize) -> bool {
+        self.page_ecc.remove(&(block, page)).is_some()
+    }
+
+    /// Applies a full cross-layer operating point in one command round,
+    /// skipping the register writes whose value is already current — the
+    /// batch datapath's fast reconfiguration entry point.
+    ///
+    /// # Errors
+    ///
+    /// Knob errors propagate exactly as through [`MemoryController::apply`].
+    pub fn apply_point(
+        &mut self,
+        algorithm: ProgramAlgorithm,
+        correction: u32,
+    ) -> Result<(), CtrlError> {
+        if self.algorithm() != algorithm {
+            self.apply(ConfigCommand::SetAlgorithm(algorithm))?;
+        }
+        if self.correction() != correction {
+            self.apply(ConfigCommand::SetCorrection(correction))?;
+        }
         Ok(())
+    }
+
+    /// Batch write entry point: programs `(page, data)` pairs into
+    /// `block` under the current configuration, stopping at the first
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// The first per-page error aborts the remainder of the batch; pages
+    /// programmed before the failure stay programmed (their reports are
+    /// not returned — use per-page [`MemoryController::write_page`] or
+    /// the engine's completion-per-command model when partial-failure
+    /// accounting matters).
+    pub fn write_pages(
+        &mut self,
+        block: usize,
+        pages: &[(usize, &[u8])],
+    ) -> Result<Vec<WriteReport>, CtrlError> {
+        pages
+            .iter()
+            .map(|&(page, data)| self.write_page(block, page, data))
+            .collect()
+    }
+
+    /// Batch read entry point: reads the listed pages of `block`,
+    /// stopping at the first error.
+    ///
+    /// # Errors
+    ///
+    /// The first per-page error aborts the remainder of the batch.
+    pub fn read_pages(
+        &mut self,
+        block: usize,
+        pages: &[usize],
+    ) -> Result<Vec<ReadReport>, CtrlError> {
+        pages
+            .iter()
+            .map(|&page| self.read_page(block, page))
+            .collect()
     }
 
     /// Ages a block to a wear point (lifetime experiments).
@@ -446,9 +615,7 @@ mod tests {
         assert_eq!(ctrl.algorithm(), ProgramAlgorithm::IsppDv);
         assert_eq!(ctrl.correction(), 14);
         assert!(ctrl.regs().status().ecc_reconfigured);
-        assert!(ctrl
-            .apply(ConfigCommand::SetCorrection(66))
-            .is_err());
+        assert!(ctrl.apply(ConfigCommand::SetCorrection(66)).is_err());
     }
 
     #[test]
@@ -498,6 +665,83 @@ mod tests {
         ctrl.erase_block(1).unwrap();
         let two = ctrl.write_page(1, 0, &data).unwrap();
         assert!(two.load_s < one.load_s);
+    }
+
+    #[test]
+    fn trim_unmaps_single_pages() {
+        let mut ctrl = controller();
+        ctrl.erase_block(0).unwrap();
+        let data = vec![9u8; 4096];
+        ctrl.write_page(0, 0, &data).unwrap();
+        ctrl.write_page(0, 1, &data).unwrap();
+        assert!(ctrl.trim_page(0, 0));
+        assert!(!ctrl.trim_page(0, 0), "second trim is a no-op");
+        assert!(matches!(
+            ctrl.read_page(0, 0),
+            Err(CtrlError::UnknownPageConfig { .. })
+        ));
+        // The sibling page is untouched.
+        assert_eq!(ctrl.read_page(0, 1).unwrap().data, data);
+    }
+
+    #[test]
+    fn apply_point_skips_redundant_register_writes() {
+        let mut ctrl = controller();
+        let base = ctrl.regs().commands_applied();
+        ctrl.apply_point(ProgramAlgorithm::IsppDv, 14).unwrap();
+        assert_eq!(ctrl.regs().commands_applied() - base, 2);
+        ctrl.apply_point(ProgramAlgorithm::IsppDv, 14).unwrap();
+        assert_eq!(
+            ctrl.regs().commands_applied() - base,
+            2,
+            "no-change round must not touch the registers"
+        );
+        ctrl.apply_point(ProgramAlgorithm::IsppDv, 20).unwrap();
+        assert_eq!(ctrl.regs().commands_applied() - base, 3);
+        assert_eq!(ctrl.correction(), 20);
+        assert_eq!(ctrl.algorithm(), ProgramAlgorithm::IsppDv);
+    }
+
+    #[test]
+    fn batch_entry_points_round_trip() {
+        let mut ctrl = controller();
+        ctrl.erase_block(0).unwrap();
+        let pages: Vec<Vec<u8>> = (0..4).map(|p| vec![p as u8; 4096]).collect();
+        let writes: Vec<(usize, &[u8])> =
+            pages.iter().enumerate().map(|(p, d)| (p, &d[..])).collect();
+        let wrote = ctrl.write_pages(0, &writes).unwrap();
+        assert_eq!(wrote.len(), 4);
+        let reads = ctrl.read_pages(0, &[0, 1, 2, 3]).unwrap();
+        for (p, r) in reads.iter().enumerate() {
+            assert_eq!(r.data, pages[p]);
+        }
+        // First error aborts the remainder.
+        assert!(ctrl.read_pages(0, &[0, 60, 1]).is_err());
+    }
+
+    #[test]
+    fn config_builder_presets_and_validation() {
+        let config = ControllerConfig::builder()
+            .ecc_tmin(5)
+            .ecc_tmax(30)
+            .build()
+            .unwrap();
+        assert_eq!((config.ecc_tmin, config.ecc_tmax), (5, 30));
+        assert_eq!(config.ecc_m, 16, "preset fields survive");
+        assert!(MemoryController::new(config, 1).is_ok());
+
+        assert!(matches!(
+            ControllerConfig::builder().ecc_tmin(0).build(),
+            Err(CtrlError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            ControllerConfig::builder().ecc_tmax(2).build(),
+            Err(CtrlError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            ControllerConfig::builder().ecc_m(17).build(),
+            Err(CtrlError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

@@ -37,6 +37,11 @@ pub enum CtrlError {
         /// Offending page.
         page: usize,
     },
+    /// A builder was asked to produce an inconsistent configuration.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CtrlError {
@@ -55,7 +60,13 @@ impl fmt::Display for CtrlError {
                 write!(f, "host buffer is {actual} bytes, expected {expected}")
             }
             CtrlError::UnknownPageConfig { block, page } => {
-                write!(f, "page {page} of block {block} has no recorded ECC configuration")
+                write!(
+                    f,
+                    "page {page} of block {block} has no recorded ECC configuration"
+                )
+            }
+            CtrlError::InvalidConfig { reason } => {
+                write!(f, "invalid controller configuration: {reason}")
             }
         }
     }

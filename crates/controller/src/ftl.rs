@@ -148,8 +148,7 @@ impl Ftl {
         for block in 0..geometry.blocks {
             ctrl.erase_block(block)?;
         }
-        let states =
-            vec![vec![PageState::Erased; geometry.pages_per_block]; geometry.blocks];
+        let states = vec![vec![PageState::Erased; geometry.pages_per_block]; geometry.blocks];
         // Keep one block of headroom for garbage collection.
         let capacity_pages = (geometry.blocks - 1) * geometry.pages_per_block;
         Ok(Ftl {
@@ -224,10 +223,7 @@ impl Ftl {
     ///
     /// [`FtlError::NotWritten`] for unmapped pages; controller errors.
     pub fn read(&mut self, lpn: usize) -> Result<Vec<u8>, FtlError> {
-        let &(block, page) = self
-            .map
-            .get(&lpn)
-            .ok_or(FtlError::NotWritten { lpn })?;
+        let &(block, page) = self.map.get(&lpn).ok_or(FtlError::NotWritten { lpn })?;
         let report = self.ctrl.read_page(block, page)?;
         Ok(report.data)
     }
@@ -256,7 +252,7 @@ impl Ftl {
         for (b, pages) in self.states.iter().enumerate() {
             if pages.iter().all(|s| *s == PageState::Erased) {
                 let cycles = self.ctrl.device().block_cycles(b)?;
-                if best.map_or(true, |(c, _)| cycles < c) {
+                if best.is_none_or(|(c, _)| cycles < c) {
                     best = Some((cycles, b));
                 }
             }
@@ -365,7 +361,9 @@ mod tests {
     }
 
     fn page(tag: u8) -> Vec<u8> {
-        (0..4096).map(|i| (i as u8).wrapping_mul(tag).wrapping_add(tag)).collect()
+        (0..4096)
+            .map(|i| (i as u8).wrapping_mul(tag).wrapping_add(tag))
+            .collect()
     }
 
     #[test]
@@ -407,11 +405,15 @@ mod tests {
         // reclaim stale versions indefinitely.
         for round in 0..30u32 {
             for lpn in 0..4 {
-                ftl.write(lpn, &page((round % 7 + lpn as u32 + 1) as u8)).unwrap();
+                ftl.write(lpn, &page((round % 7 + lpn as u32 + 1) as u8))
+                    .unwrap();
             }
         }
         for lpn in 0..4 {
-            assert_eq!(ftl.read(lpn).unwrap(), page((29 % 7 + lpn as u32 + 1) as u8));
+            assert_eq!(
+                ftl.read(lpn).unwrap(),
+                page((29 % 7 + lpn as u32 + 1) as u8)
+            );
         }
         let stats = ftl.stats();
         assert!(stats.gc_runs > 0, "GC must have run");

@@ -54,7 +54,9 @@ pub mod regs;
 pub mod reliability;
 pub mod throughput;
 
-pub use controller::{ControllerConfig, MemoryController, ReadReport, WriteReport};
+pub use controller::{
+    ControllerConfig, ControllerConfigBuilder, MemoryController, ReadReport, WriteReport,
+};
 pub use error::CtrlError;
 pub use regs::{ConfigCommand, RegisterFile, ServiceLevel, StatusFlags};
 pub use reliability::{ReliabilityManager, ReliabilityPolicy};

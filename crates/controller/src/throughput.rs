@@ -125,7 +125,11 @@ mod tests {
         let path = read_path(&t, &bus, &hw, K, 16 * 65, 65);
         assert!(path.decode_s > path.sense_s);
         assert!(path.decode_s > 140e-6);
-        assert!((350e-6..400e-6).contains(&path.total_s()), "{}", path.total_s());
+        assert!(
+            (350e-6..400e-6).contains(&path.total_s()),
+            "{}",
+            path.total_s()
+        );
     }
 
     #[test]

@@ -1,0 +1,1120 @@
+//! The command-queue storage engine — the host-facing API of the stack.
+//!
+//! [`StorageEngine`] fronts the adaptive memory controller with an
+//! NVMe-style submission/completion interface: the host registers named
+//! *services* (block regions bound to a cross-layer [`Objective`]),
+//! enqueues typed [`Command`]s in batches with [`StorageEngine::submit`],
+//! and drains results with [`StorageEngine::poll`], which executes the
+//! queued work through the real controller datapath (functional BCH
+//! encode/decode, error-injected NAND model, calibrated latencies) and
+//! returns one [`Completion`] per command plus an aggregate
+//! [`BatchReport`] of modeled latency, energy and throughput.
+//!
+//! The engine is also where the cross-layer re-derivation cost is paid
+//! once instead of per page: the operating point selected by a service's
+//! objective at a wear level is memoized per `(service, wear bucket)`
+//! ([`WearBucketing`]), and the controller knobs are only rewritten when
+//! the point actually changes ([`MemoryController::apply_point`]). A
+//! 64-page batch on a same-wear block derives its schedule once, where
+//! the legacy per-page [`ServicedStore`](crate::services::ServicedStore)
+//! path re-derives it 64 times (both paths skip register writes whose
+//! value is already current).
+//!
+//! # Example
+//!
+//! ```
+//! use mlcx_core::engine::{Command, EngineBuilder};
+//! use mlcx_core::Objective;
+//!
+//! let mut engine = EngineBuilder::date2012().seed(7).build()?;
+//! let media = engine.register_service("media", Objective::MaxReadThroughput, 0..8)?;
+//!
+//! let data = vec![0x5Au8; 4096];
+//! engine.submit(&[
+//!     Command::erase(media, 0),
+//!     Command::write(media, 0, 0, data.clone()),
+//!     Command::read(media, 0, 0),
+//! ])?;
+//! let completions = engine.poll();
+//! assert_eq!(completions.len(), 3);
+//! assert!(completions.iter().all(|c| c.result.is_ok()));
+//! let report = engine.last_batch();
+//! assert!(report.device_latency_s > 0.0 && report.energy_j > 0.0);
+//! # Ok::<(), mlcx_core::MlcxError>(())
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::ops::Range;
+
+use mlcx_controller::{ControllerConfig, MemoryController, ReadReport, WriteReport};
+
+use crate::error::MlcxError;
+use crate::model::{OperatingPoint, SubsystemModel};
+use crate::policy::Objective;
+use crate::services::{ServiceError, ServiceRegion, ServiceStats};
+
+/// An opaque ticket naming a registered service.
+///
+/// Handles are bound to the engine that issued them: a handle from a
+/// different [`StorageEngine`] instance is rejected with
+/// [`MlcxError::UnknownHandle`] even when its index happens to be in
+/// range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ServiceHandle {
+    engine: u32,
+    index: u32,
+}
+
+impl ServiceHandle {
+    /// The raw index (diagnostics only).
+    pub fn index(self) -> u32 {
+        self.index
+    }
+}
+
+impl fmt::Display for ServiceHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "svc#{}", self.index)
+    }
+}
+
+/// An opaque ticket naming one submitted command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CmdId(u64);
+
+impl CmdId {
+    /// The raw sequence number (diagnostics only).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for CmdId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cmd#{}", self.0)
+    }
+}
+
+/// One host command, tagged with the service it runs under.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Read one page.
+    Read {
+        /// Issuing service.
+        service: ServiceHandle,
+        /// Target block.
+        block: usize,
+        /// Target page.
+        page: usize,
+    },
+    /// Write one page.
+    Write {
+        /// Issuing service.
+        service: ServiceHandle,
+        /// Target block.
+        block: usize,
+        /// Target page.
+        page: usize,
+        /// Exactly one page of data.
+        data: Vec<u8>,
+    },
+    /// Erase one block.
+    Erase {
+        /// Issuing service.
+        service: ServiceHandle,
+        /// Target block.
+        block: usize,
+    },
+    /// Discard one page's mapping (its ECC metadata) without touching
+    /// the medium.
+    Trim {
+        /// Issuing service.
+        service: ServiceHandle,
+        /// Target block.
+        block: usize,
+        /// Target page.
+        page: usize,
+    },
+    /// Re-bind the service to a different cross-layer objective.
+    Configure {
+        /// Issuing service.
+        service: ServiceHandle,
+        /// The new objective.
+        objective: Objective,
+    },
+}
+
+impl Command {
+    /// A read command.
+    pub fn read(service: ServiceHandle, block: usize, page: usize) -> Self {
+        Command::Read {
+            service,
+            block,
+            page,
+        }
+    }
+
+    /// A write command.
+    pub fn write(service: ServiceHandle, block: usize, page: usize, data: Vec<u8>) -> Self {
+        Command::Write {
+            service,
+            block,
+            page,
+            data,
+        }
+    }
+
+    /// An erase command.
+    pub fn erase(service: ServiceHandle, block: usize) -> Self {
+        Command::Erase { service, block }
+    }
+
+    /// A trim command.
+    pub fn trim(service: ServiceHandle, block: usize, page: usize) -> Self {
+        Command::Trim {
+            service,
+            block,
+            page,
+        }
+    }
+
+    /// A reconfiguration command.
+    pub fn configure(service: ServiceHandle, objective: Objective) -> Self {
+        Command::Configure { service, objective }
+    }
+
+    /// The service the command runs under.
+    pub fn service(&self) -> ServiceHandle {
+        match *self {
+            Command::Read { service, .. }
+            | Command::Write { service, .. }
+            | Command::Erase { service, .. }
+            | Command::Trim { service, .. }
+            | Command::Configure { service, .. } => service,
+        }
+    }
+}
+
+/// The successful result payload of one command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CommandOutput {
+    /// Read result: corrected data plus the latency/energy breakdown.
+    Read(ReadReport),
+    /// Write result: the latency/energy breakdown and configuration used.
+    Write(WriteReport),
+    /// Erase result: device busy time and energy.
+    Erase {
+        /// Erase busy time, seconds.
+        duration_s: f64,
+        /// Erase energy, joules.
+        energy_j: f64,
+    },
+    /// Trim result.
+    Trim {
+        /// Whether the page was mapped before the trim.
+        was_mapped: bool,
+    },
+    /// Reconfiguration result.
+    Configure {
+        /// The objective the service was bound to before.
+        previous: Objective,
+    },
+}
+
+/// One completed command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// The ticket [`StorageEngine::submit`] returned for the command.
+    pub id: CmdId,
+    /// The service the command ran under.
+    pub service: ServiceHandle,
+    /// The command's outcome.
+    pub result: Result<CommandOutput, MlcxError>,
+}
+
+/// Aggregate accounting of one [`StorageEngine::poll`] drain.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BatchReport {
+    /// Commands executed.
+    pub commands: usize,
+    /// Commands that completed successfully.
+    pub succeeded: usize,
+    /// Commands that completed with an error.
+    pub failed: usize,
+    /// Total modeled datapath latency, seconds (sequential device time).
+    pub device_latency_s: f64,
+    /// Portion of [`BatchReport::device_latency_s`] spent in reads.
+    pub read_latency_s: f64,
+    /// Portion of [`BatchReport::device_latency_s`] spent in writes.
+    pub write_latency_s: f64,
+    /// Total modeled energy, joules.
+    pub energy_j: f64,
+    /// Payload bytes read.
+    pub bytes_read: usize,
+    /// Payload bytes written.
+    pub bytes_written: usize,
+    /// Raw bit errors corrected by the ECC across the batch.
+    pub corrected_bits: u64,
+    /// Operating points served from the memo cache.
+    pub op_cache_hits: u64,
+    /// Operating points derived from the model.
+    pub op_cache_misses: u64,
+    /// Configuration register writes actually issued.
+    pub knob_writes: u64,
+}
+
+impl BatchReport {
+    /// Modeled read throughput over the batch's read time, MB/s (0 if
+    /// no reads).
+    pub fn read_mbps(&self) -> f64 {
+        if self.read_latency_s <= 0.0 {
+            return 0.0;
+        }
+        self.bytes_read as f64 / self.read_latency_s / 1e6
+    }
+
+    /// Modeled write throughput over the batch's write time, MB/s (0 if
+    /// no writes).
+    pub fn write_mbps(&self) -> f64 {
+        if self.write_latency_s <= 0.0 {
+            return 0.0;
+        }
+        self.bytes_written as f64 / self.write_latency_s / 1e6
+    }
+
+    fn absorb(&mut self, duration_s: f64, energy_j: f64) {
+        self.device_latency_s += duration_s;
+        self.energy_j += energy_j;
+    }
+}
+
+/// How the engine buckets wear levels when memoizing operating points.
+///
+/// The ECC schedule is a monotone step function of wear, so coarse
+/// buckets are safe as long as the point is derived at the bucket's
+/// *upper* edge (the capability can only be conservative within the
+/// bucket).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WearBucketing {
+    /// No memoization: re-derive on every command. This is the legacy
+    /// [`ServicedStore`](crate::services::ServicedStore) behaviour.
+    PerPage,
+    /// Memoize on the exact cycle count: every same-wear command after
+    /// the first is a cache hit, and the selected point is identical to
+    /// [`WearBucketing::PerPage`].
+    #[default]
+    Exact,
+    /// Memoize on power-of-two wear buckets, deriving at the bucket's
+    /// upper edge: at most 21 derivations per service over a 10^6-cycle
+    /// life, at the price of a slightly conservative (never weaker)
+    /// capability inside each bucket.
+    Log2,
+}
+
+impl WearBucketing {
+    /// `(cache key, wear to derive at)` for a wear level.
+    fn bucket(self, wear: u64) -> (u64, u64) {
+        match self {
+            WearBucketing::PerPage | WearBucketing::Exact => (wear, wear),
+            WearBucketing::Log2 => {
+                let key = 64 - u64::from(wear.leading_zeros());
+                let upper = if key >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << key) - 1
+                };
+                (key, upper.max(1))
+            }
+        }
+    }
+}
+
+struct ServiceState {
+    region: ServiceRegion,
+    stats: ServiceStats,
+    queue: VecDeque<(CmdId, Command)>,
+    /// Memoized operating point as `(wear-bucket key, point)`. One slot
+    /// suffices: wear only moves forward, so an evicted bucket would
+    /// never be hit again anyway, and the slot keeps the cache O(1) per
+    /// service over the whole device lifetime.
+    op_slot: Option<(u64, OperatingPoint)>,
+}
+
+/// Fluent construction of a [`StorageEngine`].
+///
+/// # Example
+///
+/// ```
+/// use mlcx_core::engine::{EngineBuilder, WearBucketing};
+/// use mlcx_core::SubsystemModel;
+///
+/// let engine = EngineBuilder::date2012()
+///     .seed(99)
+///     .model(SubsystemModel::builder().uber_target(1e-13).build()?)
+///     .wear_bucketing(WearBucketing::Log2)
+///     .build()?;
+/// assert_eq!(engine.model().uber_target, 1e-13);
+/// # Ok::<(), mlcx_core::MlcxError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    config: ControllerConfig,
+    model: SubsystemModel,
+    seed: u64,
+    bucketing: WearBucketing,
+}
+
+impl EngineBuilder {
+    /// A builder seeded with the paper's full calibration.
+    pub fn date2012() -> Self {
+        EngineBuilder {
+            config: ControllerConfig::date2012(),
+            model: SubsystemModel::date2012(),
+            seed: 2012,
+            bucketing: WearBucketing::default(),
+        }
+    }
+
+    /// Overrides the controller configuration.
+    pub fn controller_config(mut self, config: ControllerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Overrides the cross-layer subsystem model.
+    pub fn model(mut self, model: SubsystemModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Seeds the device's error-injection stream.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the operating-point memoization policy.
+    pub fn wear_bucketing(mut self, bucketing: WearBucketing) -> Self {
+        self.bucketing = bucketing;
+        self
+    }
+
+    /// Builds the engine and its controller/device pair.
+    ///
+    /// # Errors
+    ///
+    /// [`MlcxError::InvalidConfig`] when the model and the controller
+    /// configuration disagree (the model would schedule capabilities or
+    /// codeword shapes the codec cannot execute); controller
+    /// construction errors (codec build, spare overflow) surface as
+    /// [`MlcxError::Ctrl`].
+    pub fn build(self) -> Result<StorageEngine, MlcxError> {
+        let (model, config) = (&self.model, &self.config);
+        if model.tmax > config.ecc_tmax || model.tmin < config.ecc_tmin {
+            return Err(MlcxError::InvalidConfig {
+                reason: format!(
+                    "model capability range {}..={} exceeds the codec's {}..={}",
+                    model.tmin, model.tmax, config.ecc_tmin, config.ecc_tmax
+                ),
+            });
+        }
+        if model.ecc_m != config.ecc_m {
+            return Err(MlcxError::InvalidConfig {
+                reason: format!(
+                    "model field degree m = {} differs from the codec's m = {}",
+                    model.ecc_m, config.ecc_m
+                ),
+            });
+        }
+        if model.k_bits != config.geometry.page_bytes * 8 {
+            return Err(MlcxError::InvalidConfig {
+                reason: format!(
+                    "model message length {} bits differs from the {}-byte page",
+                    model.k_bits, config.geometry.page_bytes
+                ),
+            });
+        }
+        let ctrl = MemoryController::new(self.config, self.seed)?;
+        Ok(StorageEngine::with_bucketing(
+            ctrl,
+            self.model,
+            self.bucketing,
+        ))
+    }
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        Self::date2012()
+    }
+}
+
+/// The command-queue storage engine (see the [module docs](self)).
+pub struct StorageEngine {
+    /// Identifies this instance so handles cannot cross engines.
+    engine_id: u32,
+    ctrl: MemoryController,
+    model: SubsystemModel,
+    services: Vec<ServiceState>,
+    bucketing: WearBucketing,
+    next_id: u64,
+    last_batch: BatchReport,
+}
+
+/// Source of per-instance engine ids (handle provenance checks).
+static NEXT_ENGINE_ID: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+
+impl StorageEngine {
+    /// A builder seeded with the paper's calibration.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::date2012()
+    }
+
+    /// Wraps an existing controller/model pair with the default
+    /// ([`WearBucketing::Exact`]) memoization policy.
+    pub fn new(ctrl: MemoryController, model: SubsystemModel) -> Self {
+        Self::with_bucketing(ctrl, model, WearBucketing::default())
+    }
+
+    /// Wraps an existing controller/model pair with an explicit
+    /// memoization policy.
+    pub fn with_bucketing(
+        ctrl: MemoryController,
+        model: SubsystemModel,
+        bucketing: WearBucketing,
+    ) -> Self {
+        StorageEngine {
+            engine_id: NEXT_ENGINE_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            ctrl,
+            model,
+            services: Vec::new(),
+            bucketing,
+            next_id: 0,
+            last_batch: BatchReport::default(),
+        }
+    }
+
+    fn handle_for(&self, index: usize) -> ServiceHandle {
+        ServiceHandle {
+            engine: self.engine_id,
+            index: index as u32,
+        }
+    }
+
+    /// Registers a service region and returns its handle.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Overlap`] (as [`MlcxError::Service`]) when the
+    /// block range collides with an existing region.
+    pub fn register_service(
+        &mut self,
+        name: &str,
+        objective: Objective,
+        blocks: Range<usize>,
+    ) -> Result<ServiceHandle, MlcxError> {
+        for existing in &self.services {
+            if blocks.start < existing.region.blocks.end
+                && existing.region.blocks.start < blocks.end
+            {
+                return Err(ServiceError::Overlap {
+                    existing: existing.region.name.clone(),
+                    incoming: name.to_string(),
+                }
+                .into());
+            }
+        }
+        let handle = self.handle_for(self.services.len());
+        self.services.push(ServiceState {
+            region: ServiceRegion {
+                name: name.to_string(),
+                objective,
+                blocks,
+            },
+            stats: ServiceStats::default(),
+            queue: VecDeque::new(),
+            op_slot: None,
+        });
+        Ok(handle)
+    }
+
+    /// Looks a service up by name.
+    pub fn service(&self, name: &str) -> Option<ServiceHandle> {
+        self.services
+            .iter()
+            .position(|s| s.region.name == name)
+            .map(|i| self.handle_for(i))
+    }
+
+    /// The region a handle is bound to.
+    ///
+    /// # Errors
+    ///
+    /// [`MlcxError::UnknownHandle`] for foreign handles.
+    pub fn region(&self, handle: ServiceHandle) -> Result<&ServiceRegion, MlcxError> {
+        self.state(handle).map(|s| &s.region)
+    }
+
+    /// All registered regions, in registration (handle) order.
+    pub fn regions(&self) -> impl Iterator<Item = &ServiceRegion> {
+        self.services.iter().map(|s| &s.region)
+    }
+
+    /// Traffic counters of a service.
+    ///
+    /// # Errors
+    ///
+    /// [`MlcxError::UnknownHandle`] for foreign handles.
+    pub fn stats(&self, handle: ServiceHandle) -> Result<ServiceStats, MlcxError> {
+        self.state(handle).map(|s| s.stats)
+    }
+
+    /// The wrapped controller (wear inspection etc.).
+    pub fn controller(&self) -> &MemoryController {
+        &self.ctrl
+    }
+
+    /// Mutable controller access (aging blocks in experiments).
+    pub fn controller_mut(&mut self) -> &mut MemoryController {
+        &mut self.ctrl
+    }
+
+    /// The cross-layer model driving configuration decisions.
+    pub fn model(&self) -> &SubsystemModel {
+        &self.model
+    }
+
+    /// Commands enqueued but not yet polled.
+    pub fn pending(&self) -> usize {
+        self.services.iter().map(|s| s.queue.len()).sum()
+    }
+
+    /// Accounting of the most recent [`StorageEngine::poll`] drain.
+    pub fn last_batch(&self) -> &BatchReport {
+        &self.last_batch
+    }
+
+    fn state(&self, handle: ServiceHandle) -> Result<&ServiceState, MlcxError> {
+        if handle.engine != self.engine_id {
+            return Err(MlcxError::UnknownHandle {
+                handle: handle.index,
+            });
+        }
+        self.services
+            .get(handle.index as usize)
+            .ok_or(MlcxError::UnknownHandle {
+                handle: handle.index,
+            })
+    }
+
+    /// Validates a command against the service directory and geometry.
+    fn validate(&self, cmd: &Command) -> Result<(), MlcxError> {
+        let state = self.state(cmd.service())?;
+        let region = &state.region;
+        let check_block = |block: usize| -> Result<(), MlcxError> {
+            if !region.blocks.contains(&block) {
+                return Err(ServiceError::OutOfRegion {
+                    name: region.name.clone(),
+                    block,
+                }
+                .into());
+            }
+            Ok(())
+        };
+        match cmd {
+            Command::Read { block, .. }
+            | Command::Erase { block, .. }
+            | Command::Trim { block, .. } => check_block(*block),
+            Command::Write { block, data, .. } => {
+                check_block(*block)?;
+                let expected = self.ctrl.config().geometry.page_bytes;
+                if data.len() != expected {
+                    return Err(MlcxError::PageSize {
+                        expected,
+                        actual: data.len(),
+                    });
+                }
+                Ok(())
+            }
+            Command::Configure { .. } => Ok(()),
+        }
+    }
+
+    /// Enqueues a batch of commands onto their services' submission
+    /// queues, returning one ticket per command (in order).
+    ///
+    /// Submission is atomic: every command is validated first, and a
+    /// rejected command leaves no part of the batch enqueued.
+    ///
+    /// # Errors
+    ///
+    /// [`MlcxError::UnknownHandle`], [`MlcxError::Service`]
+    /// (out-of-region targets) or [`MlcxError::PageSize`] from
+    /// validation.
+    pub fn submit(&mut self, commands: &[Command]) -> Result<Vec<CmdId>, MlcxError> {
+        self.submit_owned(commands.to_vec())
+    }
+
+    /// [`StorageEngine::submit`], taking ownership of the commands —
+    /// write payloads are moved into the queues instead of cloned.
+    ///
+    /// # Errors
+    ///
+    /// As for [`StorageEngine::submit`]; on error the commands are
+    /// dropped without being enqueued.
+    pub fn submit_owned(&mut self, commands: Vec<Command>) -> Result<Vec<CmdId>, MlcxError> {
+        for cmd in &commands {
+            self.validate(cmd)?;
+        }
+        let mut ids = Vec::with_capacity(commands.len());
+        for cmd in commands {
+            let id = CmdId(self.next_id);
+            self.next_id += 1;
+            let idx = cmd.service().index as usize;
+            self.services[idx].queue.push_back((id, cmd));
+            ids.push(id);
+        }
+        Ok(ids)
+    }
+
+    /// Drains every submission queue through the controller datapath and
+    /// returns the completions in execution order.
+    ///
+    /// Scheduling is *service-major*: each service's queue is drained to
+    /// completion (FIFO) before the next service's begins. Grouping a
+    /// mixed batch by service keeps each service's (algorithm, t)
+    /// configuration — and the codec working set it selects — resident
+    /// across consecutive commands, instead of ping-ponging them at
+    /// every host-order alternation; this is where the batched path's
+    /// throughput edge over per-page sequential calls comes from, on top
+    /// of the memoized operating-point derivation. Commands correlate
+    /// back to the submission through their [`CmdId`]s.
+    ///
+    /// Per-command failures are reported inside the corresponding
+    /// [`Completion`]; they never abort the rest of the batch. Aggregate
+    /// accounting for the drain is available from
+    /// [`StorageEngine::last_batch`] afterwards.
+    pub fn poll(&mut self) -> Vec<Completion> {
+        self.last_batch = BatchReport::default();
+        let mut completions = Vec::new();
+        for idx in 0..self.services.len() {
+            while let Some((id, cmd)) = self.services[idx].queue.pop_front() {
+                let service = self.handle_for(idx);
+                let result = self.execute_validated(idx, cmd);
+                self.last_batch.commands += 1;
+                match &result {
+                    Ok(_) => self.last_batch.succeeded += 1,
+                    Err(_) => self.last_batch.failed += 1,
+                }
+                completions.push(Completion {
+                    id,
+                    service,
+                    result,
+                });
+            }
+        }
+        completions
+    }
+
+    /// Validates and executes one command immediately, bypassing the
+    /// queues — the synchronous convenience path (and the substrate of
+    /// the legacy [`ServicedStore`](crate::services::ServicedStore)
+    /// shim). Does not touch [`StorageEngine::last_batch`] accounting.
+    ///
+    /// # Errors
+    ///
+    /// Validation and datapath errors, as for submit + poll.
+    pub fn execute(&mut self, cmd: Command) -> Result<CommandOutput, MlcxError> {
+        self.validate(&cmd)?;
+        let idx = cmd.service().index as usize;
+        let mut saved = std::mem::take(&mut self.last_batch);
+        let result = self.execute_validated(idx, cmd);
+        std::mem::swap(&mut self.last_batch, &mut saved);
+        result
+    }
+
+    /// The operating point a service runs at a wear level, memoized per
+    /// the engine's [`WearBucketing`] policy.
+    fn operating_point(&mut self, idx: usize, wear: u64) -> OperatingPoint {
+        let objective = self.services[idx].region.objective;
+        if self.bucketing == WearBucketing::PerPage {
+            self.last_batch.op_cache_misses += 1;
+            return self.model.configure(objective, wear);
+        }
+        let (key, derive_at) = self.bucketing.bucket(wear);
+        if let Some((cached_key, op)) = self.services[idx].op_slot {
+            if cached_key == key {
+                self.last_batch.op_cache_hits += 1;
+                return op;
+            }
+        }
+        self.last_batch.op_cache_misses += 1;
+        let op = self.model.configure(objective, derive_at);
+        self.services[idx].op_slot = Some((key, op));
+        op
+    }
+
+    fn execute_validated(&mut self, idx: usize, cmd: Command) -> Result<CommandOutput, MlcxError> {
+        match cmd {
+            Command::Write {
+                block, page, data, ..
+            } => {
+                let wear = self.ctrl.device().block_cycles(block)?.max(1);
+                let op = self.operating_point(idx, wear);
+                let before = self.ctrl.regs().commands_applied();
+                self.ctrl.apply_point(op.algorithm, op.correction)?;
+                self.last_batch.knob_writes += self.ctrl.regs().commands_applied() - before;
+                let report = self.ctrl.write_page(block, page, &data)?;
+                self.last_batch.absorb(report.latency_s, report.energy_j);
+                self.last_batch.write_latency_s += report.latency_s;
+                self.last_batch.bytes_written += data.len();
+                self.services[idx].stats.pages_written += 1;
+                Ok(CommandOutput::Write(report))
+            }
+            Command::Read { block, page, .. } => {
+                let report = self.ctrl.read_page(block, page)?;
+                self.last_batch.absorb(report.latency_s, report.energy_j);
+                self.last_batch.read_latency_s += report.latency_s;
+                self.last_batch.bytes_read += report.data.len();
+                let corrected = report.outcome.corrected_bits() as u64;
+                self.last_batch.corrected_bits += corrected;
+                let stats = &mut self.services[idx].stats;
+                stats.pages_read += 1;
+                stats.corrected_bits += corrected;
+                Ok(CommandOutput::Read(report))
+            }
+            Command::Erase { block, .. } => {
+                let report = self.ctrl.erase_block(block)?;
+                self.last_batch.absorb(report.duration_s, report.energy_j);
+                Ok(CommandOutput::Erase {
+                    duration_s: report.duration_s,
+                    energy_j: report.energy_j,
+                })
+            }
+            Command::Trim { block, page, .. } => {
+                let was_mapped = self.ctrl.trim_page(block, page);
+                Ok(CommandOutput::Trim { was_mapped })
+            }
+            Command::Configure { objective, .. } => {
+                let previous = self.services[idx].region.objective;
+                self.services[idx].region.objective = objective;
+                // The cached point was derived under the old objective.
+                self.services[idx].op_slot = None;
+                Ok(CommandOutput::Configure { previous })
+            }
+        }
+    }
+}
+
+impl fmt::Debug for StorageEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StorageEngine")
+            .field("services", &self.services.len())
+            .field("pending", &self.pending())
+            .field("bucketing", &self.bucketing)
+            .field(
+                "cached_points",
+                &self.services.iter().filter(|s| s.op_slot.is_some()).count(),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcx_nand::ProgramAlgorithm;
+
+    fn engine() -> StorageEngine {
+        EngineBuilder::date2012().seed(77).build().unwrap()
+    }
+
+    fn page(fill: u8) -> Vec<u8> {
+        vec![fill; 4096]
+    }
+
+    #[test]
+    fn submit_poll_round_trip_with_accounting() {
+        let mut e = engine();
+        let media = e
+            .register_service("media", Objective::MaxReadThroughput, 0..8)
+            .unwrap();
+        e.controller_mut().age_block(0, 1_000_000).unwrap();
+
+        let mut cmds = vec![Command::erase(media, 0)];
+        for p in 0..4 {
+            cmds.push(Command::write(media, 0, p, page(p as u8)));
+        }
+        for p in 0..4 {
+            cmds.push(Command::read(media, 0, p));
+        }
+        let ids = e.submit(&cmds).unwrap();
+        assert_eq!(ids.len(), 9);
+        assert_eq!(e.pending(), 9);
+
+        let completions = e.poll();
+        assert_eq!(e.pending(), 0);
+        assert_eq!(completions.len(), 9);
+        for (c, id) in completions.iter().zip(&ids) {
+            assert_eq!(c.id, *id);
+            assert!(c.result.is_ok(), "{:?}", c.result);
+        }
+        for (p, c) in completions[5..].iter().enumerate() {
+            match c.result.as_ref().unwrap() {
+                CommandOutput::Read(r) => {
+                    assert!(r.outcome.is_success());
+                    assert_eq!(r.data, page(p as u8));
+                }
+                other => panic!("expected read output, got {other:?}"),
+            }
+        }
+
+        let batch = e.last_batch();
+        assert_eq!(batch.commands, 9);
+        assert_eq!(batch.succeeded, 9);
+        assert_eq!(batch.bytes_written, 4 * 4096);
+        assert_eq!(batch.bytes_read, 4 * 4096);
+        assert!(batch.device_latency_s > 0.0);
+        assert!(batch.energy_j > 0.0);
+        assert!(batch.read_mbps() > 0.0 && batch.write_mbps() > 0.0);
+        // EOL block: the DV schedule must have corrected raw errors.
+        assert!(batch.corrected_bits > 0);
+        // 4 same-wear writes: one derivation, three cache hits.
+        assert_eq!(batch.op_cache_misses, 1);
+        assert_eq!(batch.op_cache_hits, 3);
+        // One algorithm write + one capability write, never repeated.
+        assert_eq!(batch.knob_writes, 2);
+    }
+
+    #[test]
+    fn poll_drains_service_major_in_fifo_order() {
+        let mut e = engine();
+        let a = e.register_service("a", Objective::Baseline, 0..2).unwrap();
+        let b = e.register_service("b", Objective::Baseline, 2..4).unwrap();
+        // Host order alternates services; execution groups per service,
+        // FIFO within each.
+        let ids = e
+            .submit(&[
+                Command::erase(a, 0),
+                Command::erase(b, 2),
+                Command::erase(a, 1),
+                Command::erase(b, 3),
+            ])
+            .unwrap();
+        let completions = e.poll();
+        let services: Vec<u32> = completions.iter().map(|c| c.service.index()).collect();
+        assert_eq!(services, vec![a.index(), a.index(), b.index(), b.index()]);
+        let order: Vec<CmdId> = completions.iter().map(|c| c.id).collect();
+        assert_eq!(order, vec![ids[0], ids[2], ids[1], ids[3]]);
+    }
+
+    #[test]
+    fn submission_is_atomic_on_invalid_command() {
+        let mut e = engine();
+        let a = e.register_service("a", Objective::Baseline, 0..2).unwrap();
+        let err = e
+            .submit(&[Command::erase(a, 0), Command::erase(a, 99)])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MlcxError::Service(ServiceError::OutOfRegion { .. })
+        ));
+        assert_eq!(e.pending(), 0, "no partial batch may be enqueued");
+
+        let err = e
+            .submit(&[Command::write(a, 0, 0, vec![0u8; 100])])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MlcxError::PageSize {
+                expected: 4096,
+                actual: 100
+            }
+        ));
+
+        let foreign = ServiceHandle {
+            engine: u32::MAX,
+            index: 42,
+        };
+        let err = e.submit(&[Command::erase(foreign, 0)]).unwrap_err();
+        assert!(matches!(err, MlcxError::UnknownHandle { handle: 42 }));
+    }
+
+    #[test]
+    fn per_command_failures_complete_instead_of_aborting() {
+        let mut e = engine();
+        let a = e.register_service("a", Objective::Baseline, 0..2).unwrap();
+        // Reading an unwritten page fails; the following erase succeeds.
+        e.submit(&[Command::read(a, 0, 0), Command::erase(a, 0)])
+            .unwrap();
+        let completions = e.poll();
+        assert!(matches!(
+            completions[0].result,
+            Err(MlcxError::Ctrl(
+                mlcx_controller::CtrlError::UnknownPageConfig { .. }
+            ))
+        ));
+        assert!(completions[1].result.is_ok());
+        assert_eq!(e.last_batch().failed, 1);
+        assert_eq!(e.last_batch().succeeded, 1);
+    }
+
+    #[test]
+    fn overlapping_regions_rejected() {
+        let mut e = engine();
+        e.register_service("a", Objective::Baseline, 0..8).unwrap();
+        let err = e
+            .register_service("b", Objective::MinUber, 7..12)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MlcxError::Service(ServiceError::Overlap { .. })
+        ));
+        // Adjacent is fine.
+        e.register_service("c", Objective::MinUber, 8..12).unwrap();
+        assert!(e.service("c").is_some());
+        assert!(e.service("zzz").is_none());
+    }
+
+    #[test]
+    fn trim_unmaps_and_configure_rebinds() {
+        let mut e = engine();
+        let a = e.register_service("a", Objective::Baseline, 0..2).unwrap();
+        e.submit(&[
+            Command::erase(a, 0),
+            Command::write(a, 0, 0, page(1)),
+            Command::trim(a, 0, 0),
+            Command::read(a, 0, 0),
+            Command::trim(a, 0, 0),
+            Command::configure(a, Objective::MinUber),
+        ])
+        .unwrap();
+        let completions = e.poll();
+        assert_eq!(
+            completions[2].result.as_ref().unwrap(),
+            &CommandOutput::Trim { was_mapped: true }
+        );
+        assert!(
+            completions[3].result.is_err(),
+            "trimmed page must not read back"
+        );
+        assert_eq!(
+            completions[4].result.as_ref().unwrap(),
+            &CommandOutput::Trim { was_mapped: false }
+        );
+        assert_eq!(
+            completions[5].result.as_ref().unwrap(),
+            &CommandOutput::Configure {
+                previous: Objective::Baseline
+            }
+        );
+        assert_eq!(e.region(a).unwrap().objective, Objective::MinUber);
+    }
+
+    #[test]
+    fn configure_invalidates_cached_points() {
+        let mut e = engine();
+        let a = e
+            .register_service("a", Objective::MaxReadThroughput, 0..2)
+            .unwrap();
+        e.controller_mut().age_block(0, 1_000_000).unwrap();
+        e.submit(&[Command::erase(a, 0), Command::write(a, 0, 0, page(0))])
+            .unwrap();
+        e.poll();
+        let relaxed = match e.execute(Command::read(a, 0, 0)).unwrap() {
+            CommandOutput::Read(r) => r.t_used,
+            _ => unreachable!(),
+        };
+        assert_eq!(relaxed, 14, "DV schedule at end of life");
+
+        // Re-bind to min-UBER: new writes must pick up the SV schedule's
+        // capability (65 at end of life) instead of the cached t = 14.
+        e.submit(&[
+            Command::configure(a, Objective::MinUber),
+            Command::erase(a, 0),
+            Command::write(a, 0, 0, page(0)),
+        ])
+        .unwrap();
+        let completions = e.poll();
+        match completions[2].result.as_ref().unwrap() {
+            CommandOutput::Write(w) => {
+                assert_eq!(w.algorithm, ProgramAlgorithm::IsppDv);
+                assert_eq!(w.t_used, 65);
+            }
+            other => panic!("expected write output, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_rejects_model_controller_mismatch() {
+        let model = SubsystemModel::builder().tmax(100).build().unwrap();
+        assert!(matches!(
+            EngineBuilder::date2012().model(model).build(),
+            Err(MlcxError::InvalidConfig { .. })
+        ));
+        let model = SubsystemModel::builder()
+            .ecc_m(12)
+            .tmax(40)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            EngineBuilder::date2012().model(model).build(),
+            Err(MlcxError::InvalidConfig { .. })
+        ));
+        let model = SubsystemModel::builder().k_bits(512 * 8).build().unwrap();
+        assert!(matches!(
+            EngineBuilder::date2012().model(model).build(),
+            Err(MlcxError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn log2_bucketing_is_conservative_and_coarse() {
+        let mut exact = StorageEngine::with_bucketing(
+            MemoryController::new(ControllerConfig::date2012(), 1).unwrap(),
+            SubsystemModel::date2012(),
+            WearBucketing::Exact,
+        );
+        let mut log2 = StorageEngine::with_bucketing(
+            MemoryController::new(ControllerConfig::date2012(), 1).unwrap(),
+            SubsystemModel::date2012(),
+            WearBucketing::Log2,
+        );
+        let he = exact
+            .register_service("s", Objective::Baseline, 0..64)
+            .unwrap();
+        let hl = log2
+            .register_service("s", Objective::Baseline, 0..64)
+            .unwrap();
+        for (engine, h) in [(&mut exact, he), (&mut log2, hl)] {
+            // All three wear levels (plus the erase's own cycle) land in
+            // the 512..=1023 power-of-two bucket.
+            for (b, wear) in [(0usize, 600u64), (1, 700), (2, 800)] {
+                engine.controller_mut().age_block(b, wear).unwrap();
+                engine
+                    .submit(&[Command::erase(h, b), Command::write(h, b, 0, page(7))])
+                    .unwrap();
+            }
+        }
+        let ce: Vec<_> = exact.poll();
+        let cl: Vec<_> = log2.poll();
+        let t_of = |c: &Completion| match c.result.as_ref().unwrap() {
+            CommandOutput::Write(w) => w.t_used,
+            _ => panic!("expected write"),
+        };
+        for (a, b) in ce.iter().zip(&cl) {
+            if matches!(a.result.as_ref().unwrap(), CommandOutput::Write(_)) {
+                assert!(
+                    t_of(b) >= t_of(a),
+                    "log2 bucket must never weaken the capability"
+                );
+            }
+        }
+        // Three nearby wear levels: exact memoizes three points, log2
+        // collapses them into one bucket.
+        assert_eq!(exact.last_batch().op_cache_misses, 3);
+        assert_eq!(log2.last_batch().op_cache_misses, 1);
+        assert_eq!(log2.last_batch().op_cache_hits, 2);
+    }
+}

@@ -1,0 +1,147 @@
+//! The top-level `mlcx` error hierarchy.
+//!
+//! Every fallible host-facing operation across the workspace funnels into
+//! [`MlcxError`]: service-directory violations ([`ServiceError`]),
+//! controller datapath failures ([`CtrlError`], itself wrapping the codec
+//! and device errors), raw device errors ([`NandError`]), codec errors
+//! ([`BchError`]) and the engine/builder-specific conditions introduced
+//! by the command-queue API. One `std::error::Error` impl, one `source()`
+//! chain, one type to match on at the application boundary.
+
+use std::error::Error;
+use std::fmt;
+
+use mlcx_bch::BchError;
+use mlcx_controller::CtrlError;
+use mlcx_nand::NandError;
+
+use crate::services::ServiceError;
+
+/// The unified error type of the `mlcx` storage stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MlcxError {
+    /// Service-directory violation (overlap, unknown service, region
+    /// bounds).
+    Service(ServiceError),
+    /// Memory-controller datapath or configuration failure.
+    Ctrl(CtrlError),
+    /// Raw NAND device failure (outside the controller datapath).
+    Nand(NandError),
+    /// BCH codec failure (outside the controller datapath).
+    Ecc(BchError),
+    /// A command referenced a service handle the engine never issued.
+    UnknownHandle {
+        /// The raw handle index.
+        handle: u32,
+    },
+    /// A write command carried a payload that does not match the page
+    /// size (caught at submission, before anything is enqueued).
+    PageSize {
+        /// Expected byte length (one page).
+        expected: usize,
+        /// Provided byte length.
+        actual: usize,
+    },
+    /// A builder was asked to produce an inconsistent configuration.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MlcxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlcxError::Service(e) => write!(f, "service: {e}"),
+            MlcxError::Ctrl(e) => write!(f, "controller: {e}"),
+            MlcxError::Nand(e) => write!(f, "nand: {e}"),
+            MlcxError::Ecc(e) => write!(f, "ecc: {e}"),
+            MlcxError::UnknownHandle { handle } => {
+                write!(
+                    f,
+                    "service handle #{handle} was never issued by this engine"
+                )
+            }
+            MlcxError::PageSize { expected, actual } => {
+                write!(f, "write payload is {actual} bytes, expected {expected}")
+            }
+            MlcxError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for MlcxError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MlcxError::Service(e) => Some(e),
+            MlcxError::Ctrl(e) => Some(e),
+            MlcxError::Nand(e) => Some(e),
+            MlcxError::Ecc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ServiceError> for MlcxError {
+    fn from(e: ServiceError) -> Self {
+        // A propagated controller error is a datapath fact, not a
+        // directory fact: surface it under its own variant.
+        match e {
+            ServiceError::Ctrl(c) => MlcxError::Ctrl(c),
+            other => MlcxError::Service(other),
+        }
+    }
+}
+
+impl From<CtrlError> for MlcxError {
+    fn from(e: CtrlError) -> Self {
+        MlcxError::Ctrl(e)
+    }
+}
+
+impl From<NandError> for MlcxError {
+    fn from(e: NandError) -> Self {
+        MlcxError::Nand(e)
+    }
+}
+
+impl From<BchError> for MlcxError {
+    fn from(e: BchError) -> Self {
+        MlcxError::Ecc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_chain() {
+        let inner = CtrlError::BufferSize {
+            expected: 4096,
+            actual: 17,
+        };
+        let e = MlcxError::from(inner.clone());
+        assert!(e.to_string().contains("4096"));
+        let source = e.source().expect("wrapped error must be the source");
+        assert_eq!(source.to_string(), inner.to_string());
+
+        let handle = MlcxError::UnknownHandle { handle: 9 };
+        assert!(handle.source().is_none());
+        assert!(handle.to_string().contains("#9"));
+    }
+
+    #[test]
+    fn service_ctrl_errors_normalize_to_ctrl() {
+        let e = MlcxError::from(ServiceError::Ctrl(CtrlError::UnknownPageConfig {
+            block: 1,
+            page: 2,
+        }));
+        assert!(matches!(e, MlcxError::Ctrl(_)));
+        let e = MlcxError::from(ServiceError::UnknownService { name: "x".into() });
+        assert!(matches!(e, MlcxError::Service(_)));
+    }
+}

@@ -55,8 +55,7 @@ pub(crate) fn generate_for(
                 .iter()
                 .map(|&t| {
                     let n = model.k_bits + model.parity_bits(t);
-                    uber::first_term_valid(n, t, rber)
-                        .then(|| uber::log10_uber(n, t, rber))
+                    uber::first_term_valid(n, t, rber).then(|| uber::log10_uber(n, t, rber))
                 })
                 .collect();
             Row { rber, log10_uber }

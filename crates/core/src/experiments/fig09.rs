@@ -93,8 +93,7 @@ mod tests {
         // Paper: "the write throughput loss ... on average amounts to 40%".
         let model = SubsystemModel::date2012();
         let rows = generate(&model);
-        let avg: f64 =
-            rows.iter().map(|r| r.loss_percent).sum::<f64>() / rows.len() as f64;
+        let avg: f64 = rows.iter().map(|r| r.loss_percent).sum::<f64>() / rows.len() as f64;
         assert!((38.0..46.0).contains(&avg), "avg = {avg}");
     }
 }

@@ -97,8 +97,16 @@ mod tests {
         let model = SubsystemModel::date2012();
         let all = render_all(&model);
         for needle in [
-            "Fig. 4", "Fig. 5", "Fig. 6", "Fig. 7", "Fig. ??", "Fig. 8", "Fig. 9", "Fig. 10",
-            "Fig. 11", "power budget",
+            "Fig. 4",
+            "Fig. 5",
+            "Fig. 6",
+            "Fig. 7",
+            "Fig. ??",
+            "Fig. 8",
+            "Fig. 9",
+            "Fig. 10",
+            "Fig. 11",
+            "power budget",
         ] {
             assert!(all.contains(needle), "missing section {needle}");
         }

@@ -6,6 +6,10 @@
 //! ISPP-DV program-algorithm selection of `mlcx-nand`) and quantifies the
 //! resulting trade-off space:
 //!
+//! * [`engine`] — the host-facing command-queue [`StorageEngine`]:
+//!   batched submit/poll over per-service queues, per-batch
+//!   latency/energy accounting, and memoized cross-layer configuration
+//!   (see [`engine::WearBucketing`]).
 //! * [`uber`] — eq. (1) of the paper: the uncorrectable bit error rate of
 //!   a `t`-error-correcting page code at a given RBER, in log domain, and
 //!   the required-`t` solver that drives every ECC schedule.
@@ -37,13 +41,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 mod model;
 
+pub mod engine;
 pub mod experiments;
 pub mod policy;
-pub mod services;
 pub mod report;
+pub mod services;
 pub mod uber;
 
-pub use model::{Metrics, OperatingPoint, SubsystemModel};
+pub use engine::{
+    BatchReport, CmdId, Command, CommandOutput, Completion, EngineBuilder, ServiceHandle,
+    StorageEngine, WearBucketing,
+};
+pub use error::MlcxError;
+pub use model::{Metrics, OperatingPoint, SubsystemModel, SubsystemModelBuilder};
 pub use policy::Objective;
+pub use services::{ServiceError, ServiceRegion, ServiceStats, ServicedStore};

@@ -82,13 +82,15 @@ pub fn pareto_frontier(model: &SubsystemModel, cycles: u64, t_stride: u32) -> Ve
         let not_worse = a.log10_uber <= b.log10_uber
             && a.read_mbps >= b.read_mbps
             && a.write_mbps >= b.write_mbps;
-        let strictly_better = a.log10_uber < b.log10_uber
-            || a.read_mbps > b.read_mbps
-            || a.write_mbps > b.write_mbps;
+        let strictly_better =
+            a.log10_uber < b.log10_uber || a.read_mbps > b.read_mbps || a.write_mbps > b.write_mbps;
         not_worse && strictly_better
     };
     all.iter()
-        .filter(|cand| !all.iter().any(|other| dominates(&other.metrics, &cand.metrics)))
+        .filter(|cand| {
+            !all.iter()
+                .any(|other| dominates(&other.metrics, &cand.metrics))
+        })
         .cloned()
         .collect()
 }

@@ -143,6 +143,6 @@ mod tests {
     #[test]
     fn number_formats() {
         assert_eq!(sci(1.5e-6), "1.500e-6");
-        assert_eq!(fixed2(3.14159), "3.14");
+        assert_eq!(fixed2(12.3456), "12.35");
     }
 }

@@ -1,19 +1,21 @@
-//! Differentiated storage services — the paper's future-work realized.
+//! Differentiated storage services — the service directory types and the
+//! legacy per-page facade.
 //!
 //! The conclusions promise to "implement the memory controller taking
 //! advantage of the new trade-offs, thus exposing differentiated storage
-//! services to applications". This module does exactly that: it carves
-//! the device's block space into named *service regions*, each bound to a
-//! cross-layer [`Objective`], and routes every write through the
-//! region-appropriate (algorithm, t) configuration — re-deriving it from
-//! the region's wear before each write, so the schedule tracks aging
-//! automatically.
+//! services to applications". The batched realization of that promise is
+//! [`StorageEngine`](crate::engine::StorageEngine); this module owns the
+//! service-directory vocabulary it builds on ([`ServiceRegion`],
+//! [`ServiceStats`], [`ServiceError`]) plus [`ServicedStore`], the
+//! original synchronous per-page API, kept as a thin shim over the
+//! engine for existing callers.
 
-use std::collections::HashMap;
 use std::ops::Range;
 
-use mlcx_controller::{ConfigCommand, CtrlError, MemoryController, ReadReport, WriteReport};
+use mlcx_controller::{CtrlError, MemoryController, ReadReport, WriteReport};
 
+use crate::engine::{Command, CommandOutput, ServiceHandle, StorageEngine, WearBucketing};
+use crate::error::MlcxError;
 use crate::model::SubsystemModel;
 use crate::policy::Objective;
 
@@ -102,7 +104,37 @@ pub struct ServiceStats {
     pub corrected_bits: u64,
 }
 
-/// A memory controller fronted by a service directory.
+/// Collapses an engine error back onto the legacy [`ServiceError`]
+/// surface (the shim's calls can only produce these shapes).
+fn legacy_error(e: MlcxError) -> ServiceError {
+    match e {
+        MlcxError::Service(s) => s,
+        MlcxError::Ctrl(c) => ServiceError::Ctrl(c),
+        MlcxError::Nand(n) => ServiceError::Ctrl(CtrlError::Nand(n)),
+        MlcxError::Ecc(b) => ServiceError::Ctrl(CtrlError::Ecc(b)),
+        MlcxError::PageSize { expected, actual } => {
+            ServiceError::Ctrl(CtrlError::BufferSize { expected, actual })
+        }
+        // UnknownHandle/InvalidConfig cannot arise from the shim's own
+        // calls (handles are resolved internally, nothing is rebuilt);
+        // surface them as a controller configuration error rather than
+        // inventing a fake service name.
+        other => ServiceError::Ctrl(CtrlError::InvalidConfig {
+            reason: other.to_string(),
+        }),
+    }
+}
+
+/// A memory controller fronted by a service directory — the original
+/// synchronous, one-call-per-page API.
+///
+/// **Legacy shim.** New code should drive
+/// [`StorageEngine`](crate::engine::StorageEngine) directly: it batches,
+/// reports per-batch accounting, and memoizes operating-point
+/// derivation. `ServicedStore` deliberately runs the engine in
+/// [`WearBucketing::PerPage`] mode so it keeps the original semantics —
+/// the cross-layer configuration is re-derived from the region's wear on
+/// *every* write.
 ///
 /// # Example
 ///
@@ -123,20 +155,14 @@ pub struct ServiceStats {
 /// ```
 #[derive(Debug)]
 pub struct ServicedStore {
-    ctrl: MemoryController,
-    model: SubsystemModel,
-    regions: Vec<ServiceRegion>,
-    stats: HashMap<String, ServiceStats>,
+    engine: StorageEngine,
 }
 
 impl ServicedStore {
     /// Wraps a controller with an empty service directory.
     pub fn new(ctrl: MemoryController, model: SubsystemModel) -> Self {
         ServicedStore {
-            ctrl,
-            model,
-            regions: Vec::new(),
-            stats: HashMap::new(),
+            engine: StorageEngine::with_bucketing(ctrl, model, WearBucketing::PerPage),
         }
     }
 
@@ -152,61 +178,46 @@ impl ServicedStore {
         objective: Objective,
         blocks: Range<usize>,
     ) -> Result<(), ServiceError> {
-        for existing in &self.regions {
-            if blocks.start < existing.blocks.end && existing.blocks.start < blocks.end {
-                return Err(ServiceError::Overlap {
-                    existing: existing.name.clone(),
-                    incoming: name.to_string(),
-                });
-            }
-        }
-        self.regions.push(ServiceRegion {
-            name: name.to_string(),
-            objective,
-            blocks,
-        });
-        self.stats.insert(name.to_string(), ServiceStats::default());
+        self.engine
+            .register_service(name, objective, blocks)
+            .map_err(legacy_error)?;
         Ok(())
     }
 
-    /// The registered regions.
-    pub fn regions(&self) -> &[ServiceRegion] {
-        &self.regions
+    /// The registered regions (live view from the backing engine, in
+    /// registration order).
+    pub fn regions(&self) -> Vec<ServiceRegion> {
+        self.engine.regions().cloned().collect()
     }
 
     /// Traffic counters for a service.
     pub fn stats(&self, name: &str) -> Option<ServiceStats> {
-        self.stats.get(name).copied()
+        let handle = self.engine.service(name)?;
+        self.engine.stats(handle).ok()
     }
 
     /// The wrapped controller (wear inspection etc.).
     pub fn controller(&self) -> &MemoryController {
-        &self.ctrl
+        self.engine.controller()
     }
 
     /// Mutable controller access (aging blocks in experiments).
     pub fn controller_mut(&mut self) -> &mut MemoryController {
-        &mut self.ctrl
+        self.engine.controller_mut()
     }
 
-    fn region(&self, name: &str) -> Result<ServiceRegion, ServiceError> {
-        self.regions
-            .iter()
-            .find(|r| r.name == name)
-            .cloned()
+    /// The backing engine — migration escape hatch for callers moving to
+    /// the batched API.
+    pub fn engine_mut(&mut self) -> &mut StorageEngine {
+        &mut self.engine
+    }
+
+    fn handle(&self, name: &str) -> Result<ServiceHandle, ServiceError> {
+        self.engine
+            .service(name)
             .ok_or_else(|| ServiceError::UnknownService {
                 name: name.to_string(),
             })
-    }
-
-    fn check_block(region: &ServiceRegion, block: usize) -> Result<(), ServiceError> {
-        if !region.blocks.contains(&block) {
-            return Err(ServiceError::OutOfRegion {
-                name: region.name.clone(),
-                block,
-            });
-        }
-        Ok(())
     }
 
     /// Erases a block belonging to a service.
@@ -215,9 +226,10 @@ impl ServicedStore {
     ///
     /// Region-membership and controller errors.
     pub fn erase(&mut self, name: &str, block: usize) -> Result<(), ServiceError> {
-        let region = self.region(name)?;
-        Self::check_block(&region, block)?;
-        self.ctrl.erase_block(block)?;
+        let handle = self.handle(name)?;
+        self.engine
+            .execute(Command::erase(handle, block))
+            .map_err(legacy_error)?;
         Ok(())
     }
 
@@ -235,16 +247,15 @@ impl ServicedStore {
         page: usize,
         data: &[u8],
     ) -> Result<WriteReport, ServiceError> {
-        let region = self.region(name)?;
-        Self::check_block(&region, block)?;
-        let wear = self.ctrl.device().block_cycles(block)?;
-        let op = self.model.configure(region.objective, wear.max(1));
-        self.ctrl.apply(ConfigCommand::SetAlgorithm(op.algorithm))?;
-        self.ctrl.apply(ConfigCommand::SetCorrection(op.correction))?;
-        let report = self.ctrl.write_page(block, page, data)?;
-        let stats = self.stats.entry(name.to_string()).or_default();
-        stats.pages_written += 1;
-        Ok(report)
+        let handle = self.handle(name)?;
+        match self
+            .engine
+            .execute(Command::write(handle, block, page, data.to_vec()))
+            .map_err(legacy_error)?
+        {
+            CommandOutput::Write(report) => Ok(report),
+            other => unreachable!("write command produced {other:?}"),
+        }
     }
 
     /// Reads a page through a service.
@@ -258,13 +269,15 @@ impl ServicedStore {
         block: usize,
         page: usize,
     ) -> Result<ReadReport, ServiceError> {
-        let region = self.region(name)?;
-        Self::check_block(&region, block)?;
-        let report = self.ctrl.read_page(block, page)?;
-        let stats = self.stats.entry(name.to_string()).or_default();
-        stats.pages_read += 1;
-        stats.corrected_bits += report.outcome.corrected_bits() as u64;
-        Ok(report)
+        let handle = self.handle(name)?;
+        match self
+            .engine
+            .execute(Command::read(handle, block, page))
+            .map_err(legacy_error)?
+        {
+            CommandOutput::Read(report) => Ok(report),
+            other => unreachable!("read command produced {other:?}"),
+        }
     }
 }
 
@@ -345,5 +358,20 @@ mod tests {
         assert_eq!(s.stats("a").unwrap().pages_written, 1);
         assert_eq!(s.stats("b").unwrap().pages_written, 0);
         assert!(s.stats("zzz").is_none());
+    }
+
+    #[test]
+    fn wrong_page_size_surfaces_as_buffer_error() {
+        let mut s = store();
+        s.add_region("a", Objective::Baseline, 0..2).unwrap();
+        s.erase("a", 0).unwrap();
+        let err = s.write("a", 0, 0, &[0u8; 64]).unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::Ctrl(CtrlError::BufferSize {
+                expected: 4096,
+                actual: 64
+            })
+        ));
     }
 }

@@ -64,10 +64,9 @@ pub fn log10_uber(n_bits: usize, t: u32, rber: f64) -> f64 {
     assert!(errors <= n, "t + 1 must not exceed the codeword length");
     // ln(1 - rber) via ln_1p keeps the survival factor accurate at the
     // tiny RBERs of fresh devices.
-    let ln_u = ln_binomial(n, errors)
-        + errors as f64 * rber.ln()
-        + (n - errors) as f64 * (-rber).ln_1p()
-        - (n as f64).ln();
+    let ln_u =
+        ln_binomial(n, errors) + errors as f64 * rber.ln() + (n - errors) as f64 * (-rber).ln_1p()
+            - (n as f64).ln();
     ln_u / std::f64::consts::LN_10
 }
 

@@ -96,7 +96,7 @@ impl RegulatedPump {
             regulator: HystereticRegulator::for_target(target_v),
             output_v: pump.supply_v,
             enabled: true,
-            dt_s: (tau / 30.0).min(10e-9).max(0.1e-9),
+            dt_s: (tau / 30.0).clamp(0.1e-9, 10e-9),
         }
     }
 
@@ -230,7 +230,12 @@ mod tests {
         let mut heavy = RegulatedPump::new(DicksonPump::program_pump_45nm(), 16.0);
         heavy.run_phase(20e-6, 0.6e-3);
         let h = heavy.run_phase(20e-6, 0.6e-3);
-        assert!(h.duty_cycle > l.duty_cycle, "{} <= {}", h.duty_cycle, l.duty_cycle);
+        assert!(
+            h.duty_cycle > l.duty_cycle,
+            "{} <= {}",
+            h.duty_cycle,
+            l.duty_cycle
+        );
     }
 
     #[test]
@@ -251,7 +256,10 @@ mod tests {
         let sim = p.run_phase(30e-6, 0.3e-3).mean_power_w();
         let model = p.steady_state_power_w(0.3e-3);
         let err = (sim - model).abs() / model;
-        assert!(err < 0.15, "sim {sim:.4} vs model {model:.4} (err {err:.3})");
+        assert!(
+            err < 0.15,
+            "sim {sim:.4} vs model {model:.4} (err {err:.3})"
+        );
     }
 
     #[test]

@@ -168,13 +168,28 @@ mod tests {
         // new enable combinations.
         let s = seq();
         let sv = [
-            Phase { kind: PhaseKind::ProgramPulse { target_v: 14.0 }, duration_s: 12e-6 },
-            Phase { kind: PhaseKind::Verify { level: 1 }, duration_s: 12e-6 },
+            Phase {
+                kind: PhaseKind::ProgramPulse { target_v: 14.0 },
+                duration_s: 12e-6,
+            },
+            Phase {
+                kind: PhaseKind::Verify { level: 1 },
+                duration_s: 12e-6,
+            },
         ];
         let dv = [
-            Phase { kind: PhaseKind::ProgramPulse { target_v: 14.0 }, duration_s: 12e-6 },
-            Phase { kind: PhaseKind::PreVerify { level: 1 }, duration_s: 12e-6 },
-            Phase { kind: PhaseKind::Verify { level: 1 }, duration_s: 12e-6 },
+            Phase {
+                kind: PhaseKind::ProgramPulse { target_v: 14.0 },
+                duration_s: 12e-6,
+            },
+            Phase {
+                kind: PhaseKind::PreVerify { level: 1 },
+                duration_s: 12e-6,
+            },
+            Phase {
+                kind: PhaseKind::Verify { level: 1 },
+                duration_s: 12e-6,
+            },
         ];
         let e_sv = s.execute(&sv);
         let e_dv = s.execute(&dv);
@@ -206,13 +221,31 @@ mod tests {
     fn labels_cover_all_kinds() {
         let s = seq();
         let op = s.execute(&[
-            Phase { kind: PhaseKind::ProgramPulse { target_v: 15.0 }, duration_s: 1e-6 },
-            Phase { kind: PhaseKind::PreVerify { level: 1 }, duration_s: 1e-6 },
-            Phase { kind: PhaseKind::Verify { level: 1 }, duration_s: 1e-6 },
-            Phase { kind: PhaseKind::Read, duration_s: 1e-6 },
-            Phase { kind: PhaseKind::ErasePulse, duration_s: 1e-6 },
+            Phase {
+                kind: PhaseKind::ProgramPulse { target_v: 15.0 },
+                duration_s: 1e-6,
+            },
+            Phase {
+                kind: PhaseKind::PreVerify { level: 1 },
+                duration_s: 1e-6,
+            },
+            Phase {
+                kind: PhaseKind::Verify { level: 1 },
+                duration_s: 1e-6,
+            },
+            Phase {
+                kind: PhaseKind::Read,
+                duration_s: 1e-6,
+            },
+            Phase {
+                kind: PhaseKind::ErasePulse,
+                duration_s: 1e-6,
+            },
         ]);
         let labels: Vec<&str> = op.phases().iter().map(|p| p.label).collect();
-        assert_eq!(labels, vec!["pulse", "pre-verify", "verify", "read", "erase"]);
+        assert_eq!(
+            labels,
+            vec!["pulse", "pre-verify", "verify", "read", "erase"]
+        );
     }
 }

@@ -88,7 +88,11 @@ impl HvSubsystem {
             * ((1.0 - self.array_pulse_quadratic_frac)
                 + self.array_pulse_quadratic_frac * ratio * ratio);
         Self::regulated_power_w(&self.program_pump, pulse_target_v, self.program_load_a)
-            + Self::regulated_power_w(&self.inhibit_pump, self.inhibit_target_v, self.inhibit_load_a)
+            + Self::regulated_power_w(
+                &self.inhibit_pump,
+                self.inhibit_target_v,
+                self.inhibit_load_a,
+            )
             + array
     }
 

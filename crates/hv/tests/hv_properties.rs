@@ -4,15 +4,16 @@ use mlcx_hv::{DicksonPump, HvSubsystem, Phase, PhaseKind, RegulatedPump, Sequenc
 use proptest::prelude::*;
 
 fn arb_pump() -> impl Strategy<Value = DicksonPump> {
-    (4u32..=16, 50e-12..300e-12, 10e6..50e6, 1.5f64..3.3)
-        .prop_map(|(stages, c, f, vdd)| DicksonPump {
+    (4u32..=16, 50e-12..300e-12, 10e6..50e6, 1.5f64..3.3).prop_map(|(stages, c, f, vdd)| {
+        DicksonPump {
             stages,
             stage_capacitance_f: c,
             clock_hz: f,
             supply_v: vdd,
             parasitic_ratio: 0.12,
             output_capacitance_f: 80e-12,
-        })
+        }
+    })
 }
 
 proptest! {

@@ -119,7 +119,10 @@ mod tests {
         let a = AgingModel::date2012();
         let dv_eol = a.rber(ProgramAlgorithm::IsppDv, 1_000_000);
         // 8.722e-5 is the eq.-1 RBER bound for t = 14 at UBER 1e-11.
-        assert!((dv_eol - 8.7e-5).abs() / 8.7e-5 < 0.01, "dv_eol = {dv_eol:e}");
+        assert!(
+            (dv_eol - 8.7e-5).abs() / 8.7e-5 < 0.01,
+            "dv_eol = {dv_eol:e}"
+        );
     }
 
     #[test]

@@ -152,8 +152,7 @@ impl ArraySimulator {
                     .collect();
                 let n = vths.len().max(1) as f64;
                 let mean = vths.iter().sum::<f64>() / n;
-                let sigma =
-                    (vths.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n).sqrt();
+                let sigma = (vths.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n).sqrt();
                 LevelStats {
                     level,
                     cells: vths.len(),

@@ -574,7 +574,7 @@ mod tests {
             Err(NandError::PageOutOfRange { .. })
         ));
         assert!(matches!(
-            dev.program_page(0, 0, &vec![0u8; 100], &[]),
+            dev.program_page(0, 0, &[0u8; 100], &[]),
             Err(NandError::BufferSize { what: "data", .. })
         ));
         assert!(matches!(
@@ -787,9 +787,7 @@ mod tests {
         // Moderate expectation: mean within 20%.
         let n = 2000u64;
         let p = 0.005;
-        let total: usize = (0..2000)
-            .map(|_| sample_binomial(&mut rng, n, p))
-            .sum();
+        let total: usize = (0..2000).map(|_| sample_binomial(&mut rng, n, p)).sum();
         let mean = total as f64 / 2000.0;
         assert!((mean - 10.0).abs() < 2.0, "mean = {mean}");
         // Large expectation: normal path.

@@ -74,8 +74,8 @@ impl DisturbModel {
         if hours <= 0.0 || self.retention_scale == 0.0 {
             return 0.0;
         }
-        let wear = (cycles.max(1) as f64 / self.reference_cycles)
-            .powf(self.retention_wear_exponent);
+        let wear =
+            (cycles.max(1) as f64 / self.reference_cycles).powf(self.retention_wear_exponent);
         self.retention_scale * wear * (1.0 + hours).log10()
     }
 

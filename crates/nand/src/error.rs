@@ -67,7 +67,10 @@ impl fmt::Display for NandError {
                 pages_per_block,
             } => write!(f, "page {page} out of range (block has {pages_per_block})"),
             NandError::PageNotErased { block, page } => {
-                write!(f, "page {page} of block {block} must be erased before program")
+                write!(
+                    f,
+                    "page {page} of block {block} must be erased before program"
+                )
             }
             NandError::PageNotProgrammed { block, page } => {
                 write!(f, "page {page} of block {block} was never programmed")
@@ -78,7 +81,10 @@ impl fmt::Display for NandError {
                 actual,
             } => write!(f, "{what} buffer is {actual} bytes, expected {expected}"),
             NandError::AlgorithmUnavailable { algorithm } => {
-                write!(f, "program algorithm {algorithm} not present in the code store")
+                write!(
+                    f,
+                    "program algorithm {algorithm} not present in the code store"
+                )
             }
             NandError::CodeSramEmpty => write!(f, "code SRAM is empty, load microcode first"),
         }

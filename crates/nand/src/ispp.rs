@@ -178,19 +178,11 @@ impl IsppEngine {
 
     /// Samples a fresh erased page with per-cell offsets and the given
     /// programming targets.
-    pub fn erased_page<R: RngExt + ?Sized>(
-        &self,
-        targets: &[MlcLevel],
-        rng: &mut R,
-    ) -> Vec<Cell> {
+    pub fn erased_page<R: RngExt + ?Sized>(&self, targets: &[MlcLevel], rng: &mut R) -> Vec<Cell> {
         targets
             .iter()
             .map(|&target| {
-                let vth = sample_normal(
-                    rng,
-                    self.spec.erased_mean_v,
-                    self.spec.erased_sigma_v,
-                );
+                let vth = sample_normal(rng, self.spec.erased_mean_v, self.spec.erased_sigma_v);
                 let offset = sample_normal(
                     rng,
                     self.variability.offset_mean_v,
@@ -254,8 +246,8 @@ impl IsppEngine {
             pulses += 1;
 
             // Verify pass(es) per active level.
-            for k in 1..4usize {
-                if !active[k] {
+            for (k, &level_active) in active.iter().enumerate().skip(1) {
+                if !level_active {
                     continue;
                 }
                 let level = MlcLevel::from_index(k);
@@ -481,8 +473,16 @@ mod tests {
         let sv = program_profile(&cfg, ProgramAlgorithm::IsppSv, 1);
         let dv = program_profile(&cfg, ProgramAlgorithm::IsppDv, 1);
         // Section 6.3.3: ISPP-DV run time ~1.5 ms, dominating the write path.
-        assert!((1.3e-3..1.6e-3).contains(&dv.duration_s), "dv = {}", dv.duration_s);
-        assert!((0.7e-3..1.0e-3).contains(&sv.duration_s), "sv = {}", sv.duration_s);
+        assert!(
+            (1.3e-3..1.6e-3).contains(&dv.duration_s),
+            "dv = {}",
+            dv.duration_s
+        );
+        assert!(
+            (0.7e-3..1.0e-3).contains(&sv.duration_s),
+            "sv = {}",
+            sv.duration_s
+        );
         // And the ratio must grow with wear (Fig. 9's upward drift).
         let ratio_fresh = dv.duration_s / sv.duration_s;
         let sv_eol = program_profile(&cfg, ProgramAlgorithm::IsppSv, 1_000_000);
@@ -518,10 +518,7 @@ mod tests {
         let run = e.program(&mut cells, ProgramAlgorithm::IsppDv, 0.0, &mut rng);
         // First phase must be a pulse; every pre-verify must be followed
         // by a verify of the same level.
-        assert!(matches!(
-            run.phases[0].kind,
-            PhaseKind::ProgramPulse { .. }
-        ));
+        assert!(matches!(run.phases[0].kind, PhaseKind::ProgramPulse { .. }));
         for w in run.phases.windows(2) {
             if let PhaseKind::PreVerify { level } = w[0].kind {
                 assert_eq!(w[1].kind, PhaseKind::Verify { level });

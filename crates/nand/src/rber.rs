@@ -110,8 +110,7 @@ pub fn sigma_for_rber(
     target_rber: f64,
 ) -> f64 {
     let eval = |sigma: f64| {
-        DistributionSet::programmed(spec, placement_step_v, ratchet_v, sigma)
-            .rber(spec)
+        DistributionSet::programmed(spec, placement_step_v, ratchet_v, sigma).rber(spec)
     };
     let (mut lo, mut hi) = (0.02f64, 1.2f64);
     assert!(

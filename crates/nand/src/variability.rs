@@ -91,7 +91,9 @@ impl VariabilityModel {
     /// already exceeds the target.
     pub fn aging_sigma_v(&self, placement_step_v: f64, target_sigma_v: f64) -> f64 {
         let base = self.base_sigma_v(placement_step_v);
-        (target_sigma_v * target_sigma_v - base * base).max(0.0).sqrt()
+        (target_sigma_v * target_sigma_v - base * base)
+            .max(0.0)
+            .sqrt()
     }
 }
 

@@ -1,88 +1,104 @@
 //! Differentiated storage services (the paper's future work, realized):
 //! one device, three service regions — mission-critical payments
 //! (min-UBER), a multimedia library (max-read-throughput) and a general
-//! baseline region — each automatically configured per write from its
-//! objective and the block's current wear.
+//! baseline region — each automatically configured per batch from its
+//! objective and the block's current wear, through the command-queue
+//! [`StorageEngine`](mlcx::StorageEngine).
 //!
 //! Run with: `cargo run --release --example differentiated_services`
 
-use mlcx::xlayer::services::ServicedStore;
-use mlcx::{ControllerConfig, MemoryController, Objective, SubsystemModel};
+use mlcx::{Command, CommandOutput, Completion, EngineBuilder, Objective, ServiceHandle};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let ctrl = MemoryController::new(ControllerConfig::date2012(), 2012)?;
-    let mut store = ServicedStore::new(ctrl, SubsystemModel::date2012());
+    let mut engine = EngineBuilder::date2012().seed(2012).build()?;
 
-    store.add_region("payments", Objective::MinUber, 0..8)?;
-    store.add_region("media", Objective::MaxReadThroughput, 8..40)?;
-    store.add_region("general", Objective::Baseline, 40..64)?;
+    let payments = engine.register_service("payments", Objective::MinUber, 0..8)?;
+    let media = engine.register_service("media", Objective::MaxReadThroughput, 8..40)?;
+    let general = engine.register_service("general", Objective::Baseline, 40..64)?;
 
     // The media region has lived a hard life; payments is mid-life.
-    store.controller_mut().age_block(8, 1_000_000)?;
-    store.controller_mut().age_block(0, 50_000)?;
+    engine.controller_mut().age_block(8, 1_000_000)?;
+    engine.controller_mut().age_block(0, 50_000)?;
 
     println!("service directory:");
-    for region in store.regions() {
+    for handle in [payments, media, general] {
+        let region = engine.region(handle)?;
         println!(
             "  {:>9}: blocks {:>2}..{:<2} objective {:?}",
             region.name, region.blocks.start, region.blocks.end, region.objective
         );
     }
 
-    // Traffic: each service gets its own cross-layer configuration,
-    // derived per write from objective + wear.
+    // Traffic: one batch carrying all three services' work. Each service
+    // gets its own cross-layer configuration, derived from objective +
+    // wear (and memoized per wear bucket).
     let record = vec![0xEEu8; 4096];
     let frame = vec![0x21u8; 4096];
     let misc = vec![0x07u8; 4096];
 
-    store.erase("payments", 0)?;
-    store.erase("media", 8)?;
-    store.erase("general", 40)?;
-
-    let w_pay = store.write("payments", 0, 0, &record)?;
-    let w_med = store.write("media", 8, 0, &frame)?;
-    let w_gen = store.write("general", 40, 0, &misc)?;
+    engine.submit(&[
+        Command::erase(payments, 0),
+        Command::erase(media, 8),
+        Command::erase(general, 40),
+        Command::write(payments, 0, 0, record.clone()),
+        Command::write(media, 8, 0, frame.clone()),
+        Command::write(general, 40, 0, misc.clone()),
+        Command::read(payments, 0, 0),
+        Command::read(media, 8, 0),
+    ])?;
+    let completions = engine.poll();
+    let output = |c: &Completion| c.result.clone().expect("command must succeed");
 
     println!("\nper-service write configurations (derived automatically):");
-    println!(
-        "  payments: {} / t={}  ({:.0} us)",
-        w_pay.algorithm,
-        w_pay.t_used,
-        w_pay.latency_s * 1e6
-    );
-    println!(
-        "  media:    {} / t={}  ({:.0} us)",
-        w_med.algorithm,
-        w_med.t_used,
-        w_med.latency_s * 1e6
-    );
-    println!(
-        "  general:  {} / t={}  ({:.0} us)",
-        w_gen.algorithm,
-        w_gen.t_used,
-        w_gen.latency_s * 1e6
-    );
+    let names = ["payments", "media", "general"];
+    let mut writes = completions
+        .iter()
+        .filter(|c| matches!(output(c), CommandOutput::Write(_)));
+    for name in names {
+        if let Some(completion) = writes.next() {
+            if let CommandOutput::Write(w) = output(completion) {
+                println!(
+                    "  {:>9}: {} / t={}  ({:.0} us)",
+                    name,
+                    w.algorithm,
+                    w.t_used,
+                    w.latency_s * 1e6
+                );
+            }
+        }
+    }
 
-    let r_pay = store.read("payments", 0, 0)?;
-    let r_med = store.read("media", 8, 0)?;
-    assert_eq!(r_pay.data, record);
-    assert_eq!(r_med.data, frame);
     println!("\nper-service read latencies:");
+    for completion in &completions {
+        if let CommandOutput::Read(r) = output(completion) {
+            let expected: &[u8] = if completion.service == payments {
+                &record
+            } else {
+                &frame
+            };
+            assert_eq!(r.data, expected);
+            println!(
+                "  {:>9}: {:.0} us (decode {:.1} us at t={})",
+                engine.region(completion.service)?.name,
+                r.latency_s * 1e6,
+                r.decode_s * 1e6,
+                r.t_used
+            );
+        }
+    }
+
+    let batch = engine.last_batch();
     println!(
-        "  payments: {:.0} us (decode {:.1} us at t={})",
-        r_pay.latency_s * 1e6,
-        r_pay.decode_s * 1e6,
-        r_pay.t_used
-    );
-    println!(
-        "  media:    {:.0} us (decode {:.1} us at t={}) — relaxed ECC on a worn block",
-        r_med.latency_s * 1e6,
-        r_med.decode_s * 1e6,
-        r_med.t_used
+        "\nbatch accounting: {} commands, {:.2} ms device time, {:.2} mJ, {} bits corrected",
+        batch.commands,
+        batch.device_latency_s * 1e3,
+        batch.energy_j * 1e3,
+        batch.corrected_bits
     );
 
-    for name in ["payments", "media", "general"] {
-        let s = store.stats(name).unwrap();
+    let stat = |h: ServiceHandle| -> Result<_, mlcx::MlcxError> { engine.stats(h) };
+    for (name, handle) in names.iter().zip([payments, media, general]) {
+        let s = stat(handle)?;
         println!(
             "stats {name:>9}: {} written, {} read, {} bits corrected",
             s.pages_written, s.pages_read, s.corrected_bits

@@ -11,10 +11,7 @@
 //!
 //! Run with: `cargo run --release --example multimedia_playback`
 
-use mlcx::{
-    ConfigCommand, ControllerConfig, MemoryController, Objective, ProgramAlgorithm,
-    SubsystemModel,
-};
+use mlcx::{Command, CommandOutput, EngineBuilder, Objective, ProgramAlgorithm, SubsystemModel};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = SubsystemModel::date2012();
@@ -42,38 +39,52 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert!(mf.log10_uber <= -11.0, "UBER target must hold");
     }
 
-    // Now stream a "video" through the functional datapath at end of life.
-    println!("\nstreaming 32 pages through the functional controller at 1e6 cycles...");
-    let mut ctrl = MemoryController::new(ControllerConfig::date2012(), 42)?;
-    let fast = model.configure(Objective::MaxReadThroughput, 1_000_000);
-    ctrl.apply(ConfigCommand::SetAlgorithm(fast.algorithm))?;
-    ctrl.apply(ConfigCommand::SetCorrection(fast.correction))?;
-    assert_eq!(fast.algorithm, ProgramAlgorithm::IsppDv);
-
-    ctrl.erase_block(0)?;
-    ctrl.age_block(0, 1_000_000)?;
-    ctrl.erase_block(0)?;
+    // Now stream a "video" through the batched engine at end of life:
+    // the max-read-throughput service derives the DV operating point
+    // once for the whole batch and the engine reports aggregate
+    // throughput from the calibrated datapath models.
+    println!("\nstreaming 32 pages through the storage engine at 1e6 cycles...");
+    let mut engine = EngineBuilder::date2012().seed(42).build()?;
+    let stream = engine.register_service("stream", Objective::MaxReadThroughput, 0..8)?;
+    engine.controller_mut().age_block(0, 1_000_000)?;
 
     let frames: Vec<Vec<u8>> = (0..32)
         .map(|f| (0..4096).map(|i| ((i * 7 + f * 131) % 256) as u8).collect())
         .collect();
-    for (p, frame) in frames.iter().enumerate() {
-        ctrl.write_page(0, p, frame)?;
-    }
+    let mut batch = vec![Command::erase(stream, 0)];
+    batch.extend(
+        frames
+            .iter()
+            .enumerate()
+            .map(|(p, frame)| Command::write(stream, 0, p, frame.clone())),
+    );
+    batch.extend((0..32).map(|p| Command::read(stream, 0, p)));
+    engine.submit_owned(batch)?;
 
-    let mut corrected_bits = 0usize;
-    let mut total_latency = 0.0;
-    for (p, frame) in frames.iter().enumerate() {
-        let r = ctrl.read_page(0, p)?;
-        assert!(r.outcome.is_success(), "frame {p} must decode");
-        assert_eq!(&r.data, frame, "frame {p} must be bit-exact");
-        corrected_bits += r.outcome.corrected_bits();
-        total_latency += r.latency_s;
+    let mut frame_idx = 0usize;
+    for completion in engine.poll() {
+        match completion.result.expect("stream batch must succeed") {
+            CommandOutput::Write(w) => assert_eq!(w.algorithm, ProgramAlgorithm::IsppDv),
+            CommandOutput::Read(r) => {
+                assert!(r.outcome.is_success(), "frame {frame_idx} must decode");
+                assert_eq!(
+                    r.data, frames[frame_idx],
+                    "frame {frame_idx} must be bit-exact"
+                );
+                frame_idx += 1;
+            }
+            _ => {}
+        }
     }
+    assert_eq!(frame_idx, 32);
+    let report = engine.last_batch();
     println!(
-        "32 frames delivered bit-exact: {:.1} MB/s sustained, {} raw bit errors corrected",
-        32.0 * 4096.0 / total_latency / 1e6,
-        corrected_bits
+        "32 frames delivered bit-exact: {:.1} MB/s modeled over the batch, \
+         {} raw bit errors corrected, {} schedule derivations for {} commands",
+        (report.bytes_read + report.bytes_written) as f64 / report.device_latency_s / 1e6,
+        report.corrected_bits,
+        report.op_cache_misses,
+        report.commands
     );
     Ok(())
 }

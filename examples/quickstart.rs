@@ -1,60 +1,94 @@
-//! Quickstart: bring up the full memory sub-system, write and read a
-//! page through the adaptive-ECC datapath, and reconfigure it at runtime
+//! Quickstart: bring up the storage engine, submit a mixed batch through
+//! the adaptive-ECC datapath, and reconfigure a service at runtime
 //! across the two cross-layer knobs.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use mlcx::{ConfigCommand, ControllerConfig, MemoryController, ProgramAlgorithm};
+use mlcx::{Command, CommandOutput, EngineBuilder, Objective};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // A controller in the paper's configuration: 4 KiB pages, BCH over
+    // An engine in the paper's configuration: 4 KiB pages, BCH over
     // GF(2^16) with t = 3..=65, ISPP-SV factory default.
-    let mut ctrl = MemoryController::new(ControllerConfig::date2012(), 2012)?;
-    println!("controller: {ctrl:?}");
+    let mut engine = EngineBuilder::date2012().seed(2012).build()?;
+    let general = engine.register_service("general", Objective::Baseline, 0..16)?;
+    println!("engine: {engine:?}");
 
-    // Write a page through load -> encode -> program.
-    ctrl.erase_block(0)?;
+    // A batch: erase, write, read — queued, then executed in one drain.
     let data: Vec<u8> = (0..4096).map(|i| (i % 251) as u8).collect();
-    let w = ctrl.write_page(0, 0, &data)?;
+    engine.submit(&[
+        Command::erase(general, 0),
+        Command::write(general, 0, 0, data.clone()),
+        Command::read(general, 0, 0),
+    ])?;
+    let completions = engine.poll();
+    for completion in &completions {
+        match completion.result.as_ref().expect("batch must succeed") {
+            CommandOutput::Write(w) => println!(
+                "write: {:.0} us total (load {:.1} + encode {:.1} + xfer {:.1} + program {:.0}), {} / t={}",
+                w.latency_s * 1e6,
+                w.load_s * 1e6,
+                w.encode_s * 1e6,
+                w.transfer_s * 1e6,
+                w.program_s * 1e6,
+                w.algorithm,
+                w.t_used
+            ),
+            CommandOutput::Read(r) => {
+                println!(
+                    "read:  {:.0} us total (tR {:.0} + xfer {:.1} + decode {:.1}), outcome: {:?}",
+                    r.latency_s * 1e6,
+                    r.sense_s * 1e6,
+                    r.transfer_s * 1e6,
+                    r.decode_s * 1e6,
+                    r.outcome
+                );
+                assert_eq!(r.data, data);
+            }
+            CommandOutput::Erase { duration_s, .. } => {
+                println!("erase: {:.0} us", duration_s * 1e6)
+            }
+            other => println!("{other:?}"),
+        }
+    }
+    let batch = engine.last_batch();
     println!(
-        "write: {:.0} us total (load {:.1} + encode {:.1} + xfer {:.1} + program {:.0}), {} / t={}",
-        w.latency_s * 1e6,
-        w.load_s * 1e6,
-        w.encode_s * 1e6,
-        w.transfer_s * 1e6,
-        w.program_s * 1e6,
-        w.algorithm,
-        w.t_used
+        "batch: {} commands, {:.2} ms device time, {:.2} mJ",
+        batch.commands,
+        batch.device_latency_s * 1e3,
+        batch.energy_j * 1e3
     );
 
-    // Read it back through tR -> transfer -> decode.
-    let r = ctrl.read_page(0, 0)?;
-    println!(
-        "read:  {:.0} us total (tR {:.0} + xfer {:.1} + decode {:.1}), outcome: {:?}",
-        r.latency_s * 1e6,
-        r.sense_s * 1e6,
-        r.transfer_s * 1e6,
-        r.decode_s * 1e6,
-        r.outcome
-    );
-    assert_eq!(r.data, data);
-
-    // Runtime cross-layer reconfiguration: switch the device to the
-    // double-verify algorithm and relax the ECC — the max-read-throughput
-    // operating point of the paper's Section 6.3.2.
-    ctrl.apply(ConfigCommand::SetAlgorithm(ProgramAlgorithm::IsppDv))?;
-    ctrl.apply(ConfigCommand::SetCorrection(14))?;
-    ctrl.erase_block(1)?;
-    let w2 = ctrl.write_page(1, 0, &data)?;
-    let r2 = ctrl.read_page(1, 0)?;
-    println!(
-        "after cross-layer switch: write {:.0} us ({}), read {:.0} us (t={})",
-        w2.latency_s * 1e6,
-        w2.algorithm,
-        r2.latency_s * 1e6,
-        r2.t_used
-    );
-    assert_eq!(r2.data, data);
+    // Runtime cross-layer reconfiguration: re-bind the service to the
+    // max-read-throughput objective — the engine switches the device to
+    // the double-verify algorithm and relaxes the ECC on the next write
+    // (the operating point of the paper's Section 6.3.2).
+    engine.submit(&[
+        Command::configure(general, Objective::MaxReadThroughput),
+        Command::erase(general, 1),
+        Command::write(general, 1, 0, data.clone()),
+        Command::read(general, 1, 0),
+    ])?;
+    let completions = engine.poll();
+    let (mut w_us, mut w_alg) = (0.0, String::new());
+    for completion in &completions {
+        match completion.result.as_ref().expect("batch must succeed") {
+            CommandOutput::Write(w) => {
+                w_us = w.latency_s * 1e6;
+                w_alg = w.algorithm.to_string();
+            }
+            CommandOutput::Read(r) => {
+                println!(
+                    "after cross-layer switch: write {:.0} us ({}), read {:.0} us (t={})",
+                    w_us,
+                    w_alg,
+                    r.latency_s * 1e6,
+                    r.t_used
+                );
+                assert_eq!(r.data, data);
+            }
+            _ => {}
+        }
+    }
     println!("page data verified through both configurations");
     Ok(())
 }

@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dump("fig05", fig05::table(&fig05::generate(&model)).to_csv())?;
         dump("fig06", fig06::table(&fig06::generate(&model)).to_csv())?;
         dump("fig07", fig07::table(&fig07::generate(&model)).to_csv())?;
-        dump("fig07dv", fig07dv::table(&fig07dv::generate(&model)).to_csv())?;
+        dump(
+            "fig07dv",
+            fig07dv::table(&fig07dv::generate(&model)).to_csv(),
+        )?;
         dump("fig08", fig08::table(&fig08::generate(&model)).to_csv())?;
         dump("fig09", fig09::table(&fig09::generate(&model)).to_csv())?;
         dump("fig10", fig10::table(&fig10::generate(&model)).to_csv())?;

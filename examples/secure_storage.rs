@@ -10,11 +10,22 @@
 use mlcx::{Objective, SubsystemModel};
 
 fn main() {
-    let model = SubsystemModel::date2012();
+    // The builder starts from the paper's calibration; the default build
+    // is identical to `SubsystemModel::date2012()`. Tighten `uber_target`
+    // here to explore stricter mission profiles.
+    let model = SubsystemModel::builder()
+        .build()
+        .expect("date2012 preset is always valid");
     println!("mission-critical storage: min-UBER mode vs baseline\n");
     println!(
         "{:>10} {:>4} {:>22} {:>22} {:>12} {:>12} {:>12}",
-        "cycles", "t", "log10 UBER (base)", "log10 UBER (minUBER)", "read MB/s", "write MB/s", "dPower mW"
+        "cycles",
+        "t",
+        "log10 UBER (base)",
+        "log10 UBER (minUBER)",
+        "read MB/s",
+        "write MB/s",
+        "dPower mW"
     );
 
     for cycles in [1u64, 100, 10_000, 100_000, 1_000_000] {
@@ -39,7 +50,10 @@ fn main() {
             (ms.read_mbps - mb.read_mbps).abs() < 1e-9,
             "read throughput must be untouched"
         );
-        assert!(ms.write_mbps < mb.write_mbps, "write throughput is the price");
+        assert!(
+            ms.write_mbps < mb.write_mbps,
+            "write throughput is the price"
+        );
     }
 
     println!("\nUBER improves by orders of magnitude at identical read throughput;");

@@ -4,7 +4,9 @@
 //! New Reliability-Performance Trade-Offs in MLC NAND Flash Memories",
 //! DATE 2012*: an adaptive BCH memory controller co-configured with
 //! runtime-selectable ISPP program algorithms, on top of complete
-//! simulation substrates for every subsystem the paper models.
+//! simulation substrates for every subsystem the paper models — fronted
+//! by a batched, command-queue [`StorageEngine`] exposing the paper's
+//! "differentiated storage services" to applications.
 //!
 //! ## Layout
 //!
@@ -15,9 +17,43 @@
 //! | [`hv`]  | `mlcx-hv` | Dickson charge pumps, regulators, phase sequencer |
 //! | [`nand`] | `mlcx-nand` | MLC cell/array model, ISPP-SV/DV engines, aging, device |
 //! | [`controller`] | `mlcx-controller` | OCP socket, page buffer, core FSM, reliability manager |
-//! | [`xlayer`] | `mlcx-core` | UBER math, operating points, optimizer, figure experiments |
+//! | [`xlayer`] | `mlcx-core` | storage engine, UBER math, optimizer, figure experiments |
 //!
 //! ## Quickstart
+//!
+//! Bring up the engine, register differentiated services, and push a
+//! batch through the functional datapath:
+//!
+//! ```
+//! use mlcx::{Command, EngineBuilder, Objective};
+//!
+//! let mut engine = EngineBuilder::date2012().seed(7).build()?;
+//! let payments = engine.register_service("payments", Objective::MinUber, 0..8)?;
+//! let media = engine.register_service("media", Objective::MaxReadThroughput, 8..32)?;
+//!
+//! let record = vec![0xEEu8; 4096];
+//! let frame = vec![0x21u8; 4096];
+//! engine.submit(&[
+//!     Command::erase(payments, 0),
+//!     Command::erase(media, 8),
+//!     Command::write(payments, 0, 0, record.clone()),
+//!     Command::write(media, 8, 0, frame.clone()),
+//!     Command::read(payments, 0, 0),
+//!     Command::read(media, 8, 0),
+//! ])?;
+//! let completions = engine.poll();
+//! assert!(completions.iter().all(|c| c.result.is_ok()));
+//!
+//! // Per-batch accounting comes straight from the calibrated models.
+//! let batch = engine.last_batch();
+//! assert_eq!(batch.commands, 6);
+//! assert!(batch.device_latency_s > 0.0 && batch.energy_j > 0.0);
+//! # Ok::<(), mlcx::MlcxError>(())
+//! ```
+//!
+//! The analytic trade-off space is available without a device, through
+//! [`SubsystemModel`] (every knob overridable via
+//! [`SubsystemModel::builder`]):
 //!
 //! ```
 //! use mlcx::{Objective, SubsystemModel};
@@ -30,7 +66,8 @@
 //!
 //! Run `cargo run --example reproduce_figures` to regenerate every table
 //! and figure of the paper's evaluation; see `EXPERIMENTS.md` for the
-//! paper-vs-measured record.
+//! paper-vs-measured record and the `ServicedStore` → [`StorageEngine`]
+//! migration notes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,8 +81,12 @@ pub use mlcx_nand as nand;
 
 pub use mlcx_bch::{AdaptiveBch, BchCode, DecodeOutcome};
 pub use mlcx_controller::{
-    ConfigCommand, ControllerConfig, CtrlError, MemoryController, ReliabilityManager,
-    ReliabilityPolicy, ServiceLevel,
+    ConfigCommand, ControllerConfig, ControllerConfigBuilder, CtrlError, MemoryController,
+    ReadReport, ReliabilityManager, ReliabilityPolicy, ServiceLevel, WriteReport,
 };
-pub use mlcx_core::{Metrics, Objective, OperatingPoint, SubsystemModel};
+pub use mlcx_core::{
+    BatchReport, CmdId, Command, CommandOutput, Completion, EngineBuilder, Metrics, MlcxError,
+    Objective, OperatingPoint, ServiceError, ServiceHandle, ServiceRegion, ServiceStats,
+    ServicedStore, StorageEngine, SubsystemModel, SubsystemModelBuilder, WearBucketing,
+};
 pub use mlcx_nand::{AgingModel, MlcLevel, NandDevice, ProgramAlgorithm};

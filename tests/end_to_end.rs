@@ -3,8 +3,8 @@
 //! the `mlcx` facade.
 
 use mlcx::{
-    ConfigCommand, ControllerConfig, DecodeOutcome, MemoryController, Objective,
-    ProgramAlgorithm, SubsystemModel,
+    ConfigCommand, ControllerConfig, DecodeOutcome, MemoryController, Objective, ProgramAlgorithm,
+    SubsystemModel,
 };
 
 fn fresh_controller(seed: u64) -> MemoryController {
@@ -22,7 +22,8 @@ fn worn_device_served_by_scheduled_ecc() {
     let mut ctrl = fresh_controller(11);
     ctrl.age_block(2, cycles).unwrap();
     ctrl.erase_block(2).unwrap();
-    ctrl.apply(ConfigCommand::SetCorrection(op.correction)).unwrap();
+    ctrl.apply(ConfigCommand::SetCorrection(op.correction))
+        .unwrap();
 
     let pages = 12;
     let payload: Vec<Vec<u8>> = (0..pages)
@@ -40,7 +41,10 @@ fn worn_device_served_by_scheduled_ecc() {
     }
     // At 2e5 cycles the SV RBER is ~4.7e-4: a 12-page batch carries
     // hundreds of raw bit errors; all must have been corrected.
-    assert!(corrected > 20, "expected raw errors at mid-life, got {corrected}");
+    assert!(
+        corrected > 20,
+        "expected raw errors at mid-life, got {corrected}"
+    );
 }
 
 #[test]
@@ -120,9 +124,7 @@ fn reliability_manager_closed_loop_converges_to_schedule() {
     // analytic schedule without knowing the RBER model.
     let cycles = 1_000_000u64;
     let model = SubsystemModel::date2012();
-    let scheduled = model
-        .configure(Objective::Baseline, cycles)
-        .correction;
+    let scheduled = model.configure(Objective::Baseline, cycles).correction;
 
     let mut ctrl = fresh_controller(21);
     let mut mgr = ReliabilityManager::new(ReliabilityPolicy {

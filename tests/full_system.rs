@@ -2,70 +2,93 @@
 //! the self-adaptive reliability loop running together on one device.
 
 use mlcx::nand::disturb::DisturbModel;
-use mlcx::xlayer::services::ServicedStore;
 use mlcx::{
-    ControllerConfig, MemoryController, Objective, ProgramAlgorithm, SubsystemModel,
+    Command, CommandOutput, ControllerConfig, EngineBuilder, MemoryController, Objective,
+    ProgramAlgorithm,
 };
 
 #[test]
 fn serviced_device_with_disturb_survives_mixed_workload() {
-    let mut ctrl = MemoryController::new(ControllerConfig::date2012(), 4242).unwrap();
+    let mut engine = EngineBuilder::date2012().seed(4242).build().unwrap();
     // Real-world mechanisms on (moderate constants).
-    ctrl.device_mut().set_disturb_model(DisturbModel {
-        read_disturb_per_read: 1e-9,
-        retention_scale: 2.5e-5,
-        retention_wear_exponent: 0.5,
-        reference_cycles: 1e6,
-    });
+    engine
+        .controller_mut()
+        .device_mut()
+        .set_disturb_model(DisturbModel {
+            read_disturb_per_read: 1e-9,
+            retention_scale: 2.5e-5,
+            retention_wear_exponent: 0.5,
+            reference_cycles: 1e6,
+        });
 
-    let mut store = ServicedStore::new(ctrl, SubsystemModel::date2012());
-    store
-        .add_region("payments", Objective::MinUber, 0..4)
+    let payments = engine
+        .register_service("payments", Objective::MinUber, 0..4)
         .unwrap();
-    store
-        .add_region("media", Objective::MaxReadThroughput, 4..12)
+    let media = engine
+        .register_service("media", Objective::MaxReadThroughput, 4..12)
         .unwrap();
 
     // Wear: payments mid-life, media end-of-life.
-    store.controller_mut().age_block(0, 100_000).unwrap();
-    store.controller_mut().age_block(4, 1_000_000).unwrap();
-    store.erase("payments", 0).unwrap();
-    store.erase("media", 4).unwrap();
+    engine.controller_mut().age_block(0, 100_000).unwrap();
+    engine.controller_mut().age_block(4, 1_000_000).unwrap();
 
-    // Mixed traffic with a retention gap in the middle.
+    // Mixed traffic, batched: erases, then interleaved per-service
+    // writes (submission queues keep each service FIFO).
     let record: Vec<u8> = (0..4096).map(|i| (i * 7) as u8).collect();
     let clip: Vec<u8> = (0..4096).map(|i| (i * 13 + 5) as u8).collect();
+    let mut cmds = vec![Command::erase(payments, 0), Command::erase(media, 4)];
     for page in 0..4 {
-        store.write("payments", 0, page, &record).unwrap();
-        store.write("media", 4, page, &clip).unwrap();
+        cmds.push(Command::write(payments, 0, page, record.clone()));
+        cmds.push(Command::write(media, 4, page, clip.clone()));
     }
-    store
+    engine.submit_owned(cmds).unwrap();
+    for c in engine.poll() {
+        assert!(c.result.is_ok(), "{:?}", c.result);
+    }
+
+    engine
         .controller_mut()
         .device_mut()
         .advance_time_hours(24.0 * 30.0); // a month on the shelf
 
     for _round in 0..10 {
+        let mut reads = Vec::new();
         for page in 0..4 {
-            let rp = store.read("payments", 0, page).unwrap();
-            assert!(rp.outcome.is_success());
-            assert_eq!(rp.data, record);
-            let rm = store.read("media", 4, page).unwrap();
-            assert!(rm.outcome.is_success());
-            assert_eq!(rm.data, clip);
+            reads.push(Command::read(payments, 0, page));
+            reads.push(Command::read(media, 4, page));
+        }
+        engine.submit_owned(reads).unwrap();
+        for c in engine.poll() {
+            match c.result.unwrap() {
+                CommandOutput::Read(r) => {
+                    assert!(r.outcome.is_success());
+                    let expected = if c.service == payments {
+                        &record
+                    } else {
+                        &clip
+                    };
+                    assert_eq!(&r.data, expected);
+                }
+                other => panic!("expected read, got {other:?}"),
+            }
         }
     }
 
     // The worn media region needed real correction work.
-    let media_stats = store.stats("media").unwrap();
+    let media_stats = engine.stats(media).unwrap();
     assert!(media_stats.corrected_bits > 0, "EOL region must see errors");
     assert_eq!(media_stats.pages_read, 40);
 
-    // Payments pages were written with ISPP-DV at the SV schedule:
-    // verify the configuration stuck by re-reading the write reports'
-    // invariants through a fresh write.
-    let w = store.write("payments", 0, 4 % 4 + 4 - 4, &record);
-    // page 0 already written -> controller surfaces the device error.
-    assert!(w.is_err(), "overwrite must be rejected end-to-end");
+    // Page 0 is already written: an overwrite without erase must be
+    // rejected end-to-end, as a completion-level device error.
+    engine
+        .submit(&[Command::write(payments, 0, 0, record.clone())])
+        .unwrap();
+    let completions = engine.poll();
+    assert!(
+        completions[0].result.is_err(),
+        "overwrite must be rejected end-to-end"
+    );
 }
 
 #[test]

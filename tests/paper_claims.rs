@@ -29,7 +29,11 @@ fn claim_fig5_one_order_rber_improvement() {
     let rows = fig05::generate(&model());
     for r in &rows {
         let ratio = r.rber_sv / r.rber_dv;
-        assert!((8.0..15.0).contains(&ratio), "ratio {ratio} at {}", r.cycles);
+        assert!(
+            (8.0..15.0).contains(&ratio),
+            "ratio {ratio} at {}",
+            r.cycles
+        );
     }
 }
 
@@ -120,7 +124,11 @@ fn claim_fig11_read_gain_and_power_relaxation() {
     let m = model();
     let rows = fig11::generate(&m);
     let eol = rows.last().unwrap();
-    assert!((25.0..35.0).contains(&eol.gain_percent), "{}", eol.gain_percent);
+    assert!(
+        (25.0..35.0).contains(&eol.gain_percent),
+        "{}",
+        eol.gain_percent
+    );
     assert!(eol.cross_layer_log10_uber <= -11.0 + 1e-9);
 
     let base = m.configure(Objective::Baseline, 1_000_000);
