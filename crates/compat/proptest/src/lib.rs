@@ -19,7 +19,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::RngExt;
 
-    /// The element-count specification of [`vec`].
+    /// The element-count specification of [`vec()`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,

@@ -431,6 +431,13 @@ impl MemoryController {
         Ok(())
     }
 
+    /// Ages every block by `cycles` P/E cycles — the lifetime
+    /// fast-forward hook of the workload simulator. See
+    /// [`mlcx_nand::NandDevice::age_all`] for the retention semantics.
+    pub fn age_all(&mut self, cycles: u64) {
+        self.device.age_all(cycles);
+    }
+
     /// Full write datapath: buffer load -> ECC encode -> data-in transfer
     /// -> ISPP program.
     ///

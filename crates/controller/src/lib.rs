@@ -58,5 +58,6 @@ pub use controller::{
     ControllerConfig, ControllerConfigBuilder, MemoryController, ReadReport, WriteReport,
 };
 pub use error::CtrlError;
+pub use ftl::{Ftl, FtlError, FtlOp, FtlStats, LogicalMap};
 pub use regs::{ConfigCommand, RegisterFile, ServiceLevel, StatusFlags};
 pub use reliability::{ReliabilityManager, ReliabilityPolicy};

@@ -12,6 +12,7 @@ use std::error::Error;
 use std::fmt;
 
 use mlcx_bch::BchError;
+use mlcx_controller::ftl::FtlError;
 use mlcx_controller::CtrlError;
 use mlcx_nand::NandError;
 
@@ -48,6 +49,9 @@ pub enum MlcxError {
         /// Human-readable reason.
         reason: String,
     },
+    /// Flash-translation-layer failure (address range, reclaimable
+    /// space) from the workload simulator's logical datapath.
+    Ftl(FtlError),
 }
 
 impl fmt::Display for MlcxError {
@@ -69,6 +73,7 @@ impl fmt::Display for MlcxError {
             MlcxError::InvalidConfig { reason } => {
                 write!(f, "invalid configuration: {reason}")
             }
+            MlcxError::Ftl(e) => write!(f, "ftl: {e}"),
         }
     }
 }
@@ -80,6 +85,7 @@ impl Error for MlcxError {
             MlcxError::Ctrl(e) => Some(e),
             MlcxError::Nand(e) => Some(e),
             MlcxError::Ecc(e) => Some(e),
+            MlcxError::Ftl(e) => Some(e),
             _ => None,
         }
     }
@@ -111,6 +117,17 @@ impl From<NandError> for MlcxError {
 impl From<BchError> for MlcxError {
     fn from(e: BchError) -> Self {
         MlcxError::Ecc(e)
+    }
+}
+
+impl From<FtlError> for MlcxError {
+    fn from(e: FtlError) -> Self {
+        // A propagated controller error is a datapath fact, not a
+        // translation-layer fact: surface it under its own variant.
+        match e {
+            FtlError::Ctrl(c) => MlcxError::Ctrl(c),
+            other => MlcxError::Ftl(other),
+        }
     }
 }
 

@@ -22,6 +22,10 @@
 //! * [`experiments`] — one generator per evaluation figure (Fig. 4-11
 //!   plus the ISPP-DV twin of Fig. 7 lost from the camera-ready), each
 //!   rendering the same series the paper plots.
+//! * [`sim`] — trace-driven workload and lifetime simulation: synthetic
+//!   trace generators, a [`Scenario`] builder for multi-service mixes
+//!   across wear fast-forwards, and a [`WorkloadRunner`] routing
+//!   logical traffic through the FTL and the batched engine.
 //!
 //! # Example
 //!
@@ -49,6 +53,7 @@ pub mod experiments;
 pub mod policy;
 pub mod report;
 pub mod services;
+pub mod sim;
 pub mod uber;
 
 pub use engine::{
@@ -59,3 +64,4 @@ pub use error::MlcxError;
 pub use model::{Metrics, OperatingPoint, SubsystemModel, SubsystemModelBuilder};
 pub use policy::Objective;
 pub use services::{ServiceError, ServiceRegion, ServiceStats, ServicedStore};
+pub use sim::{Scenario, ScenarioReport, TraceGenerator, TraceKind, WorkloadRunner};

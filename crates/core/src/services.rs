@@ -4,7 +4,7 @@
 //! The conclusions promise to "implement the memory controller taking
 //! advantage of the new trade-offs, thus exposing differentiated storage
 //! services to applications". The batched realization of that promise is
-//! [`StorageEngine`](crate::engine::StorageEngine); this module owns the
+//! [`StorageEngine`]; this module owns the
 //! service-directory vocabulary it builds on ([`ServiceRegion`],
 //! [`ServiceStats`], [`ServiceError`]) plus [`ServicedStore`], the
 //! original synchronous per-page API, kept as a thin shim over the
@@ -128,13 +128,17 @@ fn legacy_error(e: MlcxError) -> ServiceError {
 /// A memory controller fronted by a service directory — the original
 /// synchronous, one-call-per-page API.
 ///
-/// **Legacy shim.** New code should drive
-/// [`StorageEngine`](crate::engine::StorageEngine) directly: it batches,
-/// reports per-batch accounting, and memoizes operating-point
-/// derivation. `ServicedStore` deliberately runs the engine in
-/// [`WearBucketing::PerPage`] mode so it keeps the original semantics —
-/// the cross-layer configuration is re-derived from the region's wear on
-/// *every* write.
+/// **Deprecated (legacy shim).** New code should drive
+/// [`StorageEngine`] directly: it batches, reports per-batch
+/// accounting, and memoizes operating-point derivation — and the
+/// workload simulator ([`crate::sim`]) only speaks the engine API. The
+/// shim is kept (not attribute-deprecated, to keep the workspace
+/// warning-free) for existing callers and as the sequential baseline
+/// the `engine_batch` bench measures against; it deliberately runs the
+/// engine in [`WearBucketing::PerPage`] mode so it keeps the original
+/// semantics — the cross-layer configuration is re-derived from the
+/// region's wear on *every* write. Expect removal once nothing measures
+/// against it.
 ///
 /// # Example
 ///

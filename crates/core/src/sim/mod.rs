@@ -1,0 +1,48 @@
+//! Trace-driven workload and lifetime simulation.
+//!
+//! The paper's cross-layer trade-offs (per-service reliability vs.
+//! performance objectives) only become visible under realistic host
+//! workloads aged over P/E cycles — a hand-rolled 64-page batch shows
+//! the mechanism, not the behavior. This module closes that gap with
+//! three pieces:
+//!
+//! * [`trace`] — deterministic synthetic trace generators
+//!   ([`TraceGenerator`]) over five access-pattern families
+//!   ([`TraceKind`]): sequential logging, uniform random, zipf-like
+//!   hot/cold skew, read-mostly serving and bursty ingest. Seeded via
+//!   the workspace's deterministic `rand` stub: a `(kind, capacity,
+//!   seed)` triple always replays the same stream.
+//! * [`WorkloadRunner`] — compiles trace operations into
+//!   [`Command`](crate::engine::Command) batches per service and drives
+//!   them through [`StorageEngine::submit`](crate::engine::StorageEngine::submit)
+//!   / [`poll`](crate::engine::StorageEngine::poll). Logical addresses
+//!   route through a per-service
+//!   [`LogicalMap`](mlcx_controller::ftl::LogicalMap) (the FTL planning
+//!   core), so overwrites, garbage collection and write amplification
+//!   run on the real datapath — relocation writes re-encode at the
+//!   service's current cross-layer operating point.
+//! * [`Scenario`] — the declarative description of a multi-service mix
+//!   (e.g. a `MaxReadThroughput` log service contending with a
+//!   `MinUber` archive service) across lifetime phases, each phase
+//!   optionally fast-forwarding wear via
+//!   `MemoryController::age_all` (backed by
+//!   [`AgingModel`](mlcx_nand::AgingModel)'s RBER curves at the next
+//!   program). [`Scenario::run`] produces a [`ScenarioReport`] with
+//!   per-phase, per-service latency percentiles (p50/p95/p99), energy,
+//!   measured and modeled RBER, modeled UBER, FTL counters and write
+//!   amplification — and ends with a verification sweep that reads
+//!   every mapped page back, so data integrity across GC and aging is
+//!   asserted, not assumed.
+//!
+//! Determinism is end to end: the engine's error-injection stream, the
+//! trace streams and the payload derivation are all functions of the
+//! scenario seed, so a report reproduces exactly.
+
+pub mod scenario;
+pub mod trace;
+
+pub use scenario::{
+    LatencyStats, PhaseReport, PhaseSpec, Scenario, ScenarioBuilder, ScenarioReport,
+    ServicePhaseReport, ServiceSpec, WorkloadRunner,
+};
+pub use trace::{TraceGenerator, TraceKind, TraceOp};

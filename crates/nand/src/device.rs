@@ -260,6 +260,30 @@ impl NandDevice {
         Ok(())
     }
 
+    /// Ages every block by `cycles` P/E cycles — the whole-device
+    /// lifetime fast-forward the workload simulator uses between trace
+    /// phases. Already-programmed pages keep the RBER of their
+    /// program-time wear; only subsequent programs see the new age.
+    pub fn age_all(&mut self, cycles: u64) {
+        for block in &mut self.blocks {
+            block.pe_cycles += cycles;
+        }
+    }
+
+    /// The highest P/E cycle count across all blocks.
+    pub fn max_cycles(&self) -> u64 {
+        self.blocks.iter().map(|b| b.pe_cycles).max().unwrap_or(0)
+    }
+
+    /// The mean P/E cycle count across all blocks (rounded down).
+    pub fn mean_cycles(&self) -> u64 {
+        if self.blocks.is_empty() {
+            return 0;
+        }
+        let total: u128 = self.blocks.iter().map(|b| u128::from(b.pe_cycles)).sum();
+        (total / self.blocks.len() as u128) as u64
+    }
+
     /// Selects the program algorithm (the runtime knob of the paper).
     ///
     /// # Errors

@@ -84,9 +84,11 @@ pub use mlcx_controller::{
     ConfigCommand, ControllerConfig, ControllerConfigBuilder, CtrlError, MemoryController,
     ReadReport, ReliabilityManager, ReliabilityPolicy, ServiceLevel, WriteReport,
 };
+pub use mlcx_controller::{Ftl, FtlError, FtlOp, FtlStats, LogicalMap};
 pub use mlcx_core::{
     BatchReport, CmdId, Command, CommandOutput, Completion, EngineBuilder, Metrics, MlcxError,
-    Objective, OperatingPoint, ServiceError, ServiceHandle, ServiceRegion, ServiceStats,
-    ServicedStore, StorageEngine, SubsystemModel, SubsystemModelBuilder, WearBucketing,
+    Objective, OperatingPoint, Scenario, ScenarioReport, ServiceError, ServiceHandle,
+    ServiceRegion, ServiceStats, ServicedStore, StorageEngine, SubsystemModel,
+    SubsystemModelBuilder, TraceGenerator, TraceKind, WearBucketing, WorkloadRunner,
 };
-pub use mlcx_nand::{AgingModel, MlcLevel, NandDevice, ProgramAlgorithm};
+pub use mlcx_nand::{AgingModel, DeviceGeometry, MlcLevel, NandDevice, ProgramAlgorithm};

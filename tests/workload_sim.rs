@@ -1,0 +1,224 @@
+//! Integration coverage of the workload/lifetime simulator: multi-service
+//! scenarios through the batched engine + FTL, data integrity across
+//! garbage collection and wear fast-forwards, and end-to-end determinism
+//! from a fixed seed.
+
+use mlcx::xlayer::engine::EngineBuilder;
+use mlcx::xlayer::sim::{Scenario, ScenarioReport, TraceKind};
+use mlcx::{ControllerConfig, DeviceGeometry, Objective};
+
+/// A 16-block x 8-page device keeps GC-heavy scenarios fast while the
+/// datapath (BCH codec, error injection, latency/energy models) stays
+/// the paper's.
+fn small_engine() -> EngineBuilder {
+    let mut config = ControllerConfig::date2012();
+    config.geometry = DeviceGeometry {
+        blocks: 16,
+        pages_per_block: 8,
+        ..config.geometry
+    };
+    EngineBuilder::date2012().controller_config(config)
+}
+
+/// The acceptance-criteria mix: three services over three distinct trace
+/// kinds and all three objectives, with lifetime fast-forwards to
+/// mid-life and end of life.
+fn mixed_scenario(seed: u64) -> Scenario {
+    Scenario::builder()
+        .engine(small_engine())
+        .seed(seed)
+        .batch_size(32)
+        .prefill(true)
+        .service(
+            "log",
+            Objective::MaxReadThroughput,
+            0..4,
+            TraceKind::Sequential,
+        )
+        .service("archive", Objective::MinUber, 4..8, TraceKind::zipfian())
+        .service(
+            "serve",
+            Objective::Baseline,
+            8..12,
+            TraceKind::read_mostly(),
+        )
+        .phase("fresh", 40, 100_000)
+        .phase("mid-life", 30, 900_000)
+        .phase("end-of-life", 20, 0)
+        .build()
+        .expect("scenario must validate")
+}
+
+/// A smaller mix for the determinism assertions (three full runs).
+fn tiny_scenario(seed: u64) -> Scenario {
+    Scenario::builder()
+        .engine(small_engine())
+        .seed(seed)
+        .batch_size(16)
+        .service(
+            "log",
+            Objective::MaxReadThroughput,
+            0..3,
+            TraceKind::Sequential,
+        )
+        .service("kv", Objective::Baseline, 3..6, TraceKind::zipfian())
+        .phase("a", 25, 200_000)
+        .phase("b", 15, 0)
+        .build()
+        .expect("scenario must validate")
+}
+
+#[test]
+fn multi_service_mix_round_trips_across_gc_and_wear() {
+    let report = mixed_scenario(42).run().expect("scenario must run");
+
+    // Integrity: every page read during the phases and the closing
+    // verification sweep matched its expected payload.
+    assert_eq!(report.integrity_violations, 0, "data corrupted in flight");
+    assert_eq!(report.read_failures, 0, "ECC must hold at every wear");
+    assert!(report.verified_pages > 0);
+
+    // prefill + 3 phases + verify.
+    assert_eq!(report.phases.len(), 5);
+    let by_name = |name: &str| {
+        report
+            .phases
+            .iter()
+            .find(|p| p.name == name)
+            .unwrap_or_else(|| panic!("missing phase {name}"))
+    };
+
+    // Every configured phase reports all three services with energy,
+    // percentiles and write amplification.
+    for phase in ["fresh", "mid-life", "end-of-life"] {
+        let p = by_name(phase);
+        assert_eq!(p.services.len(), 3, "{phase}");
+        assert!(p.energy_j > 0.0, "{phase}");
+        assert!(p.device_time_s > 0.0, "{phase}");
+        for s in &p.services {
+            assert!(s.write_amplification >= 1.0, "{phase}/{}", s.service);
+            // Objectives hold the paper's UBER target at every wear.
+            assert!(
+                s.model_log10_uber <= -11.0 + 1e-9,
+                "{phase}/{}: log10 UBER = {}",
+                s.service,
+                s.model_log10_uber
+            );
+            if s.writes > 0 {
+                assert!(s.write_latency.p50_s > 0.0);
+                assert!(s.write_latency.p99_s >= s.write_latency.p95_s);
+                assert!(s.write_latency.p95_s >= s.write_latency.p50_s);
+            }
+            if s.reads > 0 {
+                assert!(s.read_latency.p50_s > 0.0);
+                assert!(s.read_latency.p99_s >= s.read_latency.p50_s);
+            }
+        }
+    }
+
+    // The sequential log sweeps its whole region cyclically: it must
+    // overwrite and therefore garbage-collect.
+    let log = &by_name("mid-life").services[0];
+    assert_eq!(log.service, "log");
+    assert!(
+        log.ftl.gc_runs > 0 && log.ftl.relocated_pages > 0,
+        "circular log must trigger GC: {:?}",
+        log.ftl
+    );
+
+    // Wear accrues monotonically through traffic + fast-forwards.
+    let fresh = &by_name("fresh").services[1];
+    let mid = &by_name("mid-life").services[1];
+    let eol = &by_name("end-of-life").services[1];
+    assert!(fresh.max_wear < 100_000);
+    assert!(mid.max_wear >= 100_000);
+    assert!(eol.max_wear >= 1_000_000);
+
+    // The RBER model tracks the fast-forwards: end-of-life error rates
+    // are orders of magnitude above fresh ones, and the measured rate
+    // (corrected bits / codeword bits) agrees with the model within a
+    // factor a short Monte-Carlo run can resolve.
+    assert!(eol.model_rber > fresh.model_rber * 50.0);
+    if eol.reads > 20 {
+        let ratio = eol.measured_rber / eol.model_rber;
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "measured {:.3e} vs model {:.3e}",
+            eol.measured_rber,
+            eol.model_rber
+        );
+    }
+}
+
+#[test]
+fn scenario_reproduces_exactly_from_a_fixed_seed() {
+    let a: ScenarioReport = tiny_scenario(7).run().unwrap();
+    let b: ScenarioReport = tiny_scenario(7).run().unwrap();
+    assert_eq!(a, b, "same seed must reproduce the identical report");
+
+    let c = tiny_scenario(8).run().unwrap();
+    assert_ne!(a, c, "a different seed must change the run");
+    // ...but not its integrity.
+    assert_eq!(c.integrity_violations, 0);
+}
+
+#[test]
+fn every_objective_survives_eol_overwrite_traffic() {
+    // One service per objective, all under the zipf overwrite pattern,
+    // aged to end of life mid-run: integrity must hold through GC at
+    // every operating point.
+    for objective in Objective::ALL {
+        let scenario = Scenario::builder()
+            .engine(small_engine())
+            .seed(13)
+            .service("svc", objective, 0..5, TraceKind::zipfian())
+            .phase("young", 60, 1_000_000)
+            .phase("eol", 30, 0)
+            .build()
+            .unwrap();
+        let report = scenario.run().unwrap();
+        assert_eq!(
+            report.integrity_violations, 0,
+            "{objective:?}: corruption under GC + EOL wear"
+        );
+        assert_eq!(report.read_failures, 0, "{objective:?}");
+        let eol = report.phases.iter().find(|p| p.name == "eol").unwrap();
+        assert!(eol.services[0].max_wear >= 1_000_000);
+        assert!(eol.services[0].writes > 0);
+    }
+}
+
+#[test]
+fn write_burst_and_uniform_traces_drive_the_engine() {
+    // The remaining trace kinds run end-to-end too (satellite coverage:
+    // all five kinds exercised against the real datapath somewhere).
+    let scenario = Scenario::builder()
+        .engine(small_engine())
+        .seed(5)
+        .service(
+            "ingest",
+            Objective::Baseline,
+            0..6,
+            TraceKind::WriteBurst { burst_len: 12 },
+        )
+        .service(
+            "scratch",
+            Objective::Baseline,
+            6..12,
+            TraceKind::UniformRandom,
+        )
+        .phase("only", 60, 0)
+        .build()
+        .unwrap();
+    let report = scenario.run().unwrap();
+    assert_eq!(report.integrity_violations, 0);
+    let p = &report.phases[0];
+    let ingest = &p.services[0];
+    assert!(
+        ingest.writes > 40,
+        "bursts must dominate: {}",
+        ingest.writes
+    );
+    let scratch = &p.services[1];
+    assert!(scratch.writes > 0 && scratch.reads + scratch.cold_reads > 0);
+}
