@@ -13,10 +13,16 @@
 //! instead of 32 times. Both paths run the identical functional
 //! datapath — real BCH encode/decode against the error-injected NAND
 //! model — so the delta isolates what the queued API buys.
+//!
+//! `MLCX_SMOKE=1` (the CI mode): the functional and structural
+//! assertions all run, wall-clock sampling shrinks to one short paired
+//! round (recorded for the bench gate, not asserted — the gate's
+//! tolerance band owns that call), and the Criterion pass is skipped.
 
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mlcx_bench::{smoke, BenchResult};
 use mlcx_controller::{ControllerConfig, MemoryController};
 use mlcx_core::engine::{Command, EngineBuilder, ServiceHandle, StorageEngine};
 use mlcx_core::services::ServicedStore;
@@ -188,20 +194,61 @@ fn bench(c: &mut Criterion) {
 
     // The structural advantage is deterministic: one schedule
     // derivation per same-wear service batch instead of one per write.
+    let batch = *engine.last_batch();
     assert_eq!(
-        engine.last_batch().op_cache_misses,
-        1,
+        batch.op_cache_misses, 1,
         "the engine must derive the ingest schedule once per batch"
     );
-    assert_eq!(engine.last_batch().op_cache_hits, WRITES as u64 - 1);
+    assert_eq!(batch.op_cache_hits, WRITES as u64 - 1);
+    // Single-die topology: the parallel makespan is the serial sum.
+    assert!((batch.parallel_latency_s - batch.device_latency_s).abs() < 1e-12);
+
+    let mut record = BenchResult::new(
+        "engine_batch",
+        "64-page mixed batch, paired alternating medians vs sequential ServicedStore",
+    );
+    record.exact = vec![
+        ("commands".into(), batch.commands as f64),
+        ("op_cache_misses".into(), batch.op_cache_misses as f64),
+        ("op_cache_hits".into(), batch.op_cache_hits as f64),
+        ("knob_writes".into(), batch.knob_writes as f64),
+    ];
+    record.modeled = vec![
+        ("device_latency_s".into(), batch.device_latency_s),
+        ("parallel_latency_s".into(), batch.parallel_latency_s),
+        ("energy_j".into(), batch.energy_j),
+    ];
+
+    if smoke() {
+        // One short paired round for the gate's wall record; the
+        // ordering assertion stays full-mode (CI noise is the gate's
+        // tolerance band to judge).
+        let (batched_s, sequential_s, paired_diff_s) =
+            measure_round(&mut engine, ingest, library, &mut store, 8);
+        println!(
+            "smoke round: batched {:.3} ms, sequential {:.3} ms, paired diff {:+.0} us",
+            batched_s * 1e3,
+            sequential_s * 1e3,
+            paired_diff_s * 1e6
+        );
+        record.wall = vec![
+            ("batched_s".into(), batched_s),
+            ("sequential_s".into(), sequential_s),
+        ];
+        record.write();
+        println!("smoke mode: skipping the full paired rounds and the Criterion pass");
+        return;
+    }
 
     // The wall-clock advantage is systematic but small (~1-3%), so a
     // noisy environment can mask a single round: measure paired
     // medians, retrying up to 3 rounds before declaring a regression.
     let mut verdict = None;
+    let mut recorded_wall = (0.0, 0.0);
     for round in 0..3 {
         let (batched_s, sequential_s, paired_diff_s) =
             measure_round(&mut engine, ingest, library, &mut store, 24);
+        recorded_wall = (batched_s, sequential_s);
         let batched_pps = pages / batched_s;
         let sequential_pps = pages / sequential_s;
         println!(
@@ -231,6 +278,11 @@ fn bench(c: &mut Criterion) {
     let (batched_pps, sequential_pps) =
         verdict.expect("batched submission must beat sequential per-page calls within 3 rounds");
     assert!(batched_pps > sequential_pps);
+    record.wall = vec![
+        ("batched_s".into(), recorded_wall.0),
+        ("sequential_s".into(), recorded_wall.1),
+    ];
+    record.write();
 
     // --- Criterion timings for the record.
     let mut group = c.benchmark_group("engine_batch");

@@ -18,23 +18,21 @@
 //! engine_batch).
 //!
 //! Set `MLCX_SMOKE=1` to run a single tiny iteration (the CI bit-rot
-//! guard): wall-clock sampling is skipped, every functional assertion
-//! still runs. The `baseline:` JSON line is the record stored under
-//! `crates/bench/baselines/workload_mix.json`.
+//! guard): wall-clock sampling shrinks to one short paired round, the
+//! Criterion pass is skipped, every functional assertion still runs.
+//! Each run writes a machine-readable record the `bench_gate` binary
+//! compares against `crates/bench/baselines/workload_mix.json`.
 
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use mlcx_bench::{smoke, BenchResult};
 use mlcx_controller::ControllerConfig;
 use mlcx_core::engine::{EngineBuilder, WearBucketing};
 use mlcx_core::sim::{Scenario, ScenarioReport, TraceKind};
 use mlcx_core::Objective;
 use mlcx_nand::DeviceGeometry;
 use std::hint::black_box;
-
-fn smoke() -> bool {
-    std::env::var("MLCX_SMOKE").is_ok_and(|v| v == "1")
-}
 
 /// The scenario under test: two services, two lifetime phases with a
 /// fast-forward to end of life between them.
@@ -121,25 +119,6 @@ fn bench(c: &mut Criterion) {
         perpage_report.op_cache_misses, log2_report.op_cache_misses, log2_report.op_cache_hits,
     );
 
-    if smoke() {
-        println!("smoke mode: skipping paired wall-clock sampling");
-        return;
-    }
-
-    // Paired wall-clock record (reported, not asserted — the BCH
-    // datapath dominates and the delta sits near the noise floor).
-    let (log2_s, perpage_s, paired_diff_s) = measure_round(ops, 7);
-    println!("\n===== workload_mix paired timings =====");
-    println!("memoized (Log2)    : {:>9.3} ms/scenario", log2_s * 1e3);
-    println!("re-derive (PerPage): {:>9.3} ms/scenario", perpage_s * 1e3);
-    println!(
-        "memoization delta: {:+.1}% (paired-median {:+.0} us)",
-        (perpage_s / log2_s - 1.0) * 100.0,
-        paired_diff_s * 1e6
-    );
-
-    // The recorded baseline, one JSON line (stored under
-    // crates/bench/baselines/workload_mix.json).
     let kv_eol = log2_report
         .phases
         .iter()
@@ -148,20 +127,59 @@ fn bench(c: &mut Criterion) {
         .services
         .first()
         .expect("kv service");
-    println!(
-        "baseline: {{\"bench\":\"workload_mix\",\"ops_per_service_per_phase\":{ops},\
-         \"log2_s\":{log2_s:.6},\"perpage_s\":{perpage_s:.6},\
-         \"op_derivations_log2\":{},\"op_derivations_perpage\":{},\
-         \"total_commands\":{},\"total_energy_j\":{:.6},\"device_time_s\":{:.6},\
-         \"kv_eol_write_amplification\":{:.3},\"verified_pages\":{}}}",
-        log2_report.op_cache_misses,
-        perpage_report.op_cache_misses,
-        log2_report.total_commands,
-        log2_report.total_energy_j,
-        log2_report.total_device_time_s,
-        kv_eol.write_amplification,
-        log2_report.verified_pages,
+    let mut record = BenchResult::new(
+        "workload_mix",
+        "2-service trace scenario, Log2 memoization vs PerPage re-derivation",
     );
+    record.exact = vec![
+        ("ops_per_service_per_phase".into(), ops as f64),
+        (
+            "op_derivations_log2".into(),
+            log2_report.op_cache_misses as f64,
+        ),
+        (
+            "op_derivations_perpage".into(),
+            perpage_report.op_cache_misses as f64,
+        ),
+        ("total_commands".into(), log2_report.total_commands as f64),
+        ("verified_pages".into(), log2_report.verified_pages as f64),
+        (
+            "integrity_violations".into(),
+            log2_report.integrity_violations as f64,
+        ),
+        ("read_failures".into(), log2_report.read_failures as f64),
+    ];
+    record.modeled = vec![
+        ("device_time_s".into(), log2_report.total_device_time_s),
+        ("parallel_time_s".into(), log2_report.total_parallel_time_s),
+        ("total_energy_j".into(), log2_report.total_energy_j),
+        (
+            "kv_eol_write_amplification".into(),
+            kv_eol.write_amplification,
+        ),
+    ];
+
+    // Paired wall-clock record (reported, not asserted — the BCH
+    // datapath dominates and the delta sits near the noise floor). The
+    // smoke run keeps one short round so the gate tracks gross
+    // slowdowns of the whole simulator path.
+    let samples = if smoke() { 2 } else { 7 };
+    let (log2_s, perpage_s, paired_diff_s) = measure_round(ops, samples);
+    println!("\n===== workload_mix paired timings =====");
+    println!("memoized (Log2)    : {:>9.3} ms/scenario", log2_s * 1e3);
+    println!("re-derive (PerPage): {:>9.3} ms/scenario", perpage_s * 1e3);
+    println!(
+        "memoization delta: {:+.1}% (paired-median {:+.0} us)",
+        (perpage_s / log2_s - 1.0) * 100.0,
+        paired_diff_s * 1e6
+    );
+    record.wall = vec![("log2_s".into(), log2_s), ("perpage_s".into(), perpage_s)];
+    record.write();
+
+    if smoke() {
+        println!("smoke mode: skipping the Criterion pass");
+        return;
+    }
 
     // Criterion timing for the record.
     let mut group = c.benchmark_group("workload_mix");

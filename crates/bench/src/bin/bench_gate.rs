@@ -1,0 +1,255 @@
+//! The bench-regression gate.
+//!
+//! Compares the records the performance benches wrote under
+//! `target/bench-results/` against the committed baselines under
+//! `crates/bench/baselines/`, and exits non-zero on a regression:
+//!
+//! * `exact` metrics (structural counters) must match bit-for-bit;
+//! * `modeled` metrics (deterministic modeled time/energy/speedup) must
+//!   stay within the baseline's `modeled_tolerance_pct` band — a
+//!   deliberate model change fails loudly until the baselines are
+//!   refreshed;
+//! * `wall` metrics (paired-median wall-clock) are flagged when
+//!   *slower* than the baseline by more than `wall_tolerance_pct` —
+//!   but as a **warning** by default: absolute wall-clock baselines
+//!   are calibrated to the machine that recorded them and do not
+//!   transfer to a differently-provisioned runner. Pass `--strict-wall`
+//!   (e.g. on a runner whose baselines were recorded on that same
+//!   hardware class) to make wall overruns fail the gate too. Noise
+//!   within the band and improvements always pass.
+//!
+//! Usage (see EXPERIMENTS.md):
+//!
+//! ```text
+//! MLCX_SMOKE=1 cargo bench -p mlcx-bench --bench workload_mix \
+//!     --bench engine_batch --bench parallel_scale
+//! cargo run -p mlcx-bench --bin bench_gate            # compare
+//! cargo run -p mlcx-bench --bin bench_gate -- --update  # refresh baselines
+//! ```
+//!
+//! `--update` also *creates* baselines for result records that have no
+//! committed counterpart yet, so a newly added bench is gated from its
+//! first refresh; a plain run warns about such ungated results.
+
+use std::process::ExitCode;
+
+use mlcx_bench::{baselines_dir, results_dir, BenchResult};
+
+/// One metric comparison's outcome.
+struct Check {
+    metric: String,
+    baseline: f64,
+    actual: f64,
+    ok: bool,
+    rule: &'static str,
+}
+
+/// Result metric keys the baseline does not know about (a metric added
+/// to a bench after the last refresh): reported so a new metric is
+/// never silently ungated.
+fn ungated_metrics(baseline: &BenchResult, result: &BenchResult) -> Vec<String> {
+    let sections = [
+        ("exact", &baseline.exact, &result.exact),
+        ("modeled", &baseline.modeled, &result.modeled),
+        ("wall", &baseline.wall, &result.wall),
+    ];
+    let mut extra = Vec::new();
+    for (rule, base, res) in sections {
+        for (key, _) in res.iter() {
+            if !base.iter().any(|(k, _)| k == key) {
+                extra.push(format!("{rule}.{key}"));
+            }
+        }
+    }
+    extra
+}
+
+fn compare(baseline: &BenchResult, result: &BenchResult) -> Result<Vec<Check>, String> {
+    if baseline.mode != result.mode {
+        return Err(format!(
+            "baseline recorded in {:?} mode but the bench ran in {:?} mode \
+             (set MLCX_SMOKE=1 to match the committed baselines)",
+            baseline.mode, result.mode
+        ));
+    }
+    let lookup = |set: &[(String, f64)], key: &str| -> Option<f64> {
+        set.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    };
+    let mut checks = Vec::new();
+    for &(ref key, expect) in &baseline.exact {
+        let actual = lookup(&result.exact, key)
+            .ok_or_else(|| format!("result is missing exact metric {key:?}"))?;
+        checks.push(Check {
+            metric: key.clone(),
+            baseline: expect,
+            actual,
+            ok: (actual - expect).abs() <= 1e-9 * expect.abs().max(1.0),
+            rule: "exact",
+        });
+    }
+    for &(ref key, expect) in &baseline.modeled {
+        let actual = lookup(&result.modeled, key)
+            .ok_or_else(|| format!("result is missing modeled metric {key:?}"))?;
+        let band = baseline.modeled_tolerance_pct / 100.0;
+        let ok = if expect == 0.0 {
+            actual.abs() <= band
+        } else {
+            ((actual - expect) / expect).abs() <= band
+        };
+        checks.push(Check {
+            metric: key.clone(),
+            baseline: expect,
+            actual,
+            ok,
+            rule: "modeled",
+        });
+    }
+    for &(ref key, expect) in &baseline.wall {
+        let actual = lookup(&result.wall, key)
+            .ok_or_else(|| format!("result is missing wall metric {key:?}"))?;
+        // Lower is better; only a slowdown beyond the band fails.
+        let ok = actual <= expect * (1.0 + baseline.wall_tolerance_pct / 100.0);
+        checks.push(Check {
+            metric: key.clone(),
+            baseline: expect,
+            actual,
+            ok,
+            rule: "wall",
+        });
+    }
+    Ok(checks)
+}
+
+fn load(path: &std::path::Path) -> Result<BenchResult, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    BenchResult::from_json(&text).map_err(|e| format!("parse {}: {e}", path.display()))
+}
+
+/// JSON files of a directory, sorted (empty when the dir is absent).
+fn json_files(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    entries.sort();
+    entries
+}
+
+fn run(update: bool, strict_wall: bool) -> Result<bool, String> {
+    let baselines = baselines_dir();
+    let results = results_dir();
+    let entries = json_files(&baselines);
+    if entries.is_empty() && !update {
+        return Err(format!("no baselines under {}", baselines.display()));
+    }
+
+    let mut all_ok = true;
+    let mut missing = Vec::new();
+    let mut covered = Vec::new();
+    for baseline_path in &entries {
+        let baseline = load(baseline_path)?;
+        let result_path = results.join(format!("{}.json", baseline.bench));
+        if !result_path.exists() {
+            missing.push(baseline.bench.clone());
+            continue;
+        }
+        covered.push(baseline.bench.clone());
+        let result = load(&result_path)?;
+        if update {
+            std::fs::copy(&result_path, baseline_path)
+                .map_err(|e| format!("update {}: {e}", baseline_path.display()))?;
+            println!(
+                "refreshed {} from {}",
+                baseline_path.display(),
+                result_path.display()
+            );
+            continue;
+        }
+        println!("\n== {} (mode: {}) ==", baseline.bench, baseline.mode);
+        for c in compare(&baseline, &result).map_err(|e| format!("{}: {e}", baseline.bench))? {
+            // Wall overruns are advisory unless --strict-wall: absolute
+            // wall baselines are calibrated to the recording machine.
+            let fatal = c.rule != "wall" || strict_wall;
+            let tag = match (c.ok, fatal) {
+                (true, _) => "ok",
+                (false, true) => "FAIL",
+                (false, false) => "warn",
+            };
+            println!(
+                "  [{}] {:7} {:40} baseline {:>14.6}  actual {:>14.6}",
+                tag, c.rule, c.metric, c.baseline, c.actual
+            );
+            all_ok &= c.ok || !fatal;
+        }
+        for metric in ungated_metrics(&baseline, &result) {
+            println!(
+                "  [warn] {metric} is in the result but not the baseline — \
+                 NOT gated; refresh with `bench_gate -- --update`"
+            );
+        }
+    }
+    if !missing.is_empty() {
+        return Err(format!(
+            "no bench results for {:?} under {} — run the benches first \
+             (MLCX_SMOKE=1 cargo bench -p mlcx-bench)",
+            missing,
+            results.display()
+        ));
+    }
+
+    // Result records with no committed baseline: a newly added bench.
+    // `--update` adopts them as fresh baselines; a plain run warns so
+    // the gate is never silently disarmed for a gated-looking bench.
+    for result_path in json_files(&results) {
+        let result = load(&result_path)?;
+        // (`missing` is provably empty here — a baseline without a
+        // result already returned Err above.)
+        if covered.contains(&result.bench) {
+            continue;
+        }
+        if update {
+            let baseline_path = baselines.join(format!("{}.json", result.bench));
+            std::fs::copy(&result_path, &baseline_path)
+                .map_err(|e| format!("create {}: {e}", baseline_path.display()))?;
+            println!(
+                "adopted new baseline {} from {}",
+                baseline_path.display(),
+                result_path.display()
+            );
+        } else {
+            println!(
+                "warning: {} has a result record but no committed baseline — \
+                 it is NOT gated; adopt it with `bench_gate -- --update`",
+                result.bench
+            );
+        }
+    }
+    Ok(all_ok)
+}
+
+fn main() -> ExitCode {
+    let update = std::env::args().any(|a| a == "--update");
+    let strict_wall = std::env::args().any(|a| a == "--strict-wall");
+    match run(update, strict_wall) {
+        Ok(true) => {
+            println!("\nbench gate: all baselines hold");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            eprintln!(
+                "\nbench gate: REGRESSION — metrics drifted outside the baseline bands. \
+                 If the change is intentional, refresh with \
+                 `cargo run -p mlcx-bench --bin bench_gate -- --update` (see EXPERIMENTS.md)."
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench gate: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

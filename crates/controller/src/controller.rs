@@ -11,6 +11,7 @@ use mlcx_nand::ispp::IsppConfig;
 use mlcx_nand::{AgingModel, DeviceGeometry, NandDevice, NandTiming, OpReport, ProgramAlgorithm};
 
 use crate::buffer::{LoadStrategy, PageBuffer};
+use crate::channel::{ChannelScheduler, OpTiming};
 use crate::error::CtrlError;
 use crate::flash_if::FlashInterface;
 use crate::ocp::OcpSocket;
@@ -146,10 +147,8 @@ impl ControllerConfigBuilder {
                 reason: format!("field degree m = {} outside 2..=16", c.ecc_m),
             });
         }
-        if c.geometry.blocks == 0 || c.geometry.pages_per_block == 0 || c.geometry.page_bytes == 0 {
-            return Err(CtrlError::InvalidConfig {
-                reason: "degenerate device geometry".into(),
-            });
+        if let Err(reason) = c.geometry.validate() {
+            return Err(CtrlError::InvalidConfig { reason });
         }
         Ok(self.config)
     }
@@ -232,6 +231,10 @@ pub struct MemoryController {
     /// ECC capability each written page used (the controller's page
     /// metadata table).
     page_ecc: HashMap<(usize, usize), u32>,
+    /// Multi-channel/multi-die busy-time model: every datapath
+    /// operation registers its bus/cell occupancy here, so batch layers
+    /// can read the modeled parallel makespan.
+    scheduler: ChannelScheduler,
 }
 
 impl MemoryController {
@@ -242,6 +245,10 @@ impl MemoryController {
     /// Codec construction errors, or [`CtrlError::SpareOverflow`] when the
     /// worst-case parity cannot fit the spare area.
     pub fn new(config: ControllerConfig, seed: u64) -> Result<Self, CtrlError> {
+        config
+            .geometry
+            .validate()
+            .map_err(|reason| CtrlError::InvalidConfig { reason })?;
         let codec = AdaptiveBch::new(
             config.ecc_m,
             config.geometry.page_bytes * 8,
@@ -264,6 +271,7 @@ impl MemoryController {
             seed,
         );
         let buffer = PageBuffer::new(config.geometry.page_bytes);
+        let scheduler = ChannelScheduler::new(config.geometry.topology);
         Ok(MemoryController {
             config,
             codec,
@@ -272,6 +280,7 @@ impl MemoryController {
             regs: RegisterFile::default(),
             load_strategy: LoadStrategy::OneRound,
             page_ecc: HashMap::new(),
+            scheduler,
         })
     }
 
@@ -316,6 +325,17 @@ impl MemoryController {
         &mut self.device
     }
 
+    /// The channel/die busy-time scheduler (batch parallelism model).
+    pub fn scheduler(&self) -> &ChannelScheduler {
+        &self.scheduler
+    }
+
+    /// Mutable scheduler access — batch layers open their timing window
+    /// with [`ChannelScheduler::begin_batch`] before a drain.
+    pub fn scheduler_mut(&mut self) -> &mut ChannelScheduler {
+        &mut self.scheduler
+    }
+
     /// Applies a configuration command received over the socket.
     ///
     /// # Errors
@@ -349,6 +369,9 @@ impl MemoryController {
     /// Device errors propagate.
     pub fn erase_block(&mut self, block: usize) -> Result<OpReport, CtrlError> {
         let report = self.device.erase_block(block)?;
+        let die = self.config.geometry.die_of_block(block);
+        self.scheduler
+            .issue(die, OpTiming::erase(report.duration_s));
         // Page metadata of the erased block is void.
         self.page_ecc.retain(|&(b, _), _| b != block);
         Ok(report)
@@ -438,6 +461,17 @@ impl MemoryController {
         self.device.age_all(cycles);
     }
 
+    /// Ages every block of one die — the die-skew hook of the workload
+    /// simulator (dies age independently).
+    ///
+    /// # Errors
+    ///
+    /// Device errors propagate ([`mlcx_nand::NandError::DieOutOfRange`]).
+    pub fn age_die(&mut self, die: usize, cycles: u64) -> Result<(), CtrlError> {
+        self.device.age_die(die, cycles)?;
+        Ok(())
+    }
+
     /// Full write datapath: buffer load -> ECC encode -> data-in transfer
     /// -> ISPP program.
     ///
@@ -474,6 +508,16 @@ impl MemoryController {
         );
         let dev_report = self.device.program_page(block, page, data, &parity)?;
         self.page_ecc.insert((block, page), t);
+        // Channel model: buffer load + encode + data-in occupy the
+        // channel (per-channel ECC engine), the ISPP program the die.
+        let die = self.config.geometry.die_of_block(block);
+        self.scheduler.issue(
+            die,
+            OpTiming::write(
+                path.load_s + path.encode_s + path.transfer_s,
+                dev_report.duration_s,
+            ),
+        );
 
         let ecc_energy = self.config.ecc_power.power_w(t) * path.encode_s;
         Ok(WriteReport {
@@ -529,6 +573,14 @@ impl MemoryController {
             code.parity_bits(),
             t,
         );
+        // Channel model: the die senses (tR), then the codeword streams
+        // out and decodes on the channel's ECC engine.
+        let die = self.config.geometry.die_of_block(block);
+        self.scheduler.issue(
+            die,
+            OpTiming::read(path.sense_s, path.transfer_s + path.decode_s),
+        );
+
         let ecc_energy = self.config.ecc_power.power_w(t) * path.decode_s;
         Ok(ReadReport {
             data,
@@ -749,6 +801,75 @@ mod tests {
             ControllerConfig::builder().ecc_m(17).build(),
             Err(CtrlError::InvalidConfig { .. })
         ));
+    }
+
+    #[test]
+    fn single_die_makespan_equals_the_latency_sum() {
+        let mut ctrl = controller();
+        ctrl.scheduler_mut().begin_batch();
+        let data = vec![0x3Cu8; 4096];
+        let mut sum = ctrl.erase_block(1).unwrap().duration_s;
+        for p in 0..3 {
+            sum += ctrl.write_page(1, p, &data).unwrap().latency_s;
+        }
+        for p in 0..3 {
+            sum += ctrl.read_page(1, p).unwrap().latency_s;
+        }
+        let makespan = ctrl.scheduler().batch_makespan_s();
+        assert!(
+            (makespan - sum).abs() < 1e-12,
+            "1x1 makespan {makespan} must equal serial sum {sum}"
+        );
+        assert_eq!(ctrl.scheduler().batch_ops(), 7);
+    }
+
+    #[test]
+    fn multi_channel_makespan_beats_the_serial_sum() {
+        let mut config = ControllerConfig::date2012();
+        config.geometry = mlcx_nand::DeviceGeometry {
+            blocks: 64,
+            topology: mlcx_nand::Topology::new(4, 1),
+            ..config.geometry
+        };
+        let mut ctrl = MemoryController::new(config, 5).unwrap();
+        // One block per die (blocks 0, 16, 32, 48).
+        for die in 0..4 {
+            ctrl.erase_block(die * 16).unwrap();
+        }
+        ctrl.scheduler_mut().begin_batch();
+        let data = vec![0xA5u8; 4096];
+        let mut sum = 0.0;
+        for die in 0..4 {
+            sum += ctrl.write_page(die * 16, 0, &data).unwrap().latency_s;
+        }
+        let makespan = ctrl.scheduler().batch_makespan_s();
+        assert!(
+            makespan < 0.5 * sum,
+            "4 channels must overlap 4 programs: makespan {makespan} vs sum {sum}"
+        );
+        assert!(ctrl.scheduler().batch_channel_utilization() > 0.0);
+    }
+
+    #[test]
+    fn age_die_skews_block_wear_per_die() {
+        let mut config = ControllerConfig::date2012();
+        config.geometry.topology = mlcx_nand::Topology::new(2, 1);
+        let mut ctrl = MemoryController::new(config, 5).unwrap();
+        ctrl.age_die(1, 42_000).unwrap();
+        assert_eq!(ctrl.device().block_cycles(0).unwrap(), 0);
+        assert_eq!(ctrl.device().block_cycles(32).unwrap(), 42_000);
+        assert!(ctrl.age_die(2, 1).is_err());
+    }
+
+    #[test]
+    fn builder_rejects_topologies_that_split_blocks_unevenly() {
+        let result = ControllerConfig::builder()
+            .geometry(mlcx_nand::DeviceGeometry {
+                topology: mlcx_nand::Topology::new(3, 1), // 64 % 3 != 0
+                ..mlcx_nand::DeviceGeometry::date2012()
+            })
+            .build();
+        assert!(matches!(result, Err(CtrlError::InvalidConfig { .. })));
     }
 
     #[test]

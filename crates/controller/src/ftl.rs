@@ -199,6 +199,9 @@ pub enum FtlOp {
 pub struct LogicalMap {
     blocks: Range<usize>,
     pages_per_block: usize,
+    /// Blocks per die of the underlying topology (`usize::MAX` when the
+    /// map ignores dies — the historical single-die behaviour).
+    blocks_per_die: usize,
     /// lpn -> (block, page), absolute block ids.
     map: HashMap<usize, (usize, usize)>,
     /// Physical page states, `[block - blocks.start][page]`.
@@ -208,32 +211,66 @@ pub struct LogicalMap {
     /// Pages in the `Erased` state (writable slots).
     free_slots: usize,
     capacity_pages: usize,
+    /// Allocation stamp per die the range touches (`die - first die`):
+    /// the striping allocator round-robins away from recently-opened
+    /// dies so consecutive writes land behind different channels.
+    die_stamp: Vec<u64>,
+    alloc_counter: u64,
     stats: FtlStats,
 }
 
 impl LogicalMap {
-    /// A map over `blocks`, all of which must be erased.
+    /// A map over `blocks`, all of which must be erased. Allocation is
+    /// wear-aware but die-blind (the single-die behaviour); use
+    /// [`LogicalMap::striped`] on multi-die topologies.
     ///
     /// # Panics
     ///
     /// Panics when the range holds fewer than two blocks or
     /// `pages_per_block` is zero (no room for the GC spare).
     pub fn new(blocks: Range<usize>, pages_per_block: usize) -> Self {
+        Self::striped(blocks, pages_per_block, usize::MAX)
+    }
+
+    /// A map over `blocks` striping allocation across the dies of a
+    /// `blocks_per_die`-partitioned topology (see
+    /// [`mlcx_nand::DeviceGeometry::blocks_per_die`]): among equally
+    /// eligible erased blocks, the allocator opens a block on the die
+    /// opened least recently, so sequential traffic interleaves across
+    /// channels instead of filling one die end to end. With a single
+    /// die (or `usize::MAX`) this is exactly [`LogicalMap::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range holds fewer than two blocks,
+    /// `pages_per_block` is zero, or `blocks_per_die` is zero.
+    pub fn striped(blocks: Range<usize>, pages_per_block: usize, blocks_per_die: usize) -> Self {
         let count = blocks.len();
         assert!(
             count >= 2 && pages_per_block > 0,
             "LogicalMap needs at least two blocks (one is GC headroom)"
         );
+        assert!(blocks_per_die > 0, "blocks_per_die must be positive");
+        let first_die = blocks.start / blocks_per_die;
+        let last_die = (blocks.end - 1) / blocks_per_die;
         LogicalMap {
             states: vec![vec![PageState::Erased; pages_per_block]; count],
             free_slots: count * pages_per_block,
             capacity_pages: (count - 1) * pages_per_block,
             blocks,
             pages_per_block,
+            blocks_per_die,
             map: HashMap::new(),
             open: None,
+            die_stamp: vec![0; last_die - first_die + 1],
+            alloc_counter: 0,
             stats: FtlStats::default(),
         }
+    }
+
+    /// The die-stamp slot of an absolute block id.
+    fn die_slot(&self, block: usize) -> usize {
+        block / self.blocks_per_die - self.blocks.start / self.blocks_per_die
     }
 
     /// Exported logical capacity in pages.
@@ -331,7 +368,8 @@ impl LogicalMap {
     }
 
     /// Takes the next writable slot: the open block's next page, else
-    /// opens the least-worn fully-erased block.
+    /// opens the least-worn fully-erased block (preferring the die
+    /// opened least recently when striping is enabled).
     fn take_slot(&mut self, wear: &mut dyn FnMut(usize) -> u64) -> Option<(usize, usize)> {
         loop {
             if let Some((block, page)) = self.open {
@@ -342,24 +380,29 @@ impl LogicalMap {
                 self.open = None;
             }
             let block = self.pick_erased(wear)?;
+            self.alloc_counter += 1;
+            let slot = self.die_slot(block);
+            self.die_stamp[slot] = self.alloc_counter;
             self.open = Some((block, 0));
         }
     }
 
-    /// The fully-erased block with the fewest P/E cycles, excluding the
-    /// open block.
+    /// The next block to open, excluding the open block: least-recently
+    /// opened die first (the channel stripe), then fewest P/E cycles,
+    /// then lowest block id. With one die the stamp is constant and
+    /// this degenerates to the historical wear-then-id order.
     fn pick_erased(&self, wear: &mut dyn FnMut(usize) -> u64) -> Option<usize> {
         let open_block = self.open.map(|(b, _)| b);
-        let mut best: Option<(u64, usize)> = None;
+        let mut best: Option<((u64, u64, usize), usize)> = None;
         for (rel, pages) in self.states.iter().enumerate() {
             let block = self.blocks.start + rel;
             if Some(block) == open_block {
                 continue;
             }
             if pages.iter().all(|s| *s == PageState::Erased) {
-                let cycles = wear(block);
-                if best.is_none_or(|(c, _)| cycles < c) {
-                    best = Some((cycles, block));
+                let key = (self.die_stamp[self.die_slot(block)], wear(block), block);
+                if best.is_none_or(|(k, _)| key < k) {
+                    best = Some((key, block));
                 }
             }
         }
@@ -466,7 +509,11 @@ impl Ftl {
         }
         Ok(Ftl {
             ctrl,
-            map: LogicalMap::new(0..geometry.blocks, geometry.pages_per_block),
+            map: LogicalMap::striped(
+                0..geometry.blocks,
+                geometry.pages_per_block,
+                geometry.blocks_per_die(),
+            ),
         })
     }
 
@@ -772,6 +819,64 @@ mod tests {
         }
         assert!(saw_gc, "overwrites at capacity must trigger GC");
         assert!(map.stats().gc_runs > 0);
+    }
+
+    #[test]
+    fn striped_map_round_robins_across_dies() {
+        // 8 blocks over 4 dies (2 blocks/die), equal wear: the stripe
+        // must rotate dies 0 -> 1 -> 2 -> 3 before reusing die 0.
+        let mut map = LogicalMap::striped(0..8, 2, 2);
+        let mut wear = |_b: usize| 0u64;
+        let mut dies_opened = Vec::new();
+        for lpn in 0..8 {
+            let plan = map.plan_write(lpn, &mut wear).unwrap();
+            let [FtlOp::Write { to, .. }] = plan[..] else {
+                panic!("fresh map must plan plain writes");
+            };
+            let die = to.0 / 2;
+            if dies_opened.last() != Some(&die) {
+                dies_opened.push(die);
+            }
+        }
+        assert_eq!(
+            dies_opened,
+            vec![0, 1, 2, 3],
+            "allocation must stripe across all four dies"
+        );
+
+        // Die-blind map with the same shape fills dies in block order.
+        let mut blind = LogicalMap::new(0..8, 2);
+        let mut first_blocks = Vec::new();
+        for lpn in 0..8 {
+            let plan = blind.plan_write(lpn, &mut wear).unwrap();
+            let [FtlOp::Write { to, .. }] = plan[..] else {
+                panic!();
+            };
+            first_blocks.push(to.0);
+        }
+        assert_eq!(first_blocks, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn striping_still_respects_wear() {
+        // Two dies; die 0's erased blocks are heavily worn. After the
+        // stripe rotates, the allocator must still prefer fresher
+        // blocks within a die.
+        let mut map = LogicalMap::striped(0..4, 2, 2);
+        let mut wear = |b: usize| if b == 1 { 1000u64 } else { 0 };
+        let mut opened = Vec::new();
+        for lpn in 0..6 {
+            let plan = map.plan_write(lpn, &mut wear).unwrap();
+            let [FtlOp::Write { to, .. }] = plan[..] else {
+                panic!();
+            };
+            if opened.last() != Some(&to.0) {
+                opened.push(to.0);
+            }
+        }
+        // Stripe: die 0 (block 0, the fresher of 0/1), die 1 (block 2),
+        // then back to die 0 — block 1 is all that's left there.
+        assert_eq!(opened, vec![0, 2, 1]);
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //!   the program algorithm) at runtime;
 //! * [`throughput`] — closed-form read/write throughput used by the
 //!   figure harness;
+//! * [`channel`] — the multi-channel/multi-die busy-time scheduler: the
+//!   datapath feeds it each operation's bus/cell occupancy, and batches
+//!   read their modeled parallel makespan and channel utilization back;
 //! * [`ftl`] — a wear-leveling flash translation layer (extension) so
 //!   overwrite workloads can run on top of the cross-layer machinery.
 //!
@@ -47,6 +50,7 @@ mod controller;
 mod error;
 
 pub mod buffer;
+pub mod channel;
 pub mod flash_if;
 pub mod ftl;
 pub mod ocp;
@@ -54,6 +58,7 @@ pub mod regs;
 pub mod reliability;
 pub mod throughput;
 
+pub use channel::{ChannelScheduler, IssueSlot, OpTiming};
 pub use controller::{
     ControllerConfig, ControllerConfigBuilder, MemoryController, ReadReport, WriteReport,
 };

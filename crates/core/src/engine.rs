@@ -262,6 +262,15 @@ pub struct BatchReport {
     pub op_cache_misses: u64,
     /// Configuration register writes actually issued.
     pub knob_writes: u64,
+    /// Modeled batch latency with channel/die overlap: from the batch
+    /// opening to the last die falling idle (the scheduler's makespan).
+    /// Equals [`BatchReport::device_latency_s`] on a 1-channel/1-die
+    /// topology, where nothing can overlap.
+    pub parallel_latency_s: f64,
+    /// Total bus busy time across every channel during the batch.
+    pub channel_busy_s: f64,
+    /// Channels in the topology the batch ran on.
+    pub channels: usize,
 }
 
 impl BatchReport {
@@ -281,6 +290,26 @@ impl BatchReport {
             return 0.0;
         }
         self.bytes_written as f64 / self.write_latency_s / 1e6
+    }
+
+    /// Serial device time over parallel makespan: how many channels'
+    /// worth of work the batch actually overlapped (1.0 when nothing
+    /// overlaps, up to the die count for a perfectly striped batch; 0
+    /// with no device time).
+    pub fn achieved_parallelism(&self) -> f64 {
+        if self.parallel_latency_s <= 0.0 {
+            return 0.0;
+        }
+        self.device_latency_s / self.parallel_latency_s
+    }
+
+    /// Mean fraction of the batch window each channel's bus was busy
+    /// (0 with no makespan).
+    pub fn channel_utilization(&self) -> f64 {
+        if self.parallel_latency_s <= 0.0 || self.channels == 0 {
+            return 0.0;
+        }
+        self.channel_busy_s / (self.channels as f64 * self.parallel_latency_s)
     }
 
     fn absorb(&mut self, duration_s: f64, energy_j: f64) {
@@ -334,11 +363,14 @@ struct ServiceState {
     region: ServiceRegion,
     stats: ServiceStats,
     queue: VecDeque<(CmdId, Command)>,
-    /// Memoized operating point as `(wear-bucket key, point)`. One slot
-    /// suffices: wear only moves forward, so an evicted bucket would
-    /// never be hit again anyway, and the slot keeps the cache O(1) per
-    /// service over the whole device lifetime.
-    op_slot: Option<(u64, OperatingPoint)>,
+    /// Memoized operating point per die, as `(wear-bucket key, point)`
+    /// — the memo is keyed `(service, die, wear bucket)` because dies
+    /// age independently, so one die's wear crossing a bucket edge must
+    /// not evict the point of its siblings. One slot per die suffices:
+    /// within a die wear only moves forward, so an evicted bucket would
+    /// never be hit again anyway, and the slots keep the cache O(dies)
+    /// per service over the whole device lifetime.
+    op_slots: Vec<Option<(u64, OperatingPoint)>>,
 }
 
 /// Fluent construction of a [`StorageEngine`].
@@ -526,6 +558,7 @@ impl StorageEngine {
             }
         }
         let handle = self.handle_for(self.services.len());
+        let dies = self.ctrl.config().geometry.topology.total_dies();
         self.services.push(ServiceState {
             region: ServiceRegion {
                 name: name.to_string(),
@@ -534,7 +567,7 @@ impl StorageEngine {
             },
             stats: ServiceStats::default(),
             queue: VecDeque::new(),
-            op_slot: None,
+            op_slots: vec![None; dies],
         });
         Ok(handle)
     }
@@ -691,12 +724,21 @@ impl StorageEngine {
     /// of the memoized operating-point derivation. Commands correlate
     /// back to the submission through their [`CmdId`]s.
     ///
+    /// The drain also opens a window on the controller's channel/die
+    /// scheduler: every executed operation registers its bus/cell
+    /// occupancy, and operations whose blocks live on dies behind
+    /// different channels overlap on the modeled timeline. The batch's
+    /// parallel makespan, channel busy time and achieved parallelism
+    /// land in [`BatchReport`] next to the serial latency sum (the two
+    /// are equal on a 1-channel/1-die topology).
+    ///
     /// Per-command failures are reported inside the corresponding
     /// [`Completion`]; they never abort the rest of the batch. Aggregate
     /// accounting for the drain is available from
     /// [`StorageEngine::last_batch`] afterwards.
     pub fn poll(&mut self) -> Vec<Completion> {
         self.last_batch = BatchReport::default();
+        self.ctrl.scheduler_mut().begin_batch();
         let mut completions = Vec::new();
         for idx in 0..self.services.len() {
             while let Some((id, cmd)) = self.services[idx].queue.pop_front() {
@@ -714,6 +756,13 @@ impl StorageEngine {
                 });
             }
         }
+        // Close the batch's timing window: the channel scheduler has
+        // overlapped the drained operations across channels/dies, and
+        // its makespan is the batch's modeled parallel latency.
+        let scheduler = self.ctrl.scheduler();
+        self.last_batch.parallel_latency_s = scheduler.batch_makespan_s();
+        self.last_batch.channel_busy_s = scheduler.batch_channel_busy_s();
+        self.last_batch.channels = scheduler.topology().channels;
         completions
     }
 
@@ -734,16 +783,17 @@ impl StorageEngine {
         result
     }
 
-    /// The operating point a service runs at a wear level, memoized per
-    /// the engine's [`WearBucketing`] policy.
-    fn operating_point(&mut self, idx: usize, wear: u64) -> OperatingPoint {
+    /// The operating point a service runs on `die` at a wear level,
+    /// memoized per `(service, die, wear bucket)` under the engine's
+    /// [`WearBucketing`] policy.
+    fn operating_point(&mut self, idx: usize, die: usize, wear: u64) -> OperatingPoint {
         let objective = self.services[idx].region.objective;
         if self.bucketing == WearBucketing::PerPage {
             self.last_batch.op_cache_misses += 1;
             return self.model.configure(objective, wear);
         }
         let (key, derive_at) = self.bucketing.bucket(wear);
-        if let Some((cached_key, op)) = self.services[idx].op_slot {
+        if let Some((cached_key, op)) = self.services[idx].op_slots[die] {
             if cached_key == key {
                 self.last_batch.op_cache_hits += 1;
                 return op;
@@ -751,7 +801,7 @@ impl StorageEngine {
         }
         self.last_batch.op_cache_misses += 1;
         let op = self.model.configure(objective, derive_at);
-        self.services[idx].op_slot = Some((key, op));
+        self.services[idx].op_slots[die] = Some((key, op));
         op
     }
 
@@ -761,7 +811,8 @@ impl StorageEngine {
                 block, page, data, ..
             } => {
                 let wear = self.ctrl.device().block_cycles(block)?.max(1);
-                let op = self.operating_point(idx, wear);
+                let die = self.ctrl.config().geometry.die_of_block(block);
+                let op = self.operating_point(idx, die, wear);
                 let before = self.ctrl.regs().commands_applied();
                 self.ctrl.apply_point(op.algorithm, op.correction)?;
                 self.last_batch.knob_writes += self.ctrl.regs().commands_applied() - before;
@@ -799,8 +850,10 @@ impl StorageEngine {
             Command::Configure { objective, .. } => {
                 let previous = self.services[idx].region.objective;
                 self.services[idx].region.objective = objective;
-                // The cached point was derived under the old objective.
-                self.services[idx].op_slot = None;
+                // The cached points were derived under the old objective.
+                for slot in &mut self.services[idx].op_slots {
+                    *slot = None;
+                }
                 Ok(CommandOutput::Configure { previous })
             }
         }
@@ -815,7 +868,11 @@ impl fmt::Debug for StorageEngine {
             .field("bucketing", &self.bucketing)
             .field(
                 "cached_points",
-                &self.services.iter().filter(|s| s.op_slot.is_some()).count(),
+                &self
+                    .services
+                    .iter()
+                    .map(|s| s.op_slots.iter().filter(|slot| slot.is_some()).count())
+                    .sum::<usize>(),
             )
             .finish()
     }
@@ -1044,6 +1101,73 @@ mod tests {
             }
             other => panic!("expected write output, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn single_die_parallel_latency_equals_the_serial_sum() {
+        let mut e = engine();
+        let a = e.register_service("a", Objective::Baseline, 0..4).unwrap();
+        let mut cmds = vec![Command::erase(a, 0)];
+        for p in 0..4 {
+            cmds.push(Command::write(a, 0, p, page(p as u8)));
+        }
+        for p in 0..4 {
+            cmds.push(Command::read(a, 0, p));
+        }
+        e.submit(&cmds).unwrap();
+        e.poll();
+        let batch = *e.last_batch();
+        assert_eq!(batch.channels, 1);
+        assert!(
+            (batch.parallel_latency_s - batch.device_latency_s).abs() < 1e-12,
+            "1x1 topology cannot overlap: {} vs {}",
+            batch.parallel_latency_s,
+            batch.device_latency_s
+        );
+        assert!((batch.achieved_parallelism() - 1.0).abs() < 1e-9);
+        assert!(batch.channel_utilization() > 0.0);
+    }
+
+    #[test]
+    fn multi_channel_batches_overlap_and_memoize_per_die() {
+        let mut config = mlcx_controller::ControllerConfig::date2012();
+        config.geometry.topology = mlcx_nand::Topology::new(4, 1); // 16 blocks/die
+        let mut e = EngineBuilder::date2012()
+            .controller_config(config)
+            .seed(9)
+            .build()
+            .unwrap();
+        let svc = e
+            .register_service("wide", Objective::Baseline, 0..64)
+            .unwrap();
+        // Skew one die to end of life: its writes need their own point.
+        e.controller_mut().age_die(2, 1_000_000).unwrap();
+        let mut cmds = Vec::new();
+        for die in 0..4 {
+            let block = die * 16;
+            cmds.push(Command::erase(svc, block));
+            for p in 0..4 {
+                cmds.push(Command::write(svc, block, p, page(p as u8)));
+            }
+        }
+        e.submit(&cmds).unwrap();
+        let completions = e.poll();
+        assert!(completions.iter().all(|c| c.result.is_ok()));
+        let batch = *e.last_batch();
+        assert_eq!(batch.channels, 4);
+        assert!(
+            batch.parallel_latency_s < 0.5 * batch.device_latency_s,
+            "four channels must overlap: makespan {} vs serial {}",
+            batch.parallel_latency_s,
+            batch.device_latency_s
+        );
+        assert!(batch.achieved_parallelism() > 2.0);
+        let u = batch.channel_utilization();
+        assert!(u > 0.0 && u <= 1.0, "utilization = {u}");
+        // The memo is keyed (service, die, wear-bucket): one derivation
+        // per die (die 2's EOL point differs), hits for the rest.
+        assert_eq!(batch.op_cache_misses, 4);
+        assert_eq!(batch.op_cache_hits, 12);
     }
 
     #[test]

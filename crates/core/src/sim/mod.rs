@@ -34,10 +34,17 @@
 //!   every mapped page back, so data integrity across GC and aging is
 //!   asserted, not assumed.
 //!
-//! Determinism is end to end: the engine's error-injection stream, the
-//! trace streams and the payload derivation are all functions of the
-//! scenario seed, so a report reproduces exactly.
+//! * [`presets`] — named multi-channel workloads: the die-skew and
+//!   channel-contention scenarios that exercise the striped FTL, the
+//!   per-die operating-point memo and the channel busy-time scheduler
+//!   end-to-end on multi-die topologies
+//!   ([`Topology`](mlcx_nand::Topology)).
+//!
+//! Determinism is end to end: the engine's error-injection stream (one
+//! stream per die), the trace streams and the payload derivation are
+//! all functions of the scenario seed, so a report reproduces exactly.
 
+pub mod presets;
 pub mod scenario;
 pub mod trace;
 

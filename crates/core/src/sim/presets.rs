@@ -1,0 +1,133 @@
+//! Named multi-channel workload presets.
+//!
+//! The single-target scenarios of the paper cannot express the two
+//! failure modes a real multi-die SSD lives with:
+//!
+//! * **die skew** — dies age at different rates (a die that hosted a
+//!   hot tenant, or a weak die binned low at test), so one bank of a
+//!   striped region needs a stronger ECC schedule than its siblings;
+//! * **channel contention** — tenants whose regions sit on dies behind
+//!   the *same* channel serialize on its bus, while a tenant alone on
+//!   another channel runs unimpeded.
+//!
+//! These presets pin both down as deterministic [`Scenario`]s the
+//! `WorkloadRunner` drives end-to-end through the striped FTL, the
+//! per-die operating-point memo and the channel busy-time scheduler.
+
+use mlcx_controller::ControllerConfig;
+use mlcx_nand::{DeviceGeometry, Topology};
+
+use crate::engine::EngineBuilder;
+use crate::policy::Objective;
+use crate::sim::{Scenario, TraceKind};
+
+/// A small multi-die engine: `blocks` x 8-page blocks under `topology`
+/// (everything else the paper's calibration).
+fn engine_with(blocks: usize, topology: Topology) -> EngineBuilder {
+    let mut config = ControllerConfig::date2012();
+    config.geometry = DeviceGeometry {
+        blocks,
+        pages_per_block: 8,
+        topology,
+        ..config.geometry
+    };
+    EngineBuilder::date2012().controller_config(config)
+}
+
+/// Die-skew preset: one zipf key-value service striped over a
+/// 2-channel bank (8 blocks per die), with die 1 fast-forwarded 900k
+/// cycles between the phases. The `skewed` phase runs against a
+/// wear-imbalanced bank: writes landing on die 1 derive their own
+/// (stronger) operating point from the per-die memo while die 0 keeps
+/// the fresh schedule, and reads of die-1 pages see end-of-life RBER.
+pub fn die_skew(seed: u64) -> Scenario {
+    Scenario::builder()
+        .engine(engine_with(16, Topology::new(2, 1)))
+        .seed(seed)
+        .batch_size(32)
+        .service("kv", Objective::Baseline, 0..16, TraceKind::zipfian())
+        .phase_with_die_skew("fresh", 80, 0, &[(1, 900_000)])
+        .phase("skewed", 80, 0)
+        .build()
+        .expect("die-skew preset must validate")
+}
+
+/// Channel-contention preset: a 2x2 bank (4 dies, 4 blocks each) where
+/// a `noisy` write-burst tenant and a `victim` read-mostly tenant own
+/// dies 0 and 1 — both behind channel 0 — while an `isolated` tenant
+/// with the victim's exact trace owns die 2, alone on channel 1. The
+/// two channels' bus busy-times expose the contention: channel 0
+/// carries both tenants' transfers serially, channel 1 only the
+/// isolated tenant's.
+pub fn channel_contention(seed: u64) -> Scenario {
+    Scenario::builder()
+        .engine(engine_with(16, Topology::new(2, 2)))
+        .seed(seed)
+        .batch_size(32)
+        .prefill(true)
+        .service(
+            "noisy",
+            Objective::Baseline,
+            0..4,
+            TraceKind::WriteBurst { burst_len: 8 },
+        )
+        .service(
+            "victim",
+            Objective::Baseline,
+            4..8,
+            TraceKind::read_mostly(),
+        )
+        .service(
+            "isolated",
+            Objective::Baseline,
+            8..12,
+            TraceKind::read_mostly(),
+        )
+        .phase("contend", 90, 0)
+        .build()
+        .expect("channel-contention preset must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn die_skew_preset_splits_the_wear_and_stays_clean() {
+        let report = die_skew(11).run().expect("preset must run");
+        assert_eq!(report.integrity_violations, 0);
+        assert_eq!(report.read_failures, 0);
+        let fresh = &report.phases[0].services[0];
+        let skewed = &report.phases[1].services[0];
+        assert!(fresh.max_wear < 10_000, "fresh phase: {}", fresh.max_wear);
+        assert!(
+            skewed.max_wear >= 900_000,
+            "the skewed die must dominate the service's wear: {}",
+            skewed.max_wear
+        );
+        assert!(skewed.model_rber > fresh.model_rber * 10.0);
+        // Two channels: batches overlap, so the run's overlapped time
+        // beats the serial sum.
+        assert!(report.total_parallel_time_s < report.total_device_time_s);
+        assert!(report.achieved_parallelism() > 1.0);
+    }
+
+    #[test]
+    fn channel_contention_preset_loads_the_shared_channel() {
+        let report = channel_contention(23).run().expect("preset must run");
+        assert_eq!(report.integrity_violations, 0);
+        assert_eq!(report.read_failures, 0);
+        let contend = report
+            .phases
+            .iter()
+            .find(|p| p.name == "contend")
+            .expect("contend phase");
+        // All three tenants ran traffic and the topology overlapped it.
+        assert_eq!(contend.services.len(), 3);
+        assert!(contend.parallel_time_s < contend.device_time_s);
+        assert!(contend.channel_busy_s > 0.0);
+        // Determinism: the preset is a fixed function of its seed.
+        let again = channel_contention(23).run().unwrap();
+        assert_eq!(report, again);
+    }
+}

@@ -39,6 +39,10 @@ pub struct PhaseSpec {
     /// P/E cycles added to **every** block after the phase's traffic
     /// (see `MemoryController::age_all`); 0 skips the fast-forward.
     pub fast_forward_cycles: u64,
+    /// Additional per-die fast-forwards `(die, cycles)` applied after
+    /// the uniform one — the die-skew knob (dies age independently; a
+    /// die that hosted a hot tenant, or a weak die binned low at test).
+    pub die_skew: Vec<(usize, u64)>,
 }
 
 /// Latency percentiles over one population of device operations.
@@ -146,8 +150,14 @@ pub struct PhaseReport {
     pub services: Vec<ServicePhaseReport>,
     /// Engine commands executed.
     pub commands: usize,
-    /// Total modeled device time, seconds.
+    /// Total modeled device time, seconds (serial sum).
     pub device_time_s: f64,
+    /// Total modeled batch time with channel/die overlap (the sum of
+    /// the phase's batch makespans; equals
+    /// [`PhaseReport::device_time_s`] on a 1-channel/1-die topology).
+    pub parallel_time_s: f64,
+    /// Total bus busy time across every channel, seconds.
+    pub channel_busy_s: f64,
     /// Total modeled energy, joules.
     pub energy_j: f64,
     /// Operating points served from the engine's memo cache.
@@ -172,8 +182,10 @@ pub struct ScenarioReport {
     pub phases: Vec<PhaseReport>,
     /// Engine commands executed across all phases.
     pub total_commands: usize,
-    /// Total modeled device time, seconds.
+    /// Total modeled device time, seconds (serial sum).
     pub total_device_time_s: f64,
+    /// Total modeled batch time with channel/die overlap, seconds.
+    pub total_parallel_time_s: f64,
     /// Total modeled energy, joules.
     pub total_energy_j: f64,
     /// Operating points derived from the model across the whole run
@@ -193,6 +205,16 @@ impl ScenarioReport {
     /// All per-service reports of every phase, flattened.
     pub fn service_reports(&self) -> impl Iterator<Item = &ServicePhaseReport> {
         self.phases.iter().flat_map(|p| p.services.iter())
+    }
+
+    /// Serial device time over overlapped batch time across the run:
+    /// how many channels' worth of work the topology absorbed (1.0 on a
+    /// single die; 0 with no device time).
+    pub fn achieved_parallelism(&self) -> f64 {
+        if self.total_parallel_time_s <= 0.0 {
+            return 0.0;
+        }
+        self.total_device_time_s / self.total_parallel_time_s
     }
 
     /// Renders the per-phase, per-service breakdown as an ASCII table.
@@ -224,9 +246,11 @@ impl ScenarioReport {
         }
         let mut out = t.render();
         out.push_str(&format!(
-            "total: {} commands, {:.3} ms device time, {:.3} mJ, {} pages verified, {} integrity violations\n",
+            "total: {} commands, {:.3} ms device time ({:.3} ms overlapped, {:.2}x parallel), {:.3} mJ, {} pages verified, {} integrity violations\n",
             self.total_commands,
             self.total_device_time_s * 1e3,
+            self.total_parallel_time_s * 1e3,
+            self.achieved_parallelism(),
             self.total_energy_j * 1e3,
             self.verified_pages,
             self.integrity_violations,
@@ -408,6 +432,29 @@ impl ScenarioBuilder {
             name: name.to_string(),
             ops_per_service,
             fast_forward_cycles,
+            die_skew: Vec::new(),
+        });
+        self
+    }
+
+    /// Adds a phase whose fast-forward is skewed per die: after the
+    /// phase's traffic (and the uniform `fast_forward_cycles`, if any),
+    /// each `(die, cycles)` entry ages that die's blocks further. The
+    /// next phase then runs against a wear-imbalanced bank — the
+    /// per-die operating-point memo must split, and read traffic on the
+    /// skewed die sees the aged RBER.
+    pub fn phase_with_die_skew(
+        mut self,
+        name: &str,
+        ops_per_service: usize,
+        fast_forward_cycles: u64,
+        die_skew: &[(usize, u64)],
+    ) -> Self {
+        self.phases.push(PhaseSpec {
+            name: name.to_string(),
+            ops_per_service,
+            fast_forward_cycles,
+            die_skew: die_skew.to_vec(),
         });
         self
     }
@@ -529,6 +576,8 @@ pub struct WorkloadRunner {
     gc_data: Vec<Option<Vec<u8>>>,
     phase_commands: usize,
     phase_device_time_s: f64,
+    phase_parallel_time_s: f64,
+    phase_channel_busy_s: f64,
     phase_op_cache_hits: u64,
     phase_op_cache_misses: u64,
     phase_knob_writes: u64,
@@ -576,7 +625,14 @@ impl WorkloadRunner {
             for block in spec.blocks.clone() {
                 engine.controller_mut().erase_block(block)?;
             }
-            let map = LogicalMap::new(spec.blocks.clone(), geometry.pages_per_block);
+            // Striped allocation: within the region, open blocks
+            // round-robin across the dies the region covers, so a
+            // service spanning several channels genuinely overlaps.
+            let map = LogicalMap::striped(
+                spec.blocks.clone(),
+                geometry.pages_per_block,
+                geometry.blocks_per_die(),
+            );
             let trace_seed = scenario
                 .seed
                 .wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
@@ -611,6 +667,8 @@ impl WorkloadRunner {
             gc_data: Vec::new(),
             phase_commands: 0,
             phase_device_time_s: 0.0,
+            phase_parallel_time_s: 0.0,
+            phase_channel_busy_s: 0.0,
             phase_op_cache_hits: 0,
             phase_op_cache_misses: 0,
             phase_knob_writes: 0,
@@ -636,17 +694,14 @@ impl WorkloadRunner {
             phases.push(self.run_prefill()?);
         }
         for spec in self.phases.clone() {
-            phases.push(self.run_phase(
-                &spec.name,
-                spec.ops_per_service,
-                spec.fast_forward_cycles,
-            )?);
+            phases.push(self.run_phase(&spec)?);
         }
         let (verify, verified_pages) = self.run_final_verify()?;
         phases.push(verify);
 
         let total_commands = phases.iter().map(|p| p.commands).sum();
         let total_device_time_s = phases.iter().map(|p| p.device_time_s).sum();
+        let total_parallel_time_s = phases.iter().map(|p| p.parallel_time_s).sum();
         let total_energy_j = phases.iter().map(|p| p.energy_j).sum();
         let op_cache_misses = phases.iter().map(|p| p.op_cache_misses).sum();
         let op_cache_hits = phases.iter().map(|p| p.op_cache_hits).sum();
@@ -664,6 +719,7 @@ impl WorkloadRunner {
             phases,
             total_commands,
             total_device_time_s,
+            total_parallel_time_s,
             total_energy_j,
             op_cache_misses,
             op_cache_hits,
@@ -676,6 +732,8 @@ impl WorkloadRunner {
     fn begin_phase(&mut self) {
         self.phase_commands = 0;
         self.phase_device_time_s = 0.0;
+        self.phase_parallel_time_s = 0.0;
+        self.phase_channel_busy_s = 0.0;
         self.phase_op_cache_hits = 0;
         self.phase_op_cache_misses = 0;
         self.phase_knob_writes = 0;
@@ -685,25 +743,25 @@ impl WorkloadRunner {
         }
     }
 
-    fn run_phase(
-        &mut self,
-        name: &str,
-        ops_per_service: usize,
-        fast_forward_cycles: u64,
-    ) -> Result<PhaseReport, MlcxError> {
+    fn run_phase(&mut self, spec: &PhaseSpec) -> Result<PhaseReport, MlcxError> {
         self.begin_phase();
         // Round-robin across services per op, so the services genuinely
         // contend inside shared batches.
-        for _ in 0..ops_per_service {
+        for _ in 0..spec.ops_per_service {
             for svc in 0..self.services.len() {
                 let op = self.services[svc].gen.next_op();
                 self.apply_op(svc, op)?;
             }
         }
         self.flush()?;
-        let report = self.phase_report(name, fast_forward_cycles);
-        if fast_forward_cycles > 0 {
-            self.engine.controller_mut().age_all(fast_forward_cycles);
+        let report = self.phase_report(&spec.name, spec.fast_forward_cycles);
+        if spec.fast_forward_cycles > 0 {
+            self.engine
+                .controller_mut()
+                .age_all(spec.fast_forward_cycles);
+        }
+        for &(die, cycles) in &spec.die_skew {
+            self.engine.controller_mut().age_die(die, cycles)?;
         }
         Ok(report)
     }
@@ -870,6 +928,8 @@ impl WorkloadRunner {
         let batch = self.engine.last_batch();
         self.phase_commands += batch.commands;
         self.phase_device_time_s += batch.device_latency_s;
+        self.phase_parallel_time_s += batch.parallel_latency_s;
+        self.phase_channel_busy_s += batch.channel_busy_s;
         self.phase_op_cache_hits += batch.op_cache_hits;
         self.phase_op_cache_misses += batch.op_cache_misses;
         self.phase_knob_writes += batch.knob_writes;
@@ -1017,6 +1077,8 @@ impl WorkloadRunner {
             services,
             commands: self.phase_commands,
             device_time_s: self.phase_device_time_s,
+            parallel_time_s: self.phase_parallel_time_s,
+            channel_busy_s: self.phase_channel_busy_s,
             energy_j,
             op_cache_hits: self.phase_op_cache_hits,
             op_cache_misses: self.phase_op_cache_misses,

@@ -121,6 +121,14 @@ impl EnergyMeter {
         self.operations += 1;
     }
 
+    /// Folds another meter into this one — rolling per-die meters up
+    /// into per-channel or subsystem totals.
+    pub fn absorb(&mut self, other: &EnergyMeter) {
+        self.total_energy_j += other.total_energy_j;
+        self.total_time_s += other.total_time_s;
+        self.operations += other.operations;
+    }
+
     /// Lifetime average power, watts.
     pub fn average_power_w(&self) -> f64 {
         if self.total_time_s <= 0.0 {

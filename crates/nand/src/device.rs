@@ -94,6 +94,25 @@ struct Block {
     pages: Vec<Option<StoredPage>>,
 }
 
+/// Per-die simulation state: each die ages independently, injects
+/// errors from its own seeded stream, and meters its own energy.
+struct DieState {
+    rng: StdRng,
+    meter: EnergyMeter,
+}
+
+/// The seed of a die's error-injection stream. Die 0 uses the device
+/// seed unchanged, so a 1-channel/1-die topology replays exactly the
+/// stream the single-die model produced (the paper-figure experiments
+/// stay bit-identical); further dies decorrelate via a golden-ratio mix.
+fn die_seed(seed: u64, die: usize) -> u64 {
+    if die == 0 {
+        seed
+    } else {
+        seed ^ (die as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
 /// A simulated MLC NAND device.
 ///
 /// # Example
@@ -123,7 +142,7 @@ pub struct NandDevice {
     disturb: DisturbModel,
     clock_hours: f64,
     blocks: Vec<Block>,
-    rng: StdRng,
+    dies: Vec<DieState>,
     meter: EnergyMeter,
 }
 
@@ -142,6 +161,13 @@ impl NandDevice {
     }
 
     /// Full-control constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the geometry fails [`DeviceGeometry::validate`]
+    /// (zero dimensions, or blocks not dividing evenly over the
+    /// topology's dies). Builders above this layer surface the same
+    /// condition as a recoverable configuration error first.
     pub fn with_config(
         geometry: DeviceGeometry,
         timing: NandTiming,
@@ -151,11 +177,20 @@ impl NandDevice {
         code_store: CodeStore,
         seed: u64,
     ) -> Self {
+        if let Err(reason) = geometry.validate() {
+            panic!("invalid device geometry: {reason}");
+        }
         let blocks = (0..geometry.blocks)
             .map(|_| Block {
                 pe_cycles: 0,
                 reads_since_erase: 0,
                 pages: (0..geometry.pages_per_block).map(|_| None).collect(),
+            })
+            .collect();
+        let dies = (0..geometry.topology.total_dies())
+            .map(|die| DieState {
+                rng: StdRng::seed_from_u64(die_seed(seed, die)),
+                meter: EnergyMeter::new(),
             })
             .collect();
         NandDevice {
@@ -169,7 +204,7 @@ impl NandDevice {
             disturb: DisturbModel::disabled(),
             clock_hours: 0.0,
             blocks,
-            rng: StdRng::seed_from_u64(seed),
+            dies,
             meter: EnergyMeter::new(),
         }
     }
@@ -199,9 +234,23 @@ impl NandDevice {
         &self.code_store
     }
 
-    /// Lifetime energy/busy-time totals.
+    /// Lifetime energy/busy-time totals across every die.
     pub fn energy_meter(&self) -> EnergyMeter {
         self.meter
+    }
+
+    /// Lifetime energy/busy-time totals of one die.
+    ///
+    /// The device-wide [`NandDevice::energy_meter`] is always the sum of
+    /// the per-die meters (`EnergyMeter::absorb` folds them back
+    /// together for per-channel rollups).
+    ///
+    /// # Errors
+    ///
+    /// [`NandError::DieOutOfRange`] for bad indices.
+    pub fn die_energy_meter(&self, die: usize) -> Result<EnergyMeter, NandError> {
+        self.check_die(die)?;
+        Ok(self.dies[die].meter)
     }
 
     /// Enables (or replaces) the read-disturb / retention model. The
@@ -270,6 +319,52 @@ impl NandDevice {
         }
     }
 
+    /// Ages every block of one die by `cycles` P/E cycles — dies age
+    /// independently, so lifetime scenarios can skew wear per die (a
+    /// die that served a hot service, a weak die binned low at test).
+    ///
+    /// # Errors
+    ///
+    /// [`NandError::DieOutOfRange`] for bad indices.
+    pub fn age_die(&mut self, die: usize, cycles: u64) -> Result<(), NandError> {
+        self.check_die(die)?;
+        for block in self.geometry.die_blocks(die) {
+            self.blocks[block].pe_cycles += cycles;
+        }
+        Ok(())
+    }
+
+    /// The highest P/E cycle count across one die's blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`NandError::DieOutOfRange`] for bad indices.
+    pub fn die_max_cycles(&self, die: usize) -> Result<u64, NandError> {
+        self.check_die(die)?;
+        Ok(self
+            .geometry
+            .die_blocks(die)
+            .map(|b| self.blocks[b].pe_cycles)
+            .max()
+            .unwrap_or(0))
+    }
+
+    /// The mean P/E cycle count across one die's blocks (rounded down).
+    ///
+    /// # Errors
+    ///
+    /// [`NandError::DieOutOfRange`] for bad indices.
+    pub fn die_mean_cycles(&self, die: usize) -> Result<u64, NandError> {
+        self.check_die(die)?;
+        let range = self.geometry.die_blocks(die);
+        let count = range.len() as u128;
+        if count == 0 {
+            return Ok(0);
+        }
+        let total: u128 = range.map(|b| u128::from(self.blocks[b].pe_cycles)).sum();
+        Ok((total / count) as u64)
+    }
+
     /// The highest P/E cycle count across all blocks.
     pub fn max_cycles(&self) -> u64 {
         self.blocks.iter().map(|b| b.pe_cycles).max().unwrap_or(0)
@@ -331,7 +426,8 @@ impl NandDevice {
             duration_s: self.timing.erase_block_s,
         }];
         let op = self.sequencer.execute(&phases);
-        let report = self.finish(OpKind::Erase, op.duration_s(), op.total_energy_j());
+        let die = self.geometry.die_of_block(block);
+        let report = self.finish(die, OpKind::Erase, op.duration_s(), op.total_energy_j());
         Ok(report)
     }
 
@@ -399,7 +495,8 @@ impl NandDevice {
             cycles_at_program: cycles,
             programmed_at_hours: self.clock_hours,
         });
-        let report = self.finish(OpKind::Program, op.duration_s(), op.total_energy_j());
+        let die = self.geometry.die_of_block(block);
+        let report = self.finish(die, OpKind::Program, op.duration_s(), op.total_energy_j());
         Ok(report)
     }
 
@@ -416,6 +513,7 @@ impl NandDevice {
     ) -> Result<(Vec<u8>, Vec<u8>, OpReport), NandError> {
         self.check_page(block, page)?;
         let geometry_spare = self.geometry.spare_bytes;
+        let die = self.geometry.die_of_block(block);
         self.blocks[block].reads_since_erase += 1;
         let reads = self.blocks[block].reads_since_erase;
         let stored = self.blocks[block].pages[page]
@@ -434,10 +532,13 @@ impl NandDevice {
         let rber = (endurance + extra).min(0.5);
         debug_assert!(spare.len() <= geometry_spare);
 
+        // Errors come from the die's own stream: reads on one die never
+        // perturb the injection sequence of another.
+        let rng = &mut self.dies[die].rng;
         let total_bits = (data.len() + spare.len()) * 8;
-        let errors = sample_binomial(&mut self.rng, total_bits as u64, rber);
+        let errors = sample_binomial(rng, total_bits as u64, rber);
         for _ in 0..errors {
-            let bit = self.rng.random_range(0..total_bits);
+            let bit = rng.random_range(0..total_bits);
             let (buf, idx) = if bit < data.len() * 8 {
                 (&mut data, bit)
             } else {
@@ -451,17 +552,18 @@ impl NandDevice {
             duration_s: self.timing.read_page_s,
         }];
         let op = self.sequencer.execute(&phases);
-        let report = self.finish(OpKind::Read, op.duration_s(), op.total_energy_j());
+        let report = self.finish(die, OpKind::Read, op.duration_s(), op.total_energy_j());
         Ok((data, spare, report))
     }
 
-    fn finish(&mut self, kind: OpKind, duration_s: f64, energy_j: f64) -> OpReport {
+    fn finish(&mut self, die: usize, kind: OpKind, duration_s: f64, energy_j: f64) -> OpReport {
         let duration_s = duration_s + self.timing.command_overhead_s;
         let op = mlcx_hv::OperationEnergy::from_phases(vec![mlcx_hv::PhaseEnergy {
             label: "op",
             duration_s,
             energy_j,
         }]);
+        self.dies[die].meter.record(&op);
         self.meter.record(&op);
         OpReport {
             kind,
@@ -473,6 +575,14 @@ impl NandDevice {
                 0.0
             },
         }
+    }
+
+    fn check_die(&self, die: usize) -> Result<(), NandError> {
+        let dies = self.geometry.topology.total_dies();
+        if die >= dies {
+            return Err(NandError::DieOutOfRange { die, dies });
+        }
+        Ok(())
     }
 
     fn check_block(&self, block: usize) -> Result<(), NandError> {
@@ -798,6 +908,83 @@ mod tests {
         assert!((dev.now_hours() - 10_000.0).abs() < 1e-9);
         let aged = count_errs(&mut dev);
         assert!(aged > fresh, "aged {aged} vs fresh {fresh}");
+    }
+
+    #[test]
+    fn multi_die_bank_ages_independently_with_per_die_meters() {
+        let mut dev = NandDevice::with_config(
+            DeviceGeometry::date2012_topology(2, 2), // 4 dies x 64 blocks
+            NandTiming::date2012(),
+            IsppConfig::date2012(),
+            AgingModel::date2012(),
+            HvSubsystem::date2012(),
+            CodeStore::dual_rom(),
+            7,
+        );
+        assert_eq!(dev.geometry().topology.total_dies(), 4);
+        // Age dies 1 and 3 only: the others stay fresh.
+        dev.age_die(1, 10_000).unwrap();
+        dev.age_die(3, 250_000).unwrap();
+        assert_eq!(dev.die_max_cycles(0).unwrap(), 0);
+        assert_eq!(dev.die_mean_cycles(1).unwrap(), 10_000);
+        assert_eq!(dev.die_max_cycles(3).unwrap(), 250_000);
+        assert_eq!(dev.max_cycles(), 250_000);
+        assert_eq!(dev.mean_cycles(), (10_000 + 250_000) / 4);
+        // Block-level wear reflects the die partition boundary.
+        assert_eq!(dev.block_cycles(63).unwrap(), 0);
+        assert_eq!(dev.block_cycles(64).unwrap(), 10_000);
+
+        // Ops meter into their die; device meter is the die-meter sum.
+        dev.erase_block(0).unwrap(); // die 0
+        dev.erase_block(64).unwrap(); // die 1
+        dev.program_page(64, 0, &vec![0u8; 4096], &[]).unwrap();
+        let d0 = dev.die_energy_meter(0).unwrap();
+        let d1 = dev.die_energy_meter(1).unwrap();
+        assert_eq!(d0.operations, 1);
+        assert_eq!(d1.operations, 2);
+        assert_eq!(dev.die_energy_meter(2).unwrap().operations, 0);
+        let mut rollup = EnergyMeter::new();
+        for die in 0..4 {
+            rollup.absorb(&dev.die_energy_meter(die).unwrap());
+        }
+        assert_eq!(rollup, dev.energy_meter());
+
+        // Die addressing is validated.
+        assert_eq!(
+            dev.age_die(4, 1),
+            Err(NandError::DieOutOfRange { die: 4, dies: 4 })
+        );
+        assert!(matches!(
+            dev.die_max_cycles(99),
+            Err(NandError::DieOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn die_zero_stream_matches_the_single_die_device() {
+        // The 1x1 topology must reproduce the historical single-die
+        // model exactly; die 0 of a wider bank replays the same stream.
+        let mut single = NandDevice::date2012(1234);
+        let mut bank = NandDevice::with_config(
+            DeviceGeometry::date2012_topology(4, 1),
+            NandTiming::date2012(),
+            IsppConfig::date2012(),
+            AgingModel::date2012(),
+            HvSubsystem::date2012(),
+            CodeStore::dual_rom(),
+            1234,
+        );
+        let data = vec![0x5Au8; 4096];
+        for dev in [&mut single, &mut bank] {
+            dev.age_block(0, 1_000_000).unwrap();
+            dev.erase_block(0).unwrap();
+            dev.program_page(0, 0, &data, &[]).unwrap();
+        }
+        for _ in 0..8 {
+            let (a, _, _) = single.read_page(0, 0).unwrap();
+            let (b, _, _) = bank.read_page(0, 0).unwrap();
+            assert_eq!(a, b, "die 0 must replay the single-die stream");
+        }
     }
 
     #[test]

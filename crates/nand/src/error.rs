@@ -23,6 +23,13 @@ pub enum NandError {
         /// Pages per block.
         pages_per_block: usize,
     },
+    /// Die index beyond the channel/die topology.
+    DieOutOfRange {
+        /// Requested die.
+        die: usize,
+        /// Total dies in the topology.
+        dies: usize,
+    },
     /// Programming a page that has not been erased since its last program
     /// (NAND forbids overwrite; the FTL must erase first).
     PageNotErased {
@@ -66,6 +73,9 @@ impl fmt::Display for NandError {
                 page,
                 pages_per_block,
             } => write!(f, "page {page} out of range (block has {pages_per_block})"),
+            NandError::DieOutOfRange { die, dies } => {
+                write!(f, "die {die} out of range (topology has {dies})")
+            }
             NandError::PageNotErased { block, page } => {
                 write!(
                     f,

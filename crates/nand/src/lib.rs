@@ -66,7 +66,7 @@ pub mod variability;
 pub use aging::AgingModel;
 pub use device::{NandDevice, OpKind, OpReport};
 pub use error::NandError;
-pub use geometry::DeviceGeometry;
+pub use geometry::{DeviceGeometry, Topology};
 pub use ispp::{IsppConfig, ProgramAlgorithm, ProgramProfile};
 pub use levels::{MlcLevel, ThresholdSpec};
 pub use timing::NandTiming;

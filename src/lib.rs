@@ -80,6 +80,7 @@ pub use mlcx_hv as hv;
 pub use mlcx_nand as nand;
 
 pub use mlcx_bch::{AdaptiveBch, BchCode, DecodeOutcome};
+pub use mlcx_controller::{ChannelScheduler, IssueSlot, OpTiming};
 pub use mlcx_controller::{
     ConfigCommand, ControllerConfig, ControllerConfigBuilder, CtrlError, MemoryController,
     ReadReport, ReliabilityManager, ReliabilityPolicy, ServiceLevel, WriteReport,
@@ -91,4 +92,4 @@ pub use mlcx_core::{
     ServiceRegion, ServiceStats, ServicedStore, StorageEngine, SubsystemModel,
     SubsystemModelBuilder, TraceGenerator, TraceKind, WearBucketing, WorkloadRunner,
 };
-pub use mlcx_nand::{AgingModel, DeviceGeometry, MlcLevel, NandDevice, ProgramAlgorithm};
+pub use mlcx_nand::{AgingModel, DeviceGeometry, MlcLevel, NandDevice, ProgramAlgorithm, Topology};
