@@ -7,6 +7,7 @@ use mlcx_bch::hardware::{EccHardware, EccPowerModel};
 use mlcx_bch::{AdaptiveBch, CodecStats, DecodeOutcome};
 use mlcx_hv::HvSubsystem;
 use mlcx_nand::device::CodeStore;
+use mlcx_nand::disturb::DisturbModel;
 use mlcx_nand::ispp::IsppConfig;
 use mlcx_nand::{AgingModel, DeviceGeometry, NandDevice, NandTiming, OpReport, ProgramAlgorithm};
 
@@ -36,6 +37,12 @@ pub struct ControllerConfig {
     pub ecc_power: EccPowerModel,
     /// Device geometry.
     pub geometry: DeviceGeometry,
+    /// Read-disturb / retention model installed on the device. The
+    /// preset is [`DisturbModel::disabled`] — the paper's evaluation
+    /// conditions — so the default datapath is bit-identical with or
+    /// without the knob; enable it (with a scrub policy above) to study
+    /// the workload-dependent mechanisms.
+    pub disturb: DisturbModel,
 }
 
 impl ControllerConfig {
@@ -50,6 +57,7 @@ impl ControllerConfig {
             ecc_hw: EccHardware::date2012(),
             ecc_power: EccPowerModel::date2012(),
             geometry: DeviceGeometry::date2012(),
+            disturb: DisturbModel::disabled(),
         }
     }
 
@@ -126,6 +134,13 @@ impl ControllerConfigBuilder {
     /// Device geometry.
     pub fn geometry(mut self, geometry: DeviceGeometry) -> Self {
         self.config.geometry = geometry;
+        self
+    }
+
+    /// Read-disturb / retention model for the device (default
+    /// [`DisturbModel::disabled`]).
+    pub fn disturb(mut self, disturb: DisturbModel) -> Self {
+        self.config.disturb = disturb;
         self
     }
 
@@ -261,7 +276,7 @@ impl MemoryController {
                 spare_bytes: config.geometry.spare_bytes,
             });
         }
-        let device = NandDevice::with_config(
+        let mut device = NandDevice::with_config(
             config.geometry,
             NandTiming::date2012(),
             IsppConfig::date2012(),
@@ -270,6 +285,7 @@ impl MemoryController {
             CodeStore::dual_rom(),
             seed,
         );
+        device.set_disturb_model(config.disturb);
         let buffer = PageBuffer::new(config.geometry.page_bytes);
         let scheduler = ChannelScheduler::new(config.geometry.topology);
         Ok(MemoryController {

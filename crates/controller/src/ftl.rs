@@ -107,6 +107,12 @@ pub struct FtlStats {
     pub gc_runs: u64,
     /// Live pages relocated by GC.
     pub relocated_pages: u64,
+    /// Blocks reclaimed by the scrubber ([`LogicalMap::plan_reclaim`]).
+    pub scrub_runs: u64,
+    /// Live pages relocated by scrub read-reclaim (also counted in
+    /// [`FtlStats::physical_writes`], so write amplification stays
+    /// honest about maintenance traffic).
+    pub scrub_relocated_pages: u64,
 }
 
 impl FtlStats {
@@ -133,6 +139,10 @@ impl FtlStats {
             physical_writes: self.physical_writes.saturating_sub(earlier.physical_writes),
             gc_runs: self.gc_runs.saturating_sub(earlier.gc_runs),
             relocated_pages: self.relocated_pages.saturating_sub(earlier.relocated_pages),
+            scrub_runs: self.scrub_runs.saturating_sub(earlier.scrub_runs),
+            scrub_relocated_pages: self
+                .scrub_relocated_pages
+                .saturating_sub(earlier.scrub_relocated_pages),
         }
     }
 }
@@ -470,6 +480,105 @@ impl LogicalMap {
         self.stats.gc_runs += 1;
         Ok(true)
     }
+
+    /// Plans the read-reclaim of one *caller-chosen* block: every live
+    /// page is relocated out (in page order), then the block is erased —
+    /// resetting the device's read-disturb accumulator and, because the
+    /// relocated pages are rewritten at the current device time, their
+    /// retention age. Unlike garbage collection the victim need not hold
+    /// a single stale page; this is the plan a scrubber
+    /// (`mlcx_controller::scrub::Scrubber`) emits for blocks whose
+    /// disturb state crossed its thresholds.
+    ///
+    /// A fully erased block yields an empty plan (erasing it would only
+    /// burn a P/E cycle). If the victim is the currently open block it
+    /// is closed first, so none of its erased pages can serve as a
+    /// relocation destination.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `block` is outside the map's range (the scrubber
+    /// iterates [`LogicalMap::blocks`], so a foreign block is caller
+    /// misuse, not a runtime condition) — or on a broken internal
+    /// allocator invariant (a mid-relocation allocation failure after
+    /// the up-front capacity check passed), which must never silently
+    /// leave the map half-mutated.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::OutOfSpace`] when the live pages cannot all be
+    /// relocated with the slots currently writable *outside* the victim;
+    /// the map is left untouched — the check is atomic and up-front, so
+    /// the caller can safely retry after host traffic has triggered
+    /// garbage collection. (Under the planner's early-cleaning reserve
+    /// invariant this cannot happen between host writes; it is
+    /// reachable only on a map driven by raw reclaims.)
+    pub fn plan_reclaim(
+        &mut self,
+        block: usize,
+        wear: &mut dyn FnMut(usize) -> u64,
+    ) -> Result<Vec<FtlOp>, FtlError> {
+        assert!(
+            self.blocks.contains(&block),
+            "reclaim target {block} outside the map's range {:?}",
+            self.blocks
+        );
+        let rel = self.rel(block);
+        if self.states[rel].iter().all(|s| *s == PageState::Erased) {
+            return Ok(Vec::new());
+        }
+        let erased_in_victim = self.states[rel]
+            .iter()
+            .filter(|s| **s == PageState::Erased)
+            .count();
+        let live: Vec<(usize, usize)> = self.states[rel]
+            .iter()
+            .enumerate()
+            .filter_map(|(p, s)| match s {
+                PageState::Live(lpn) => Some((p, *lpn)),
+                _ => None,
+            })
+            .collect();
+        // The victim's own erased pages are counted in free_slots but
+        // can never be allocated (the block is not fully erased, and is
+        // closed below if open): check against the usable remainder
+        // before mutating anything.
+        if live.len() > self.free_slots - erased_in_victim {
+            return Err(FtlError::OutOfSpace);
+        }
+        if self.open.map(|(b, _)| b) == Some(block) {
+            self.open = None;
+        }
+        let mut ops = Vec::with_capacity(live.len() + 1);
+        for (page, lpn) in live {
+            // The up-front capacity check guarantees this allocation:
+            // every erased page outside the (now closed) victim is
+            // reachable by take_slot. Returning OutOfSpace here instead
+            // would hand the caller an innocent-looking skip with the
+            // map already half-mutated — fail loudly instead.
+            let to = self
+                .take_slot(wear)
+                .expect("reclaim capacity was checked up front; allocator invariant broken");
+            self.claim(to.0, to.1, lpn);
+            self.map.insert(lpn, to);
+            ops.push(FtlOp::Relocate {
+                lpn,
+                from: (block, page),
+                to,
+            });
+            self.stats.physical_writes += 1;
+            self.stats.scrub_relocated_pages += 1;
+        }
+        for s in &mut self.states[rel] {
+            if *s != PageState::Erased {
+                self.free_slots += 1;
+            }
+            *s = PageState::Erased;
+        }
+        ops.push(FtlOp::Erase { block });
+        self.stats.scrub_runs += 1;
+        Ok(ops)
+    }
 }
 
 /// A wear-leveling flash translation layer over a [`MemoryController`]:
@@ -755,6 +864,7 @@ mod tests {
             physical_writes: 15,
             gc_runs: 1,
             relocated_pages: 5,
+            ..FtlStats::default()
         };
         let delta = later.delta_since(&stats);
         assert_eq!(delta.host_writes, 10);
@@ -877,6 +987,111 @@ mod tests {
         // Stripe: die 0 (block 0, the fresher of 0/1), die 1 (block 2),
         // then back to die 0 — block 1 is all that's left there.
         assert_eq!(opened, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn plan_reclaim_relocates_live_pages_then_erases() {
+        let mut map = LogicalMap::new(0..4, 4);
+        let mut wear = |_b: usize| 0u64;
+        for lpn in 0..6 {
+            map.plan_write(lpn, &mut wear).unwrap();
+        }
+        // Block 0 holds lpns 0..4 live; reclaim it.
+        let plan = map.plan_reclaim(0, &mut wear).unwrap();
+        assert_eq!(plan.len(), 5, "4 relocations + 1 erase: {plan:?}");
+        assert!(matches!(plan[4], FtlOp::Erase { block: 0 }));
+        for (i, op) in plan[..4].iter().enumerate() {
+            let FtlOp::Relocate { lpn, from, to } = *op else {
+                panic!("expected relocation, got {op:?}");
+            };
+            assert_eq!(from, (0, i));
+            assert_eq!(lpn, i);
+            assert_ne!(to.0, 0, "destination must leave the victim");
+            assert_eq!(map.translate(lpn), Some(to));
+        }
+        let stats = map.stats();
+        assert_eq!(stats.scrub_runs, 1);
+        assert_eq!(stats.scrub_relocated_pages, 4);
+        assert_eq!(stats.physical_writes, 6 + 4);
+        assert!(stats.write_amplification() > 1.0);
+        // The reclaimed block is writable again and the map still
+        // composes: keep writing well past raw capacity.
+        for round in 0..10 {
+            for lpn in 0..6 {
+                map.plan_write(lpn, &mut wear).unwrap();
+            }
+            let _ = round;
+        }
+        assert_eq!(map.mapped_lpns(), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn plan_reclaim_of_the_open_block_closes_it_first() {
+        let mut map = LogicalMap::new(0..3, 4);
+        let mut wear = |_b: usize| 0u64;
+        // Two writes open block 0 and leave it half full.
+        map.plan_write(0, &mut wear).unwrap();
+        map.plan_write(1, &mut wear).unwrap();
+        let plan = map.plan_reclaim(0, &mut wear).unwrap();
+        // Both live pages must land outside block 0 even though its
+        // open-block remainder had erased pages.
+        for op in &plan {
+            if let FtlOp::Relocate { to, .. } = op {
+                assert_ne!(to.0, 0, "open-block remainder must not be reused");
+            }
+        }
+        assert!(matches!(plan.last(), Some(FtlOp::Erase { block: 0 })));
+    }
+
+    #[test]
+    fn plan_reclaim_degenerate_victims() {
+        let mut map = LogicalMap::new(0..3, 2);
+        let mut wear = |_b: usize| 0u64;
+        // Fully erased block: nothing to do, no cycle burned.
+        assert!(map.plan_reclaim(2, &mut wear).unwrap().is_empty());
+        assert_eq!(map.stats().scrub_runs, 0);
+        // All-stale block: a bare erase (overwrites staled block 0).
+        map.plan_write(0, &mut wear).unwrap();
+        map.plan_write(1, &mut wear).unwrap();
+        map.plan_write(0, &mut wear).unwrap();
+        map.plan_write(1, &mut wear).unwrap();
+        let plan = map.plan_reclaim(0, &mut wear).unwrap();
+        assert_eq!(plan, vec![FtlOp::Erase { block: 0 }]);
+    }
+
+    #[test]
+    fn plan_reclaim_interleaves_with_overwrite_traffic() {
+        // Overwrite traffic at full utilization with a reclaim per
+        // round: a reclaim either produces a well-formed plan or is
+        // refused with OutOfSpace (the scrubber's skip-and-retry path —
+        // at 100 % utilization the writable reserve can be exactly
+        // consumed), and the map stays consistent throughout.
+        let mut map = LogicalMap::new(0..5, 4);
+        let mut wear = |_b: usize| 0u64;
+        for lpn in 0..map.capacity_pages() {
+            map.plan_write(lpn, &mut wear).unwrap();
+        }
+        let mut reclaimed = 0;
+        let mut refused = 0;
+        for round in 0..10usize {
+            for lpn in (0..map.capacity_pages()).step_by(2) {
+                map.plan_write(lpn, &mut wear).unwrap();
+            }
+            match map.plan_reclaim(round % 5, &mut wear) {
+                Ok(plan) => {
+                    if !plan.is_empty() {
+                        reclaimed += 1;
+                        assert!(matches!(plan.last(), Some(FtlOp::Erase { .. })));
+                    }
+                }
+                Err(FtlError::OutOfSpace) => refused += 1,
+                Err(e) => panic!("unexpected reclaim error: {e}"),
+            }
+        }
+        assert!(reclaimed > 0, "some reclaims must fit ({refused} refused)");
+        let mut lpns = map.mapped_lpns();
+        lpns.sort_unstable();
+        assert_eq!(lpns, (0..map.capacity_pages()).collect::<Vec<_>>());
     }
 
     #[test]

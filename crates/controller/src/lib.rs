@@ -26,7 +26,10 @@
 //!   datapath feeds it each operation's bus/cell occupancy, and batches
 //!   read their modeled parallel makespan and channel utilization back;
 //! * [`ftl`] — a wear-leveling flash translation layer (extension) so
-//!   overwrite workloads can run on top of the cross-layer machinery.
+//!   overwrite workloads can run on top of the cross-layer machinery;
+//! * [`scrub`] — background scrub / read-reclaim: a policy engine that
+//!   scans per-block disturb state (reads since erase, data age) and
+//!   plans relocate+erase maintenance through the FTL machinery.
 //!
 //! # Example
 //!
@@ -56,6 +59,7 @@ pub mod ftl;
 pub mod ocp;
 pub mod regs;
 pub mod reliability;
+pub mod scrub;
 pub mod throughput;
 
 pub use channel::{ChannelScheduler, IssueSlot, OpTiming};
@@ -66,3 +70,4 @@ pub use error::CtrlError;
 pub use ftl::{Ftl, FtlError, FtlOp, FtlStats, LogicalMap};
 pub use regs::{ConfigCommand, RegisterFile, ServiceLevel, StatusFlags};
 pub use reliability::{ReliabilityManager, ReliabilityPolicy};
+pub use scrub::{ScrubPolicy, ScrubStats, Scrubber};

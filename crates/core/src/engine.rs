@@ -47,7 +47,7 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::ops::Range;
 
-use mlcx_controller::{ControllerConfig, MemoryController, ReadReport, WriteReport};
+use mlcx_controller::{ControllerConfig, MemoryController, ReadReport, ScrubPolicy, WriteReport};
 
 use crate::error::MlcxError;
 use crate::model::{OperatingPoint, SubsystemModel};
@@ -143,6 +143,31 @@ pub enum Command {
         /// The new objective.
         objective: Objective,
     },
+    /// Copy one page to a freshly erased slot through the full datapath
+    /// (read + ECC correct at the source's write-time capability, then
+    /// re-encode and program at the service's current operating point) —
+    /// the relocation primitive of scrub/read-reclaim maintenance.
+    /// Counted under [`BatchReport::scrub_relocations`], not the host
+    /// byte counters.
+    Relocate {
+        /// Issuing service.
+        service: ServiceHandle,
+        /// Source `(block, page)`.
+        from: (usize, usize),
+        /// Destination `(block, page)`; must be erased.
+        to: (usize, usize),
+    },
+    /// Erase a block as scrub maintenance: identical device effect to
+    /// [`Command::Erase`] (and it equally resets the block's
+    /// read-disturb accumulator), but accounted under
+    /// [`BatchReport::scrub_erases`] so maintenance traffic is
+    /// separable from host traffic.
+    ScrubErase {
+        /// Issuing service.
+        service: ServiceHandle,
+        /// Target block.
+        block: usize,
+    },
 }
 
 impl Command {
@@ -184,6 +209,16 @@ impl Command {
         Command::Configure { service, objective }
     }
 
+    /// A scrub relocation command.
+    pub fn relocate(service: ServiceHandle, from: (usize, usize), to: (usize, usize)) -> Self {
+        Command::Relocate { service, from, to }
+    }
+
+    /// A scrub erase command.
+    pub fn scrub_erase(service: ServiceHandle, block: usize) -> Self {
+        Command::ScrubErase { service, block }
+    }
+
     /// The service the command runs under.
     pub fn service(&self) -> ServiceHandle {
         match *self {
@@ -191,7 +226,9 @@ impl Command {
             | Command::Write { service, .. }
             | Command::Erase { service, .. }
             | Command::Trim { service, .. }
-            | Command::Configure { service, .. } => service,
+            | Command::Configure { service, .. }
+            | Command::Relocate { service, .. }
+            | Command::ScrubErase { service, .. } => service,
         }
     }
 }
@@ -219,6 +256,20 @@ pub enum CommandOutput {
     Configure {
         /// The objective the service was bound to before.
         previous: Objective,
+    },
+    /// Scrub relocation result.
+    Relocate {
+        /// Raw bit errors the ECC corrected reading the source page.
+        corrected_bits: usize,
+        /// Whether the source decode succeeded (the best-effort data is
+        /// relocated either way; a miss surfaces at the next host read).
+        read_ok: bool,
+        /// Read + write device latency, seconds.
+        latency_s: f64,
+        /// Read + write energy, joules.
+        energy_j: f64,
+        /// Capability the destination page was re-encoded at.
+        t_used: u32,
     },
 }
 
@@ -271,6 +322,14 @@ pub struct BatchReport {
     pub channel_busy_s: f64,
     /// Channels in the topology the batch ran on.
     pub channels: usize,
+    /// Scrub relocations ([`Command::Relocate`]) executed in the batch.
+    pub scrub_relocations: u64,
+    /// Scrub erases ([`Command::ScrubErase`]) executed in the batch.
+    pub scrub_erases: u64,
+    /// Portion of [`BatchReport::device_latency_s`] spent on scrub
+    /// maintenance (relocations + scrub erases) — the device time the
+    /// batch paid for reliability instead of host traffic.
+    pub scrub_latency_s: f64,
 }
 
 impl BatchReport {
@@ -363,14 +422,19 @@ struct ServiceState {
     region: ServiceRegion,
     stats: ServiceStats,
     queue: VecDeque<(CmdId, Command)>,
-    /// Memoized operating point per die, as `(wear-bucket key, point)`
-    /// — the memo is keyed `(service, die, wear bucket)` because dies
-    /// age independently, so one die's wear crossing a bucket edge must
-    /// not evict the point of its siblings. One slot per die suffices:
-    /// within a die wear only moves forward, so an evicted bucket would
-    /// never be hit again anyway, and the slots keep the cache O(dies)
-    /// per service over the whole device lifetime.
-    op_slots: Vec<Option<(u64, OperatingPoint)>>,
+    /// Memoized operating point per die, as `(wear-bucket key, disturb
+    /// epoch, point)` — the memo is keyed `(service, die, wear bucket)`
+    /// because dies age independently, so one die's wear crossing a
+    /// bucket edge must not evict the point of its siblings. One slot
+    /// per die suffices: within a die wear only moves forward, so an
+    /// evicted bucket would never be hit again anyway, and the slots
+    /// keep the cache O(dies) per service over the whole device
+    /// lifetime. The epoch tags which disturb generation the point was
+    /// derived under: wear alone cannot see disturb-driven RBER growth
+    /// (reads and retention age move without a single P/E cycle), so
+    /// [`StorageEngine::invalidate_operating_points`] bumps the engine
+    /// epoch and every stale slot misses on its next lookup.
+    op_slots: Vec<Option<(u64, u64, OperatingPoint)>>,
 }
 
 /// Fluent construction of a [`StorageEngine`].
@@ -395,6 +459,7 @@ pub struct EngineBuilder {
     model: SubsystemModel,
     seed: u64,
     bucketing: WearBucketing,
+    scrub: ScrubPolicy,
 }
 
 impl EngineBuilder {
@@ -405,12 +470,33 @@ impl EngineBuilder {
             model: SubsystemModel::date2012(),
             seed: 2012,
             bucketing: WearBucketing::default(),
+            scrub: ScrubPolicy::disabled(),
         }
     }
 
     /// Overrides the controller configuration.
     pub fn controller_config(mut self, config: ControllerConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Installs a read-disturb / retention model on the device (default
+    /// [`DisturbModel::disabled`](mlcx_nand::disturb::DisturbModel::disabled)).
+    /// Call after [`EngineBuilder::controller_config`], which replaces
+    /// the whole configuration including this knob.
+    pub fn disturb_model(mut self, disturb: mlcx_nand::disturb::DisturbModel) -> Self {
+        self.config.disturb = disturb;
+        self
+    }
+
+    /// Sets the scrub/read-reclaim policy carried by the engine
+    /// (default [`ScrubPolicy::disabled`]). The engine itself does not
+    /// scan — layers owning the logical maps (the workload simulator's
+    /// per-service `Scrubber`s) read the policy back via
+    /// [`StorageEngine::scrub_policy`] and submit the resulting
+    /// [`Command::Relocate`]/[`Command::ScrubErase`] maintenance.
+    pub fn scrub_policy(mut self, scrub: ScrubPolicy) -> Self {
+        self.scrub = scrub;
         self
     }
 
@@ -468,11 +554,9 @@ impl EngineBuilder {
             });
         }
         let ctrl = MemoryController::new(self.config, self.seed)?;
-        Ok(StorageEngine::with_bucketing(
-            ctrl,
-            self.model,
-            self.bucketing,
-        ))
+        let mut engine = StorageEngine::with_bucketing(ctrl, self.model, self.bucketing);
+        engine.scrub = self.scrub;
+        Ok(engine)
     }
 }
 
@@ -490,6 +574,10 @@ pub struct StorageEngine {
     model: SubsystemModel,
     services: Vec<ServiceState>,
     bucketing: WearBucketing,
+    scrub: ScrubPolicy,
+    /// Generation counter of the disturb state the memoized operating
+    /// points were derived under (see [`ServiceState::op_slots`]).
+    disturb_epoch: u64,
     next_id: u64,
     last_batch: BatchReport,
 }
@@ -522,6 +610,8 @@ impl StorageEngine {
             model,
             services: Vec::new(),
             bucketing,
+            scrub: ScrubPolicy::disabled(),
+            disturb_epoch: 0,
             next_id: 0,
             last_batch: BatchReport::default(),
         }
@@ -618,6 +708,56 @@ impl StorageEngine {
         &self.model
     }
 
+    /// The scrub/read-reclaim policy the engine was built with.
+    pub fn scrub_policy(&self) -> &ScrubPolicy {
+        &self.scrub
+    }
+
+    /// Advances the device wall clock — the retention time base every
+    /// stored page ages against — by `hours`.
+    ///
+    /// When the retention mechanism is actually enabled this also
+    /// invalidates the memoized operating points
+    /// ([`StorageEngine::invalidate_operating_points`]): the
+    /// `(service, die, wear-bucket)` memo key cannot see RBER that grew
+    /// without a P/E cycle, and derivation *does* consume the current
+    /// disturb state (the ECC schedule is solved for endurance plus the
+    /// region's worst disturb RBER), so a point cached before the jump
+    /// genuinely understates the error rate until it is re-derived.
+    /// Read-disturb alone does not gate here — a wall-clock jump
+    /// changes no per-read term. With a retention-free model
+    /// (including the default
+    /// [`DisturbModel::disabled`](mlcx_nand::disturb::DisturbModel::disabled))
+    /// time has no RBER effect and the cache — and every counter
+    /// downstream of it — is left untouched, keeping a clocked run
+    /// bit-identical to an unclocked one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative `hours` (time flows forward).
+    pub fn advance_hours(&mut self, hours: f64) {
+        self.ctrl.device_mut().advance_time_hours(hours);
+        if hours > 0.0 && self.ctrl.device().disturb_model().retention_scale != 0.0 {
+            self.invalidate_operating_points();
+        }
+    }
+
+    /// The device wall clock, hours since construction.
+    pub fn now_hours(&self) -> f64 {
+        self.ctrl.device().now_hours()
+    }
+
+    /// Drops every memoized operating point by bumping the disturb
+    /// epoch: the next command per `(service, die)` re-derives against
+    /// the current state. This is the invalidation hook for
+    /// disturb-driven RBER growth the wear-bucket key cannot express —
+    /// [`StorageEngine::advance_hours`] calls it on retention jumps, and
+    /// scrub orchestrators may call it after heavy read-disturb
+    /// accumulation.
+    pub fn invalidate_operating_points(&mut self) {
+        self.disturb_epoch += 1;
+    }
+
     /// Commands enqueued but not yet polled.
     pub fn pending(&self) -> usize {
         self.services.iter().map(|s| s.queue.len()).sum()
@@ -658,7 +798,12 @@ impl StorageEngine {
         match cmd {
             Command::Read { block, .. }
             | Command::Erase { block, .. }
+            | Command::ScrubErase { block, .. }
             | Command::Trim { block, .. } => check_block(*block),
+            Command::Relocate { from, to, .. } => {
+                check_block(from.0)?;
+                check_block(to.0)
+            }
             Command::Write { block, data, .. } => {
                 check_block(*block)?;
                 let expected = self.ctrl.config().geometry.page_bytes;
@@ -783,25 +928,51 @@ impl StorageEngine {
         result
     }
 
+    /// The worst additive disturb RBER across the slice of a service's
+    /// region living on `die` — what point derivation adds on top of
+    /// the endurance curve so freshly scheduled writes keep their UBER
+    /// margin on disturbed neighbours. 0.0 (and O(1)) under a disabled
+    /// model, so the historical derivations are untouched.
+    fn region_disturb_rber(&self, idx: usize, die: usize) -> f64 {
+        if !self.ctrl.device().disturb_model().is_enabled() {
+            return 0.0;
+        }
+        let region = &self.services[idx].region.blocks;
+        let die_blocks = self.ctrl.config().geometry.die_blocks(die);
+        let lo = region.start.max(die_blocks.start);
+        let hi = region.end.min(die_blocks.end);
+        (lo..hi)
+            .map(|b| self.ctrl.device().block_disturb_rber(b).unwrap_or(0.0))
+            .fold(0.0, f64::max)
+    }
+
     /// The operating point a service runs on `die` at a wear level,
     /// memoized per `(service, die, wear bucket)` under the engine's
-    /// [`WearBucketing`] policy.
+    /// [`WearBucketing`] policy. Derivation solves the ECC schedule for
+    /// the endurance RBER *plus* the region-on-die's current worst
+    /// disturb RBER ([`SubsystemModel::configure_with_extra_rber`]);
+    /// the disturb epoch in the memo slot governs how stale that
+    /// disturb snapshot may get before a re-derivation is forced.
     fn operating_point(&mut self, idx: usize, die: usize, wear: u64) -> OperatingPoint {
         let objective = self.services[idx].region.objective;
         if self.bucketing == WearBucketing::PerPage {
             self.last_batch.op_cache_misses += 1;
-            return self.model.configure(objective, wear);
+            let extra = self.region_disturb_rber(idx, die);
+            return self.model.configure_with_extra_rber(objective, wear, extra);
         }
         let (key, derive_at) = self.bucketing.bucket(wear);
-        if let Some((cached_key, op)) = self.services[idx].op_slots[die] {
-            if cached_key == key {
+        if let Some((cached_key, epoch, op)) = self.services[idx].op_slots[die] {
+            if cached_key == key && epoch == self.disturb_epoch {
                 self.last_batch.op_cache_hits += 1;
                 return op;
             }
         }
         self.last_batch.op_cache_misses += 1;
-        let op = self.model.configure(objective, derive_at);
-        self.services[idx].op_slots[die] = Some((key, op));
+        let extra = self.region_disturb_rber(idx, die);
+        let op = self
+            .model
+            .configure_with_extra_rber(objective, derive_at, extra);
+        self.services[idx].op_slots[die] = Some((key, self.disturb_epoch, op));
         op
     }
 
@@ -855,6 +1026,39 @@ impl StorageEngine {
                     *slot = None;
                 }
                 Ok(CommandOutput::Configure { previous })
+            }
+            Command::Relocate { from, to, .. } => {
+                let read = self.ctrl.read_page(from.0, from.1)?;
+                self.last_batch.absorb(read.latency_s, read.energy_j);
+                let corrected = read.outcome.corrected_bits();
+                self.last_batch.corrected_bits += corrected as u64;
+                let wear = self.ctrl.device().block_cycles(to.0)?.max(1);
+                let die = self.ctrl.config().geometry.die_of_block(to.0);
+                let op = self.operating_point(idx, die, wear);
+                let before = self.ctrl.regs().commands_applied();
+                self.ctrl.apply_point(op.algorithm, op.correction)?;
+                self.last_batch.knob_writes += self.ctrl.regs().commands_applied() - before;
+                let write = self.ctrl.write_page(to.0, to.1, &read.data)?;
+                self.last_batch.absorb(write.latency_s, write.energy_j);
+                self.last_batch.scrub_relocations += 1;
+                self.last_batch.scrub_latency_s += read.latency_s + write.latency_s;
+                Ok(CommandOutput::Relocate {
+                    corrected_bits: corrected,
+                    read_ok: read.outcome.is_success(),
+                    latency_s: read.latency_s + write.latency_s,
+                    energy_j: read.energy_j + write.energy_j,
+                    t_used: write.t_used,
+                })
+            }
+            Command::ScrubErase { block, .. } => {
+                let report = self.ctrl.erase_block(block)?;
+                self.last_batch.absorb(report.duration_s, report.energy_j);
+                self.last_batch.scrub_erases += 1;
+                self.last_batch.scrub_latency_s += report.duration_s;
+                Ok(CommandOutput::Erase {
+                    duration_s: report.duration_s,
+                    energy_j: report.energy_j,
+                })
             }
         }
     }
@@ -1168,6 +1372,184 @@ mod tests {
         // per die (die 2's EOL point differs), hits for the rest.
         assert_eq!(batch.op_cache_misses, 4);
         assert_eq!(batch.op_cache_hits, 12);
+    }
+
+    #[test]
+    fn relocate_and_scrub_erase_round_trip_with_accounting() {
+        let mut e = engine();
+        let a = e.register_service("a", Objective::Baseline, 0..4).unwrap();
+        e.controller_mut().age_block(0, 1_000_000).unwrap();
+        e.controller_mut().age_block(1, 1_000_000).unwrap();
+        e.submit(&[
+            Command::erase(a, 0),
+            Command::erase(a, 1),
+            Command::write(a, 0, 0, page(0x5A)),
+        ])
+        .unwrap();
+        e.poll();
+        assert_eq!(e.last_batch().scrub_relocations, 0);
+        assert_eq!(e.last_batch().scrub_erases, 0);
+        assert_eq!(e.last_batch().scrub_latency_s, 0.0);
+
+        // Relocate the EOL page to block 1, then scrub-erase block 0.
+        e.submit(&[
+            Command::relocate(a, (0, 0), (1, 0)),
+            Command::scrub_erase(a, 0),
+        ])
+        .unwrap();
+        let completions = e.poll();
+        match completions[0].result.as_ref().unwrap() {
+            CommandOutput::Relocate {
+                corrected_bits,
+                read_ok,
+                latency_s,
+                energy_j,
+                ..
+            } => {
+                assert!(*read_ok);
+                assert!(*corrected_bits > 0, "EOL source must need correction");
+                assert!(*latency_s > 0.0 && *energy_j > 0.0);
+            }
+            other => panic!("expected relocate output, got {other:?}"),
+        }
+        assert!(matches!(
+            completions[1].result.as_ref().unwrap(),
+            CommandOutput::Erase { .. }
+        ));
+        let batch = *e.last_batch();
+        assert_eq!(batch.scrub_relocations, 1);
+        assert_eq!(batch.scrub_erases, 1);
+        assert!(batch.scrub_latency_s > 0.0);
+        assert!(
+            (batch.scrub_latency_s - batch.device_latency_s).abs() < 1e-12,
+            "an all-maintenance batch is pure scrub time"
+        );
+        // Maintenance does not count as host payload.
+        assert_eq!(batch.bytes_read, 0);
+        assert_eq!(batch.bytes_written, 0);
+        // The scrub erase reset the disturb accumulator end-to-end.
+        assert_eq!(
+            e.controller().device().block_reads_since_erase(0).unwrap(),
+            0
+        );
+        // The relocated data reads back from the destination.
+        match e.execute(Command::read(a, 1, 0)).unwrap() {
+            CommandOutput::Read(r) => {
+                assert!(r.outcome.is_success());
+                assert_eq!(r.data, page(0x5A));
+            }
+            other => panic!("expected read output, got {other:?}"),
+        }
+        // The old slot's metadata is gone.
+        assert!(e.execute(Command::read(a, 0, 0)).is_err());
+    }
+
+    #[test]
+    fn advance_hours_invalidates_points_only_under_an_enabled_disturb_model() {
+        use mlcx_nand::disturb::DisturbModel;
+        // Disabled model: the clock moves, the memo does not.
+        let mut e = engine();
+        let a = e.register_service("a", Objective::Baseline, 0..2).unwrap();
+        e.submit(&[Command::erase(a, 0), Command::write(a, 0, 0, page(1))])
+            .unwrap();
+        e.poll();
+        assert_eq!(e.last_batch().op_cache_misses, 1);
+        e.advance_hours(10_000.0);
+        assert!((e.now_hours() - 10_000.0).abs() < 1e-9);
+        e.submit(&[Command::write(a, 0, 1, page(2))]).unwrap();
+        e.poll();
+        assert_eq!(
+            (e.last_batch().op_cache_hits, e.last_batch().op_cache_misses),
+            (1, 0),
+            "a disabled model must keep cached points valid across time"
+        );
+
+        // Enabled model: the same jump re-derives.
+        let mut e = EngineBuilder::date2012()
+            .seed(77)
+            .disturb_model(DisturbModel::date2012())
+            .build()
+            .unwrap();
+        let a = e.register_service("a", Objective::Baseline, 0..2).unwrap();
+        e.submit(&[Command::erase(a, 0), Command::write(a, 0, 0, page(1))])
+            .unwrap();
+        e.poll();
+        e.advance_hours(10_000.0);
+        e.submit(&[Command::write(a, 0, 1, page(2))]).unwrap();
+        e.poll();
+        assert_eq!(
+            (e.last_batch().op_cache_hits, e.last_batch().op_cache_misses),
+            (0, 1),
+            "a retention jump must invalidate the memo"
+        );
+        // The explicit hook works too (scrub orchestrators call it
+        // after read-disturb accumulation).
+        e.invalidate_operating_points();
+        e.submit(&[Command::write(a, 0, 2, page(3))]).unwrap();
+        e.poll();
+        assert_eq!(e.last_batch().op_cache_misses, 1);
+    }
+
+    #[test]
+    fn derivation_solves_the_schedule_for_disturbed_rber() {
+        use mlcx_nand::disturb::DisturbModel;
+        // A wear-independent retention model at mid life: after the
+        // clock jump, the invalidated memo must re-derive a *stronger*
+        // capability — the schedule is solved for endurance + disturb,
+        // not endurance alone.
+        let mut e = EngineBuilder::date2012()
+            .seed(5)
+            .disturb_model(DisturbModel {
+                read_disturb_per_read: 0.0,
+                retention_scale: 1e-4,
+                retention_wear_exponent: 0.0,
+                reference_cycles: 1e6,
+            })
+            .build()
+            .unwrap();
+        let a = e.register_service("a", Objective::Baseline, 0..2).unwrap();
+        e.controller_mut().age_block(0, 100_000).unwrap();
+        e.submit(&[Command::erase(a, 0), Command::write(a, 0, 0, page(1))])
+            .unwrap();
+        let t_before = match e.poll()[1].result.as_ref().unwrap() {
+            CommandOutput::Write(w) => w.t_used,
+            other => panic!("expected write, got {other:?}"),
+        };
+        e.advance_hours(10_000.0);
+        e.submit(&[Command::write(a, 0, 1, page(2))]).unwrap();
+        let t_after = match e.poll()[0].result.as_ref().unwrap() {
+            CommandOutput::Write(w) => w.t_used,
+            other => panic!("expected write, got {other:?}"),
+        };
+        assert!(
+            t_after > t_before,
+            "the disturbed schedule must strengthen: t {t_before} -> {t_after}"
+        );
+        // The model-side arithmetic agrees: extra rber of the aged
+        // block raises the required capability at the same wear.
+        let model = e.model();
+        let extra = e.controller().device().block_disturb_rber(0).unwrap();
+        assert!(extra > 0.0);
+        let plain = model.configure(Objective::Baseline, 100_001);
+        let disturbed = model.configure_with_extra_rber(Objective::Baseline, 100_001, extra);
+        assert!(disturbed.correction > plain.correction);
+        assert_eq!(disturbed.algorithm, plain.algorithm);
+    }
+
+    #[test]
+    fn scrub_policy_rides_the_builder() {
+        use mlcx_controller::ScrubPolicy;
+        let e = engine();
+        assert!(!e.scrub_policy().is_enabled());
+        let e = EngineBuilder::date2012()
+            .scrub_policy(ScrubPolicy::date2012())
+            .build()
+            .unwrap();
+        assert!(e.scrub_policy().is_enabled());
+        assert_eq!(
+            e.scrub_policy().read_threshold,
+            mlcx_nand::disturb::DisturbModel::SCRUB_READ_THRESHOLD
+        );
     }
 
     #[test]

@@ -158,8 +158,17 @@ impl SubsystemModel {
     /// strawman) falls back to the exact tail probability so the metric
     /// stays honest.
     pub fn log10_uber(&self, op: &OperatingPoint, cycles: u64) -> f64 {
+        self.log10_uber_at_rber(op, self.rber(op.algorithm, cycles))
+    }
+
+    /// `log10(UBER)` of an operating point at an explicitly supplied
+    /// raw bit error rate — the entry point for RBER compositions the
+    /// endurance curves alone cannot express, e.g. endurance *plus* the
+    /// additive read-disturb/retention terms of
+    /// [`DisturbModel`](mlcx_nand::disturb::DisturbModel). Same eq. (1)
+    /// / exact-tail fallback as [`SubsystemModel::log10_uber`].
+    pub fn log10_uber_at_rber(&self, op: &OperatingPoint, rber: f64) -> f64 {
         let n = self.k_bits + self.parity_bits(op.correction);
-        let rber = self.rber(op.algorithm, cycles);
         if uber::first_term_valid(n, op.correction, rber) {
             uber::log10_uber(n, op.correction, rber)
         } else {
@@ -244,9 +253,36 @@ impl SubsystemModel {
     /// Falls back to the capability ceiling when the RBER exceeds what
     /// the codec can serve (end of usable life).
     pub fn configure(&self, objective: Objective, cycles: u64) -> OperatingPoint {
-        let t_sv = self
-            .required_t(ProgramAlgorithm::IsppSv, cycles)
-            .unwrap_or(self.tmax);
+        self.configure_with_extra_rber(objective, cycles, 0.0)
+    }
+
+    /// [`SubsystemModel::configure`] with an additive RBER term on top
+    /// of the endurance curves — the entry point for scheduling against
+    /// workload-dependent mechanisms the wear axis cannot see
+    /// (read-disturb / retention, per
+    /// [`DisturbModel`](mlcx_nand::disturb::DisturbModel)): the ECC
+    /// schedule is solved for `rber(algorithm, cycles) + extra_rber`,
+    /// so the selected capability keeps meeting the UBER target on
+    /// disturbed data. `extra_rber = 0.0` is exactly
+    /// [`SubsystemModel::configure`].
+    pub fn configure_with_extra_rber(
+        &self,
+        objective: Objective,
+        cycles: u64,
+        extra_rber: f64,
+    ) -> OperatingPoint {
+        let t_for = |algorithm| {
+            uber::required_t(
+                self.k_bits,
+                self.ecc_m,
+                self.rber(algorithm, cycles) + extra_rber,
+                self.uber_target,
+                self.tmin,
+                self.tmax,
+            )
+            .unwrap_or(self.tmax)
+        };
+        let t_sv = t_for(ProgramAlgorithm::IsppSv);
         match objective {
             Objective::Baseline => OperatingPoint {
                 algorithm: ProgramAlgorithm::IsppSv,
@@ -258,9 +294,7 @@ impl SubsystemModel {
             },
             Objective::MaxReadThroughput => OperatingPoint {
                 algorithm: ProgramAlgorithm::IsppDv,
-                correction: self
-                    .required_t(ProgramAlgorithm::IsppDv, cycles)
-                    .unwrap_or(self.tmax),
+                correction: t_for(ProgramAlgorithm::IsppDv),
             },
         }
     }

@@ -34,11 +34,23 @@
 //!   every mapped page back, so data integrity across GC and aging is
 //!   asserted, not assumed.
 //!
-//! * [`presets`] — named multi-channel workloads: the die-skew and
+//! * [`presets`] — named workloads: the die-skew and
 //!   channel-contention scenarios that exercise the striped FTL, the
 //!   per-die operating-point memo and the channel busy-time scheduler
 //!   end-to-end on multi-die topologies
-//!   ([`Topology`](mlcx_nand::Topology)).
+//!   ([`Topology`](mlcx_nand::Topology)); and the retention-stress and
+//!   read-reclaim scenario pair that turns the device's
+//!   disturb/retention models plus the background scrubber
+//!   (`mlcx_controller::scrub`) into a measurable
+//!   reliability-performance trade-off — run each with scrub off and on
+//!   to quantify the UBER recovered and the device time paid.
+//!
+//! Time is a first-class axis: phases can advance the device wall
+//! clock (`ScenarioBuilder::phase_with_elapsed` →
+//! `StorageEngine::advance_hours`), stored pages age against the
+//! retention model, read-hammered blocks accumulate read disturb, and
+//! an enabled `ScrubPolicy` lets per-service scrubbers stage
+//! relocate+erase maintenance into the same batches as host traffic.
 //!
 //! Determinism is end to end: the engine's error-injection stream (one
 //! stream per die), the trace streams and the payload derivation are

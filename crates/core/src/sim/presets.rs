@@ -14,7 +14,8 @@
 //! `WorkloadRunner` drives end-to-end through the striped FTL, the
 //! per-die operating-point memo and the channel busy-time scheduler.
 
-use mlcx_controller::ControllerConfig;
+use mlcx_controller::{ControllerConfig, ScrubPolicy};
+use mlcx_nand::disturb::DisturbModel;
 use mlcx_nand::{DeviceGeometry, Topology};
 
 use crate::engine::EngineBuilder;
@@ -88,6 +89,85 @@ pub fn channel_contention(seed: u64) -> Scenario {
         .expect("channel-contention preset must validate")
 }
 
+/// Retention-stress preset: a read-hot zipfian key-value service on an
+/// end-of-life bank whose stored data then sits for 20,000 hours (~2.3
+/// years) before the serving phase. With the (paper-calibrated)
+/// retention model enabled, the parked data's additive RBER erodes the
+/// ECC margin by several decades of model UBER; with `scrub` the
+/// retention-age scrubber read-reclaims the stale blocks during the
+/// serving phase — rewriting the data at the current clock — and
+/// recovers that margin at a measured relocation/erase/device-time
+/// cost. Run both arms with the same seed to quantify the trade-off.
+pub fn retention_stress(seed: u64, scrub: bool) -> Scenario {
+    let mut builder = Scenario::builder()
+        .engine(engine_with(16, Topology::single()))
+        .disturb_model(DisturbModel::date2012())
+        .seed(seed)
+        .batch_size(24)
+        .service("kv", Objective::Baseline, 0..16, TraceKind::zipfian())
+        // Position the bank at end of life first (a pure fast-forward,
+        // no traffic), so the data written next is encoded at the EOL
+        // schedule and ages at the EOL retention rate (retention
+        // acceleration scales with program-time wear).
+        .phase("burn", 0, 1_000_000)
+        // Write the working set at EOL wear, then park it.
+        .phase_with_elapsed("write", 120, 0, 20_000.0)
+        // Serve read-hot traffic against the parked data.
+        .phase("serve", 280, 0);
+    if scrub {
+        builder = builder.scrub_policy(ScrubPolicy {
+            read_threshold: u64::MAX,
+            retention_age_hours: 5_000.0,
+            max_blocks_per_pass: 2,
+        });
+    }
+    builder
+        .build()
+        .expect("retention-stress preset must validate")
+}
+
+/// Read-reclaim preset: the read-disturb twin of
+/// [`retention_stress`]. A read-hot serving tenant (95 % reads over a
+/// deliberately small working set) hammers its blocks on an
+/// end-of-life bank under an (aggressive, demo-scaled) read-disturb
+/// model; with almost no write traffic, garbage collection never
+/// recycles the hot blocks, so their `reads_since_erase` accumulators
+/// climb unchecked. With `scrub` the scrubber relocates and erases
+/// them once they cross the read threshold — resetting the accumulator
+/// exactly as arXiv:1706.08642's read-reclaim describes — before the
+/// disturb RBER can stack onto the end-of-life endurance floor.
+pub fn read_reclaim(seed: u64, scrub: bool) -> Scenario {
+    let mut builder = Scenario::builder()
+        .engine(engine_with(16, Topology::single()))
+        .disturb_model(DisturbModel {
+            // Demo-scaled: the date2012 per-read constant needs ~100k
+            // reads to matter; 3e-6 reaches the same disturb RBER in
+            // the ~100 reads a preset-sized trace can issue.
+            read_disturb_per_read: 3e-6,
+            ..DisturbModel::disabled()
+        })
+        .seed(seed)
+        .batch_size(24)
+        // A small working set concentrates the reads on few blocks.
+        .utilization(0.25)
+        .service(
+            "hot",
+            Objective::Baseline,
+            0..16,
+            TraceKind::ReadMostly { read_ratio: 0.95 },
+        )
+        .phase("burn", 0, 1_000_000)
+        .phase("hammer", 500, 0);
+    if scrub {
+        builder = builder.scrub_policy(ScrubPolicy {
+            read_threshold: 40,
+            retention_age_hours: f64::INFINITY,
+            max_blocks_per_pass: 2,
+        });
+    }
+    builder.build().expect("read-reclaim preset must validate")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,5 +209,90 @@ mod tests {
         // Determinism: the preset is a fixed function of its seed.
         let again = channel_contention(23).run().unwrap();
         assert_eq!(report, again);
+    }
+
+    /// The serve/hammer phase of a preset report.
+    fn phase<'a>(
+        report: &'a crate::sim::ScenarioReport,
+        name: &str,
+    ) -> &'a crate::sim::PhaseReport {
+        report
+            .phases
+            .iter()
+            .find(|p| p.name == name)
+            .expect("phase must exist")
+    }
+
+    #[test]
+    fn retention_stress_scrubber_recovers_uber_at_a_latency_cost() {
+        let off = retention_stress(7, false).run().expect("off arm runs");
+        let on = retention_stress(7, true).run().expect("on arm runs");
+        // Both arms stay functionally clean: the EOL schedule absorbs
+        // the retention errors; the damage is UBER margin, not data.
+        for report in [&off, &on] {
+            assert_eq!(report.integrity_violations, 0);
+            assert_eq!(report.read_failures, 0);
+        }
+        assert_eq!(off.total_scrub_relocations, 0);
+        assert!(on.total_scrub_relocations > 0, "scrubber must have run");
+        assert!(on.total_scrub_erases > 0);
+
+        let s_off = &phase(&off, "serve").services[0];
+        let s_on = &phase(&on, "serve").services[0];
+        // Unscrubbed, two years of parked EOL data erodes the margin...
+        assert!(
+            s_off.model_disturb_rber > 1e-4,
+            "parked data must accumulate retention RBER: {:e}",
+            s_off.model_disturb_rber
+        );
+        assert!(s_off.model_log10_uber_disturbed > s_off.model_log10_uber + 1.0);
+        // ...and the scrubber recovers >= 1 decade of model log10 UBER.
+        let recovered = s_off.model_log10_uber_disturbed - s_on.model_log10_uber_disturbed;
+        assert!(
+            recovered >= 1.0,
+            "scrubber must recover >= 1 decade of UBER, got {recovered:.2} \
+             (off {:.2}, on {:.2})",
+            s_off.model_log10_uber_disturbed,
+            s_on.model_log10_uber_disturbed
+        );
+        // The recovery is paid for in measured device time (relocation
+        // reads/writes + erases competing with host traffic).
+        let cost = phase(&on, "serve").device_time_s - phase(&off, "serve").device_time_s;
+        assert!(cost > 0.0, "scrub traffic must cost device time");
+        assert!(s_on.scrub_relocations > 0 && s_on.scrub_erases > 0);
+
+        // Determinism: both arms are fixed functions of the seed.
+        assert_eq!(off, retention_stress(7, false).run().unwrap());
+        assert_eq!(on, retention_stress(7, true).run().unwrap());
+    }
+
+    #[test]
+    fn read_reclaim_resets_the_disturb_accumulator() {
+        let off = read_reclaim(31, false).run().expect("off arm runs");
+        let on = read_reclaim(31, true).run().expect("on arm runs");
+        for report in [&off, &on] {
+            assert_eq!(report.integrity_violations, 0);
+            assert_eq!(report.read_failures, 0);
+        }
+        let s_off = &phase(&off, "hammer").services[0];
+        let s_on = &phase(&on, "hammer").services[0];
+        // Unscrubbed, the hammered hot blocks stack read disturb on top
+        // of the end-of-life endurance floor.
+        assert!(
+            s_off.model_disturb_rber > 1e-4,
+            "hot blocks must accumulate read disturb: {:e}",
+            s_off.model_disturb_rber
+        );
+        assert!(on.total_scrub_relocations + on.total_scrub_erases > 0);
+        // Read-reclaim keeps the worst block's disturb bounded near the
+        // threshold instead of growing with the hammer.
+        assert!(
+            s_on.model_disturb_rber < s_off.model_disturb_rber,
+            "reclaim must bound the disturb: on {:e} vs off {:e}",
+            s_on.model_disturb_rber,
+            s_off.model_disturb_rber
+        );
+        assert!(s_on.model_log10_uber_disturbed < s_off.model_log10_uber_disturbed);
+        assert_eq!(on, read_reclaim(31, true).run().unwrap());
     }
 }

@@ -4,6 +4,7 @@ use std::collections::HashMap;
 use std::ops::Range;
 
 use mlcx_controller::ftl::{FtlOp, FtlStats, LogicalMap};
+use mlcx_controller::scrub::{ScrubPolicy, Scrubber};
 
 use crate::engine::{
     Command, CommandOutput, Completion, EngineBuilder, ServiceHandle, StorageEngine, WearBucketing,
@@ -43,6 +44,11 @@ pub struct PhaseSpec {
     /// the uniform one — the die-skew knob (dies age independently; a
     /// die that hosted a hot tenant, or a weak die binned low at test).
     pub die_skew: Vec<(usize, u64)>,
+    /// Hours added to the device wall clock after the phase's traffic
+    /// (see `StorageEngine::advance_hours`) — the retention time base.
+    /// 0 skips the jump; with the default disabled disturb model the
+    /// jump has no observable effect at all.
+    pub elapsed_hours: f64,
 }
 
 /// Latency percentiles over one population of device operations.
@@ -130,6 +136,19 @@ pub struct ServicePhaseReport {
     /// The model's `log10(UBER)` at the service's operating point at
     /// the phase-end wear.
     pub model_log10_uber: f64,
+    /// Worst additive disturb RBER (read disturb + retention) across
+    /// the service's blocks at phase end — 0 under the default disabled
+    /// disturb model; what a scrubber exists to pull back down.
+    pub model_disturb_rber: f64,
+    /// The model's `log10(UBER)` at the operating point with the
+    /// worst-block disturb RBER added on top of the endurance RBER —
+    /// equals [`ServicePhaseReport::model_log10_uber`] when disturb is
+    /// disabled or fully scrubbed away.
+    pub model_log10_uber_disturbed: f64,
+    /// Scrub relocations executed for this service this phase.
+    pub scrub_relocations: u64,
+    /// Scrub erases executed for this service this phase.
+    pub scrub_erases: u64,
     /// Highest P/E cycle count across the service's blocks at phase
     /// end (before the phase's fast-forward).
     pub max_wear: u64,
@@ -146,6 +165,8 @@ pub struct PhaseReport {
     pub name: String,
     /// The fast-forward applied *after* this phase's traffic.
     pub fast_forward_cycles: u64,
+    /// The wall-clock jump applied *after* this phase's traffic, hours.
+    pub elapsed_hours: f64,
     /// Per-service breakdowns.
     pub services: Vec<ServicePhaseReport>,
     /// Engine commands executed.
@@ -166,6 +187,10 @@ pub struct PhaseReport {
     pub op_cache_misses: u64,
     /// Configuration register writes actually issued.
     pub knob_writes: u64,
+    /// Scrub relocations executed across every service this phase.
+    pub scrub_relocations: u64,
+    /// Scrub erases executed across every service this phase.
+    pub scrub_erases: u64,
 }
 
 impl PhaseReport {
@@ -199,6 +224,10 @@ pub struct ScenarioReport {
     pub integrity_violations: u64,
     /// ECC decode failures across all phases.
     pub read_failures: usize,
+    /// Scrub relocations executed across the whole run.
+    pub total_scrub_relocations: u64,
+    /// Scrub erases executed across the whole run.
+    pub total_scrub_erases: u64,
 }
 
 impl ScenarioReport {
@@ -220,8 +249,24 @@ impl ScenarioReport {
     /// Renders the per-phase, per-service breakdown as an ASCII table.
     pub fn render(&self) -> String {
         let mut t = Table::new(vec![
-            "phase", "service", "trace", "reads", "writes", "cold", "WA", "p50r_us", "p99r_us",
-            "p50w_us", "p99w_us", "mJ", "rber", "lg-uber", "wear",
+            "phase",
+            "service",
+            "trace",
+            "reads",
+            "writes",
+            "cold",
+            "WA",
+            "p50r_us",
+            "p99r_us",
+            "p50w_us",
+            "p99w_us",
+            "mJ",
+            "rber",
+            "d-rber",
+            "lg-uber",
+            "lg-uber+d",
+            "scrub",
+            "wear",
         ]);
         for phase in &self.phases {
             for s in &phase.services {
@@ -239,14 +284,17 @@ impl ScenarioReport {
                     fixed2(s.write_latency.p99_s * 1e6),
                     fixed2(s.energy_j * 1e3),
                     sci(s.measured_rber),
+                    sci(s.model_disturb_rber),
                     fixed2(s.model_log10_uber),
+                    fixed2(s.model_log10_uber_disturbed),
+                    format!("{}r/{}e", s.scrub_relocations, s.scrub_erases),
                     s.max_wear.to_string(),
                 ]);
             }
         }
         let mut out = t.render();
         out.push_str(&format!(
-            "total: {} commands, {:.3} ms device time ({:.3} ms overlapped, {:.2}x parallel), {:.3} mJ, {} pages verified, {} integrity violations\n",
+            "total: {} commands, {:.3} ms device time ({:.3} ms overlapped, {:.2}x parallel), {:.3} mJ, {} pages verified, {} integrity violations, {} scrub relocations, {} scrub erases\n",
             self.total_commands,
             self.total_device_time_s * 1e3,
             self.total_parallel_time_s * 1e3,
@@ -254,6 +302,8 @@ impl ScenarioReport {
             self.total_energy_j * 1e3,
             self.verified_pages,
             self.integrity_violations,
+            self.total_scrub_relocations,
+            self.total_scrub_erases,
         ));
         out
     }
@@ -433,6 +483,30 @@ impl ScenarioBuilder {
             ops_per_service,
             fast_forward_cycles,
             die_skew: Vec::new(),
+            elapsed_hours: 0.0,
+        });
+        self
+    }
+
+    /// Adds a phase that also advances the device wall clock by
+    /// `elapsed_hours` after its traffic (and after the wear
+    /// fast-forward): stored pages age against the retention model, so
+    /// the *next* phase reads data that sat for `elapsed_hours`. With
+    /// the default disabled disturb model the jump is a no-op, keeping
+    /// clocked scenarios bit-identical to unclocked ones.
+    pub fn phase_with_elapsed(
+        mut self,
+        name: &str,
+        ops_per_service: usize,
+        fast_forward_cycles: u64,
+        elapsed_hours: f64,
+    ) -> Self {
+        self.phases.push(PhaseSpec {
+            name: name.to_string(),
+            ops_per_service,
+            fast_forward_cycles,
+            die_skew: Vec::new(),
+            elapsed_hours,
         });
         self
     }
@@ -455,7 +529,31 @@ impl ScenarioBuilder {
             ops_per_service,
             fast_forward_cycles,
             die_skew: die_skew.to_vec(),
+            elapsed_hours: 0.0,
         });
+        self
+    }
+
+    /// Installs a read-disturb / retention model on the device (default
+    /// disabled — the paper's evaluation conditions). The knob lives on
+    /// the inner engine builder, so call this *after*
+    /// [`ScenarioBuilder::engine`], which replaces that builder — and
+    /// this knob with it.
+    pub fn disturb_model(mut self, disturb: mlcx_nand::disturb::DisturbModel) -> Self {
+        self.engine = self.engine.disturb_model(disturb);
+        self
+    }
+
+    /// Enables background scrub / read-reclaim: every service gets its
+    /// own `Scrubber` enforcing `policy` against its block region, and
+    /// the resulting relocate+erase maintenance is compiled into the
+    /// same command batches as host traffic — competing with it for
+    /// bus/cell time on the channel scheduler. As with
+    /// [`ScenarioBuilder::disturb_model`], call this *after*
+    /// [`ScenarioBuilder::engine`]: replacing the engine builder
+    /// replaces this knob too.
+    pub fn scrub_policy(mut self, policy: ScrubPolicy) -> Self {
+        self.engine = self.engine.scrub_policy(policy);
         self
     }
 
@@ -522,6 +620,10 @@ enum CmdMeta {
     GcWrite { svc: usize },
     /// A GC victim erase.
     GcErase { svc: usize },
+    /// A scrub relocation (engine-level copy-back).
+    ScrubRelocate { svc: usize },
+    /// A scrub erase.
+    ScrubErase { svc: usize },
 }
 
 /// Per-phase, per-service accumulator.
@@ -537,6 +639,8 @@ struct Acc {
     energy_j: f64,
     corrected_bits: u64,
     codeword_bits_read: u64,
+    scrub_relocations: u64,
+    scrub_erases: u64,
 }
 
 struct SimService {
@@ -562,6 +666,9 @@ struct SimService {
 pub struct WorkloadRunner {
     engine: StorageEngine,
     services: Vec<SimService>,
+    /// Per-service scrubbers (present only under an enabled
+    /// [`ScrubPolicy`]); each scans its own service's region/map.
+    scrubbers: Vec<Option<Scrubber>>,
     phases: Vec<PhaseSpec>,
     batch_size: usize,
     prefill: bool,
@@ -653,9 +760,15 @@ impl WorkloadRunner {
         }
         let model = engine.model();
         let (k_bits, ecc_m) = (model.k_bits, model.ecc_m);
+        let scrub = *engine.scrub_policy();
+        let scrubbers = services
+            .iter()
+            .map(|_| scrub.is_enabled().then(|| Scrubber::new(scrub)))
+            .collect();
         Ok(WorkloadRunner {
             engine,
             services,
+            scrubbers,
             phases: scenario.phases.clone(),
             batch_size: scenario.batch_size,
             prefill: scenario.prefill,
@@ -715,6 +828,8 @@ impl WorkloadRunner {
             .flat_map(|p| &p.services)
             .map(|s| s.read_failures)
             .sum();
+        let total_scrub_relocations = phases.iter().map(|p| p.scrub_relocations).sum();
+        let total_scrub_erases = phases.iter().map(|p| p.scrub_erases).sum();
         Ok(ScenarioReport {
             phases,
             total_commands,
@@ -726,6 +841,8 @@ impl WorkloadRunner {
             verified_pages,
             integrity_violations,
             read_failures,
+            total_scrub_relocations,
+            total_scrub_erases,
         })
     }
 
@@ -753,8 +870,12 @@ impl WorkloadRunner {
                 self.apply_op(svc, op)?;
             }
         }
+        // One closing scrub pass so a phase ends with its maintenance
+        // debt visible in its own report, then drain everything.
         self.flush()?;
-        let report = self.phase_report(&spec.name, spec.fast_forward_cycles);
+        self.scrub_tick()?;
+        self.flush()?;
+        let report = self.phase_report(&spec.name, spec.fast_forward_cycles, spec.elapsed_hours);
         if spec.fast_forward_cycles > 0 {
             self.engine
                 .controller_mut()
@@ -762,6 +883,9 @@ impl WorkloadRunner {
         }
         for &(die, cycles) in &spec.die_skew {
             self.engine.controller_mut().age_die(die, cycles)?;
+        }
+        if spec.elapsed_hours > 0.0 {
+            self.engine.advance_hours(spec.elapsed_hours);
         }
         Ok(report)
     }
@@ -775,7 +899,7 @@ impl WorkloadRunner {
             }
         }
         self.flush()?;
-        Ok(self.phase_report("prefill", 0))
+        Ok(self.phase_report("prefill", 0, 0.0))
     }
 
     fn run_final_verify(&mut self) -> Result<(PhaseReport, usize), MlcxError> {
@@ -788,7 +912,56 @@ impl WorkloadRunner {
             }
         }
         self.flush()?;
-        Ok((self.phase_report("verify", 0), verified))
+        Ok((self.phase_report("verify", 0, 0.0), verified))
+    }
+
+    /// One background-scrub round: every enabled service scans its
+    /// region's disturb state and *stages* the resulting relocate+erase
+    /// maintenance onto the pending queue, so scrub traffic rides the
+    /// next submitted batch — competing with host commands for bus and
+    /// cell time inside the same scheduler window.
+    ///
+    /// Must run only while nothing is staged (right after a flush): the
+    /// reclaim plans assume the map's physical state has landed on the
+    /// device. Host operations staged *after* the tick are consistent —
+    /// per-service FIFO executes the maintenance first, in plan order.
+    fn scrub_tick(&mut self) -> Result<(), MlcxError> {
+        if self.scrubbers.iter().all(Option::is_none) {
+            return Ok(());
+        }
+        debug_assert!(
+            self.pending.is_empty(),
+            "scrub planning needs the staged state flushed"
+        );
+        let WorkloadRunner {
+            engine,
+            services,
+            scrubbers,
+            pending,
+            ..
+        } = self;
+        let device = engine.controller().device();
+        for (svc, (service, scrubber)) in services.iter_mut().zip(scrubbers.iter_mut()).enumerate()
+        {
+            let Some(scrubber) = scrubber.as_mut() else {
+                continue;
+            };
+            let handle = service.handle;
+            for op in scrubber.plan_pass(device, &mut service.map) {
+                match op {
+                    FtlOp::Relocate { from, to, .. } => pending.push((
+                        Command::relocate(handle, from, to),
+                        CmdMeta::ScrubRelocate { svc },
+                    )),
+                    FtlOp::Erase { block } => pending.push((
+                        Command::scrub_erase(handle, block),
+                        CmdMeta::ScrubErase { svc },
+                    )),
+                    FtlOp::Write { .. } => unreachable!("reclaim plans never host-write"),
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Routes one trace operation: reads translate through the service's
@@ -829,6 +1002,10 @@ impl WorkloadRunner {
         }
         if self.pending.len() >= self.batch_size {
             self.flush()?;
+            // With the staged state landed, let the scrubbers scan; any
+            // maintenance they plan is staged ahead of the next batch's
+            // host commands.
+            self.scrub_tick()?;
         }
         Ok(())
     }
@@ -1021,25 +1198,63 @@ impl WorkloadRunner {
                     Ok(other) => unreachable!("erase command produced {other:?}"),
                     Err(e) => return Err(e),
                 },
+                CmdMeta::ScrubRelocate { svc } => match c.result {
+                    Ok(CommandOutput::Relocate {
+                        energy_j, read_ok, ..
+                    }) => {
+                        let acc = &mut self.services[svc].acc;
+                        acc.energy_j += energy_j;
+                        acc.scrub_relocations += 1;
+                        if !read_ok {
+                            // Best-effort data was relocated anyway; the
+                            // damage surfaces at the next host read.
+                            acc.read_failures += 1;
+                        }
+                    }
+                    Ok(other) => unreachable!("relocate command produced {other:?}"),
+                    Err(e) => return Err(e),
+                },
+                CmdMeta::ScrubErase { svc } => match c.result {
+                    Ok(CommandOutput::Erase { energy_j, .. }) => {
+                        let acc = &mut self.services[svc].acc;
+                        acc.energy_j += energy_j;
+                        acc.scrub_erases += 1;
+                    }
+                    Ok(other) => unreachable!("scrub erase produced {other:?}"),
+                    Err(e) => return Err(e),
+                },
             }
         }
         Ok(())
     }
 
-    fn phase_report(&mut self, name: &str, fast_forward_cycles: u64) -> PhaseReport {
+    fn phase_report(
+        &mut self,
+        name: &str,
+        fast_forward_cycles: u64,
+        elapsed_hours: f64,
+    ) -> PhaseReport {
         let mut services = Vec::with_capacity(self.services.len());
         for i in 0..self.services.len() {
             let blocks = self.services[i].map.blocks();
             let device = self.engine.controller().device();
             let max_wear = blocks
+                .clone()
                 .map(|b| device.block_cycles(b).unwrap_or(0))
                 .max()
                 .unwrap_or(0);
+            // Worst additive disturb across the region: what a read of
+            // the most-pressed block's oldest page would pay right now.
+            let model_disturb_rber = blocks
+                .map(|b| device.block_disturb_rber(b).unwrap_or(0.0))
+                .fold(0.0, f64::max);
             let objective = self.services[i].objective;
             let model = self.engine.model();
             let op = model.configure(objective, max_wear.max(1));
             let model_rber = model.rber(op.algorithm, max_wear.max(1));
             let model_log10_uber = model.log10_uber(&op, max_wear.max(1));
+            let model_log10_uber_disturbed =
+                model.log10_uber_at_rber(&op, (model_rber + model_disturb_rber).min(0.5));
 
             let s = &mut self.services[i];
             let acc = std::mem::take(&mut s.acc);
@@ -1065,15 +1280,22 @@ impl WorkloadRunner {
                 measured_rber,
                 model_rber,
                 model_log10_uber,
+                model_disturb_rber,
+                model_log10_uber_disturbed,
+                scrub_relocations: acc.scrub_relocations,
+                scrub_erases: acc.scrub_erases,
                 max_wear,
                 write_amplification: ftl.write_amplification(),
                 ftl,
             });
         }
         let energy_j = PhaseReport::totals(&services);
+        let scrub_relocations = services.iter().map(|s| s.scrub_relocations).sum();
+        let scrub_erases = services.iter().map(|s| s.scrub_erases).sum();
         PhaseReport {
             name: name.to_string(),
             fast_forward_cycles,
+            elapsed_hours,
             services,
             commands: self.phase_commands,
             device_time_s: self.phase_device_time_s,
@@ -1083,6 +1305,8 @@ impl WorkloadRunner {
             op_cache_hits: self.phase_op_cache_hits,
             op_cache_misses: self.phase_op_cache_misses,
             knob_writes: self.phase_knob_writes,
+            scrub_relocations,
+            scrub_erases,
         }
     }
 }

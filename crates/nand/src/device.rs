@@ -296,6 +296,54 @@ impl NandDevice {
         Ok(self.blocks[block].pe_cycles)
     }
 
+    /// Age of the oldest programmed page in a block, hours since it was
+    /// programmed (0.0 for a blank block). This is the retention clock a
+    /// scrubber scans against: relocating the block rewrites its pages
+    /// at the current time and resets the age.
+    ///
+    /// # Errors
+    ///
+    /// [`NandError::BlockOutOfRange`] for bad indices.
+    pub fn block_data_age_hours(&self, block: usize) -> Result<f64, NandError> {
+        self.check_block(block)?;
+        Ok(self.blocks[block]
+            .pages
+            .iter()
+            .flatten()
+            .map(|p| self.clock_hours - p.programmed_at_hours)
+            .fold(0.0, f64::max))
+    }
+
+    /// The additive RBER the active [`DisturbModel`] would charge a read
+    /// of the block's worst (oldest, at its program-time wear) page
+    /// right now: read-disturb from the accumulated reads since erase
+    /// plus the worst per-page retention term. 0.0 for a blank block
+    /// under any model, and for any block under
+    /// [`DisturbModel::disabled`].
+    ///
+    /// # Errors
+    ///
+    /// [`NandError::BlockOutOfRange`] for bad indices.
+    pub fn block_disturb_rber(&self, block: usize) -> Result<f64, NandError> {
+        self.check_block(block)?;
+        let b = &self.blocks[block];
+        if b.pages.iter().all(Option::is_none) {
+            return Ok(0.0);
+        }
+        let retention = b
+            .pages
+            .iter()
+            .flatten()
+            .map(|p| {
+                self.disturb.retention_rber(
+                    self.clock_hours - p.programmed_at_hours,
+                    p.cycles_at_program,
+                )
+            })
+            .fold(0.0, f64::max);
+        Ok(self.disturb.read_disturb_rber(b.reads_since_erase) + retention)
+    }
+
     /// Ages a block by `cycles` P/E cycles without simulating each one —
     /// the lifetime-sweep experiments use this to position the device at a
     /// wear point.
@@ -503,6 +551,11 @@ impl NandDevice {
     /// Reads a page back, injecting raw bit errors per the lifetime RBER
     /// model (errors depend on the algorithm and wear *at program time*).
     ///
+    /// A rejected read of a blank page leaves the block's read-disturb
+    /// accumulator untouched (no word line was sensed), and the Nth
+    /// successful read sees the disturb accumulated by the N−1 reads
+    /// before it — a read cannot disturb the data it is itself sensing.
+    ///
     /// # Errors
     ///
     /// Geometry errors; [`NandError::PageNotProgrammed`] for blank pages.
@@ -514,18 +567,21 @@ impl NandDevice {
         self.check_page(block, page)?;
         let geometry_spare = self.geometry.spare_bytes;
         let die = self.geometry.die_of_block(block);
-        self.blocks[block].reads_since_erase += 1;
-        let reads = self.blocks[block].reads_since_erase;
+        if self.blocks[block].pages[page].is_none() {
+            return Err(NandError::PageNotProgrammed { block, page });
+        }
+        let prior_reads = self.blocks[block].reads_since_erase;
+        self.blocks[block].reads_since_erase = prior_reads + 1;
         let stored = self.blocks[block].pages[page]
             .as_ref()
-            .ok_or(NandError::PageNotProgrammed { block, page })?;
+            .expect("checked programmed above");
         let mut data = stored.data.clone();
         let mut spare = stored.spare.clone();
         let endurance = self
             .aging
             .rber(stored.algorithm, stored.cycles_at_program.max(1));
         let extra = self.disturb.additional_rber(
-            reads,
+            prior_reads,
             self.clock_hours - stored.programmed_at_hours,
             stored.cycles_at_program,
         );
@@ -875,6 +931,82 @@ mod tests {
         assert_eq!(dev.block_reads_since_erase(0).unwrap(), 600);
         dev.erase_block(0).unwrap();
         assert_eq!(dev.block_reads_since_erase(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn blank_page_reads_do_not_age_the_block() {
+        let mut dev = device();
+        dev.erase_block(0).unwrap();
+        dev.program_page(0, 0, &vec![0u8; 4096], &[]).unwrap();
+        // Failed reads of blank pages must not touch the accumulator.
+        for _ in 0..5 {
+            assert!(matches!(
+                dev.read_page(0, 7),
+                Err(NandError::PageNotProgrammed { .. })
+            ));
+        }
+        assert_eq!(dev.block_reads_since_erase(0).unwrap(), 0);
+        dev.read_page(0, 0).unwrap();
+        assert_eq!(dev.block_reads_since_erase(0).unwrap(), 1);
+    }
+
+    #[test]
+    fn nth_read_sees_disturb_of_the_prior_reads_only() {
+        use crate::disturb::DisturbModel;
+        let mut dev = device();
+        // A pathological per-read term: any read that (incorrectly)
+        // counted itself would see RBER 0.5 and shred the page.
+        dev.set_disturb_model(DisturbModel {
+            read_disturb_per_read: 0.5,
+            ..DisturbModel::disabled()
+        });
+        dev.erase_block(0).unwrap();
+        let data = vec![0u8; 4096];
+        dev.program_page(0, 0, &data, &[]).unwrap();
+        let errs = |d: &[u8]| -> usize {
+            d.iter()
+                .zip(&data)
+                .map(|(a, b)| (a ^ b).count_ones() as usize)
+                .sum()
+        };
+        // First read: zero prior reads, so only the (tiny) fresh
+        // endurance RBER applies.
+        let (d, _, _) = dev.read_page(0, 0).unwrap();
+        assert!(
+            errs(&d) <= 2,
+            "first read saw its own disturb: {}",
+            errs(&d)
+        );
+        // Second read: one prior read pushes the RBER to the 0.5 cap.
+        let (d, _, _) = dev.read_page(0, 0).unwrap();
+        assert!(errs(&d) > 1_000, "second read must see prior disturb");
+    }
+
+    #[test]
+    fn block_disturb_state_accessors() {
+        use crate::disturb::DisturbModel;
+        let mut dev = device();
+        dev.set_disturb_model(DisturbModel::date2012());
+        assert_eq!(dev.block_data_age_hours(0).unwrap(), 0.0);
+        assert_eq!(dev.block_disturb_rber(0).unwrap(), 0.0);
+        dev.age_block(0, 1_000_000).unwrap();
+        dev.erase_block(0).unwrap();
+        dev.program_page(0, 0, &vec![0u8; 4096], &[]).unwrap();
+        dev.advance_time_hours(100.0);
+        dev.program_page(0, 1, &vec![0u8; 4096], &[]).unwrap();
+        // Oldest page wins the age; rber = read term + worst retention.
+        assert!((dev.block_data_age_hours(0).unwrap() - 100.0).abs() < 1e-9);
+        dev.read_page(0, 0).unwrap();
+        dev.read_page(0, 1).unwrap();
+        let m = *dev.disturb_model();
+        // The erase after the fast-forward added one cycle of its own.
+        let expected = m.read_disturb_rber(2) + m.retention_rber(100.0, 1_000_001);
+        assert!((dev.block_disturb_rber(0).unwrap() - expected).abs() < 1e-15);
+        // Erase resets both axes.
+        dev.erase_block(0).unwrap();
+        assert_eq!(dev.block_data_age_hours(0).unwrap(), 0.0);
+        assert_eq!(dev.block_disturb_rber(0).unwrap(), 0.0);
+        assert!(dev.block_disturb_rber(9_999).is_err());
     }
 
     #[test]

@@ -15,8 +15,11 @@
 //!   accelerated by prior cycling.
 //!
 //! Constants are representative of 4x-nm MLC literature (a block starts
-//! to need scrubbing after ~100k reads or months-at-high-wear) and are
-//! deliberately secondary to the paper-calibrated endurance RBER.
+//! to need scrubbing after ~100k reads — see
+//! [`DisturbModel::SCRUB_READ_THRESHOLD`], where the accumulated disturb
+//! RBER rivals the mid-life endurance RBER — or after months parked at
+//! high wear) and are deliberately secondary to the paper-calibrated
+//! endurance RBER, which still dominates at end of life.
 
 /// Additive RBER contributions from workload-dependent mechanisms.
 ///
@@ -43,10 +46,20 @@ pub struct DisturbModel {
 }
 
 impl DisturbModel {
+    /// Reads-since-erase at which a [`DisturbModel::date2012`] block
+    /// needs scrubbing: the accumulated disturb RBER
+    /// (`read_disturb_per_read * SCRUB_READ_THRESHOLD` = 2e-4) is then
+    /// comparable to the mid-life endurance RBER itself, eating the ECC
+    /// margin the schedule provisioned. Scrub policies
+    /// (`mlcx_controller::scrub::ScrubPolicy`) anchor their read
+    /// threshold here; the `scrub_threshold_is_material` unit test pins
+    /// the constant to the claim.
+    pub const SCRUB_READ_THRESHOLD: u64 = 100_000;
+
     /// Representative 45 nm MLC constants.
     pub fn date2012() -> Self {
         DisturbModel {
-            read_disturb_per_read: 2.0e-10,
+            read_disturb_per_read: 2.0e-9,
             retention_scale: 2.5e-5,
             retention_wear_exponent: 0.5,
             reference_cycles: 1e6,
@@ -62,6 +75,11 @@ impl DisturbModel {
             retention_wear_exponent: 0.5,
             reference_cycles: 1e6,
         }
+    }
+
+    /// Whether either mechanism can contribute RBER.
+    pub fn is_enabled(&self) -> bool {
+        self.read_disturb_per_read != 0.0 || self.retention_scale != 0.0
     }
 
     /// RBER contribution after `reads` block reads since the last erase.
@@ -123,6 +141,25 @@ mod tests {
         // endurance RBER itself (1e-3) so the paper's curves dominate.
         let m = DisturbModel::date2012();
         assert!(m.retention_rber(8760.0, 1_000_000) < 1e-3 / 5.0);
+    }
+
+    #[test]
+    fn scrub_threshold_is_material() {
+        // The doc claim, as code: at SCRUB_READ_THRESHOLD reads the
+        // disturb RBER must rival the mid-life endurance floor (~1e-4 at
+        // 100k P/E cycles) — i.e. genuinely need scrubbing — while
+        // staying below the 1e-3 end-of-life endurance RBER, so the
+        // paper's calibrated curves keep dominating.
+        let m = DisturbModel::date2012();
+        let at_threshold = m.read_disturb_rber(DisturbModel::SCRUB_READ_THRESHOLD);
+        assert!(
+            at_threshold >= 1e-4,
+            "threshold disturb {at_threshold:e} too weak to justify a scrub"
+        );
+        assert!(
+            at_threshold < 1e-3 / 2.0,
+            "threshold disturb {at_threshold:e} would dwarf the endurance RBER"
+        );
     }
 
     #[test]
