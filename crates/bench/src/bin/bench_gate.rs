@@ -120,6 +120,35 @@ fn compare(baseline: &BenchResult, result: &BenchResult) -> Result<Vec<Check>, S
     Ok(checks)
 }
 
+/// Renders the failed checks of one bench as a per-field diff table —
+/// baseline vs current value, absolute and relative delta — so a gate
+/// failure in CI is diagnosable from the log alone.
+fn render_diff_table(bench: &str, failed: &[&Check]) -> String {
+    let mut out = format!(
+        "  {bench}: {} metric(s) outside their baseline bands:\n  {:7} {:40} {:>14} {:>14} {:>14} {:>10}\n",
+        failed.len(),
+        "rule",
+        "metric",
+        "baseline",
+        "current",
+        "delta",
+        "rel"
+    );
+    for c in failed {
+        let delta = c.actual - c.baseline;
+        let rel = if c.baseline == 0.0 {
+            "n/a".to_string()
+        } else {
+            format!("{:+.3}%", delta / c.baseline * 100.0)
+        };
+        out.push_str(&format!(
+            "  {:7} {:40} {:>14.6} {:>14.6} {:>+14.6} {:>10}\n",
+            c.rule, c.metric, c.baseline, c.actual, delta, rel
+        ));
+    }
+    out
+}
+
 fn load(path: &std::path::Path) -> Result<BenchResult, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
@@ -170,7 +199,9 @@ fn run(update: bool, strict_wall: bool) -> Result<bool, String> {
             continue;
         }
         println!("\n== {} (mode: {}) ==", baseline.bench, baseline.mode);
-        for c in compare(&baseline, &result).map_err(|e| format!("{}: {e}", baseline.bench))? {
+        let checks = compare(&baseline, &result).map_err(|e| format!("{}: {e}", baseline.bench))?;
+        let mut failed = Vec::new();
+        for c in &checks {
             // Wall overruns are advisory unless --strict-wall: absolute
             // wall baselines are calibrated to the recording machine.
             let fatal = c.rule != "wall" || strict_wall;
@@ -183,7 +214,13 @@ fn run(update: bool, strict_wall: bool) -> Result<bool, String> {
                 "  [{}] {:7} {:40} baseline {:>14.6}  actual {:>14.6}",
                 tag, c.rule, c.metric, c.baseline, c.actual
             );
+            if !c.ok && fatal {
+                failed.push(c);
+            }
             all_ok &= c.ok || !fatal;
+        }
+        if !failed.is_empty() {
+            print!("{}", render_diff_table(&baseline.bench, &failed));
         }
         for metric in ungated_metrics(&baseline, &result) {
             println!(

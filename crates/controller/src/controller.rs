@@ -17,6 +17,7 @@ use crate::error::CtrlError;
 use crate::flash_if::FlashInterface;
 use crate::ocp::OcpSocket;
 use crate::regs::{ConfigCommand, RegisterFile, ServiceLevel};
+use crate::retry::{ReadOffsetTable, RetryPolicy, RetryStats};
 
 /// Static configuration of the controller instance.
 #[derive(Debug, Clone)]
@@ -43,6 +44,15 @@ pub struct ControllerConfig {
     /// without the knob; enable it (with a scrub policy above) to study
     /// the workload-dependent mechanisms.
     pub disturb: DisturbModel,
+    /// Read-retry policy applied on uncorrectable reads. The preset is
+    /// [`RetryPolicy::disabled`] — a single sense at the nominal
+    /// reference, bit-identical to the pre-retry datapath; enable it
+    /// (typically [`RetryPolicy::date2012`], with a disturb model that
+    /// actually shifts something) to study the voltage-domain
+    /// mitigation. See the precedence notes on [`RetryPolicy`] and
+    /// [`crate::scrub::ScrubPolicy`] for how retry composes with
+    /// background scrubbing.
+    pub retry: RetryPolicy,
 }
 
 impl ControllerConfig {
@@ -58,6 +68,7 @@ impl ControllerConfig {
             ecc_power: EccPowerModel::date2012(),
             geometry: DeviceGeometry::date2012(),
             disturb: DisturbModel::disabled(),
+            retry: RetryPolicy::disabled(),
         }
     }
 
@@ -144,6 +155,13 @@ impl ControllerConfigBuilder {
         self
     }
 
+    /// Read-retry policy for uncorrectable reads (default
+    /// [`RetryPolicy::disabled`]).
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.config.retry = retry;
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -215,6 +233,15 @@ pub struct ReadReport {
     pub decode_s: f64,
     /// Correction capability used.
     pub t_used: u32,
+    /// Total senses this read issued (1 = no retry; each extra sense is
+    /// a full device read charged to the channel scheduler).
+    pub senses: u32,
+    /// Read-reference offset (steps from nominal) of the *final* sense
+    /// — the one `data`/`outcome` came from.
+    pub reference_offset: i32,
+    /// Latency of the retry senses alone (already included in
+    /// `latency_s`); 0.0 when the first sense decoded.
+    pub retry_latency_s: f64,
 }
 
 /// The memory controller of the paper's Fig. 1.
@@ -250,6 +277,14 @@ pub struct MemoryController {
     /// operation registers its bus/cell occupancy here, so batch layers
     /// can read the modeled parallel makespan.
     scheduler: ChannelScheduler,
+    /// Read-retry policy (from the config; `disabled()` = the pre-retry
+    /// datapath).
+    retry: RetryPolicy,
+    /// Per-block read-reference offsets learned from successful
+    /// retries; entries are forgotten on erase.
+    offsets: ReadOffsetTable,
+    /// Retry subsystem counters.
+    retry_stats: RetryStats,
 }
 
 impl MemoryController {
@@ -288,6 +323,7 @@ impl MemoryController {
         device.set_disturb_model(config.disturb);
         let buffer = PageBuffer::new(config.geometry.page_bytes);
         let scheduler = ChannelScheduler::new(config.geometry.topology);
+        let retry = config.retry.clone();
         Ok(MemoryController {
             config,
             codec,
@@ -297,6 +333,9 @@ impl MemoryController {
             load_strategy: LoadStrategy::OneRound,
             page_ecc: HashMap::new(),
             scheduler,
+            retry,
+            offsets: ReadOffsetTable::new(),
+            retry_stats: RetryStats::default(),
         })
     }
 
@@ -339,6 +378,41 @@ impl MemoryController {
     /// enabling disturb/retention mechanisms), not for datapath use.
     pub fn device_mut(&mut self) -> &mut NandDevice {
         &mut self.device
+    }
+
+    /// The active read-retry policy.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// Retry subsystem counters accumulated across reads.
+    pub fn retry_stats(&self) -> RetryStats {
+        self.retry_stats
+    }
+
+    /// The per-block learned read-offset table.
+    pub fn read_offsets(&self) -> &ReadOffsetTable {
+        &self.offsets
+    }
+
+    /// The additive disturb/retention RBER a read of `block` would see
+    /// *through this controller right now*: the device's worst-page
+    /// disturb RBER evaluated at the block's learned read-reference
+    /// offset. With retry disabled or no offset learned this is exactly
+    /// [`mlcx_nand::NandDevice::block_disturb_rber`]; with a learned
+    /// offset it is the recovered (effective) figure the upper layers
+    /// should plan ECC against.
+    ///
+    /// # Errors
+    ///
+    /// Device errors propagate.
+    pub fn block_effective_disturb_rber(&self, block: usize) -> Result<f64, CtrlError> {
+        let offset = if self.retry.is_enabled() {
+            self.offsets.get(block)
+        } else {
+            0
+        };
+        Ok(self.device.block_disturb_rber_at(block, offset)?)
     }
 
     /// The channel/die busy-time scheduler (batch parallelism model).
@@ -388,8 +462,11 @@ impl MemoryController {
         let die = self.config.geometry.die_of_block(block);
         self.scheduler
             .issue(die, OpTiming::erase(report.duration_s));
-        // Page metadata of the erased block is void.
+        // Page metadata of the erased block is void, and the fresh
+        // block's Vth distributions are back at nominal — forget its
+        // learned read offset.
         self.page_ecc.retain(|&(b, _), _| b != block);
+        self.offsets.forget(block);
         Ok(report)
     }
 
@@ -548,23 +625,89 @@ impl MemoryController {
         })
     }
 
-    /// Full read datapath: tR -> codeword transfer -> ECC decode.
+    /// Full read datapath: tR -> codeword transfer -> ECC decode, with
+    /// stepped read-reference retry on an uncorrectable outcome when a
+    /// [`RetryPolicy`] is enabled.
     ///
     /// The decode is *functionally executed* on the error-injected data:
     /// the outcome reflects real BCH behaviour, including uncorrectable
     /// pages at wear-out when the capability is set too low.
+    ///
+    /// With retry enabled, the first sense starts at the block's learned
+    /// offset (nominal when none); if it fails to decode, the ladder is
+    /// walked — every extra sense a full device read charged to the
+    /// channel scheduler — until a sense decodes (the offset is learned
+    /// for the block) or the sense budget is spent. The returned report
+    /// aggregates all senses: `latency_s`/`energy_j` are totals,
+    /// `senses`/`retry_latency_s` expose the retry cost, and
+    /// `data`/`outcome`/`reference_offset` come from the final sense.
+    /// With retry disabled ([`RetryPolicy::disabled`], the default) the
+    /// datapath is bit-identical to the pre-retry controller.
     ///
     /// # Errors
     ///
     /// [`CtrlError::UnknownPageConfig`] if the page was not written
     /// through this controller; device errors propagate.
     pub fn read_page(&mut self, block: usize, page: usize) -> Result<ReadReport, CtrlError> {
+        let enabled = self.retry.is_enabled();
+        let start = if enabled { self.offsets.get(block) } else { 0 };
+        let mut report = self.read_page_at_offset(block, page, start)?;
+        if enabled && report.outcome == DecodeOutcome::Uncorrectable {
+            self.retry_stats.retried_reads += 1;
+            let ladder = self.retry.ladder.clone();
+            let budget = self.retry.max_senses;
+            let mut recovered = false;
+            for off in ladder {
+                if off == start || report.senses >= budget {
+                    continue;
+                }
+                let next = self.read_page_at_offset(block, page, off)?;
+                let decoded = next.outcome != DecodeOutcome::Uncorrectable;
+                self.retry_stats.extra_senses += 1;
+                report.senses += 1;
+                report.latency_s += next.latency_s;
+                report.retry_latency_s += next.latency_s;
+                report.energy_j += next.energy_j;
+                report.sense_s += next.sense_s;
+                report.transfer_s += next.transfer_s;
+                report.decode_s += next.decode_s;
+                report.data = next.data;
+                report.outcome = next.outcome;
+                report.reference_offset = off;
+                if decoded {
+                    recovered = true;
+                    self.offsets.learn(block, off);
+                    break;
+                }
+            }
+            if recovered {
+                self.retry_stats.recovered_reads += 1;
+            } else {
+                self.retry_stats.exhausted_reads += 1;
+            }
+        }
+        if report.outcome == DecodeOutcome::Uncorrectable {
+            self.regs.status_mut().uncorrectable_seen = true;
+        }
+        Ok(report)
+    }
+
+    /// One sense of the read datapath at a given read-reference offset
+    /// (the pre-retry `read_page` body, parameterized by `offset`).
+    /// Does not touch the status register — the caller judges the
+    /// *final* outcome.
+    fn read_page_at_offset(
+        &mut self,
+        block: usize,
+        page: usize,
+        offset: i32,
+    ) -> Result<ReadReport, CtrlError> {
         let t = *self
             .page_ecc
             .get(&(block, page))
             .ok_or(CtrlError::UnknownPageConfig { block, page })?;
 
-        let (mut data, mut spare, dev_report) = self.device.read_page(block, page)?;
+        let (mut data, mut spare, dev_report) = self.device.read_page_at(block, page, offset)?;
 
         // Decode at the page's write-time capability, restoring the host
         // configuration afterwards; going through the adaptive codec keeps
@@ -577,9 +720,6 @@ impl MemoryController {
         let outcome = self.codec.decode(&mut data, &mut parity);
         self.codec.set_correction(host_t)?;
         let outcome = outcome?;
-        if outcome == DecodeOutcome::Uncorrectable {
-            self.regs.status_mut().uncorrectable_seen = true;
-        }
 
         let path = crate::throughput::read_path(
             self.device.timing(),
@@ -607,6 +747,9 @@ impl MemoryController {
             transfer_s: path.transfer_s,
             decode_s: path.decode_s,
             t_used: t,
+            senses: 1,
+            reference_offset: offset,
+            retry_latency_s: 0.0,
         })
     }
 }
@@ -896,5 +1039,104 @@ mod tests {
             MemoryController::new(config, 1),
             Err(CtrlError::SpareOverflow { .. })
         ));
+    }
+
+    #[test]
+    fn retry_recovers_uncorrectable_reads_and_learns_the_offset() {
+        use crate::retry::RetryPolicy;
+        // A parked mid-life page: the retention shift pushes the raw
+        // error count far past t = 65 at the nominal reference (~95
+        // mean raw errors), while any rung within a step of the ~2.7
+        // step shift decodes with wide margin — the endurance floor at
+        // 100k cycles is only ~1e-4.
+        let config = ControllerConfig::builder()
+            .disturb(DisturbModel {
+                retention_scale: 2e-3,
+                rber_per_step: 1e-3,
+                ..DisturbModel::disabled()
+            })
+            .retry(RetryPolicy::date2012())
+            .build()
+            .unwrap();
+        let mut ctrl = MemoryController::new(config, 9).unwrap();
+        ctrl.apply(ConfigCommand::SetCorrection(65)).unwrap();
+        ctrl.erase_block(0).unwrap();
+        ctrl.age_block(0, 100_000).unwrap();
+        let data: Vec<u8> = (0..4096).map(|i| (i * 13) as u8).collect();
+        ctrl.write_page(0, 0, &data).unwrap();
+        ctrl.device_mut().advance_time_hours(20_000.0);
+
+        let r = ctrl.read_page(0, 0).unwrap();
+        assert!(r.outcome.is_success(), "the ladder must recover the read");
+        assert_eq!(r.data, data);
+        assert!(r.senses > 1, "the first sense must have failed");
+        assert_ne!(r.reference_offset, 0);
+        assert!(r.retry_latency_s > 0.0 && r.retry_latency_s < r.latency_s);
+        let stats = ctrl.retry_stats();
+        assert_eq!(
+            (
+                stats.retried_reads,
+                stats.recovered_reads,
+                stats.exhausted_reads
+            ),
+            (1, 1, 0)
+        );
+        assert_eq!(stats.extra_senses, (r.senses - 1) as u64);
+        assert_eq!(ctrl.read_offsets().get(0), r.reference_offset);
+
+        // Steady state: the learned offset makes the next read a single
+        // sense at the optimum.
+        let r2 = ctrl.read_page(0, 0).unwrap();
+        assert!(r2.outcome.is_success());
+        assert_eq!(r2.senses, 1);
+        assert_eq!(r2.reference_offset, r.reference_offset);
+        assert_eq!(r2.retry_latency_s, 0.0);
+
+        // The effective (offset-aware) disturb RBER is what the upper
+        // layers should now plan against.
+        let eff = ctrl.block_effective_disturb_rber(0).unwrap();
+        let nominal = ctrl.device().block_disturb_rber(0).unwrap();
+        assert!(eff < nominal / 2.0, "eff {eff:e} vs nominal {nominal:e}");
+
+        // Erase resets the distributions and forgets the offset.
+        ctrl.erase_block(0).unwrap();
+        assert_eq!(ctrl.read_offsets().get(0), 0);
+        assert!(ctrl.read_offsets().is_empty());
+    }
+
+    #[test]
+    fn disabled_retry_is_bit_identical_to_the_pre_retry_datapath() {
+        // Two identically-seeded controllers, one carrying the (enabled)
+        // retry knob: on a workload whose reads all decode, every report
+        // field must match — retry only engages on uncorrectable reads.
+        let stress = DisturbModel {
+            retention_scale: 6e-4,
+            rber_per_step: 1e-3,
+            ..DisturbModel::disabled()
+        };
+        let base = ControllerConfig::builder().disturb(stress).build().unwrap();
+        let with_retry = ControllerConfig::builder()
+            .disturb(stress)
+            .retry(RetryPolicy::date2012())
+            .build()
+            .unwrap();
+        let mut a = MemoryController::new(base, 11).unwrap();
+        let mut b = MemoryController::new(with_retry, 11).unwrap();
+        for ctrl in [&mut a, &mut b] {
+            ctrl.apply(ConfigCommand::SetCorrection(65)).unwrap();
+            ctrl.erase_block(0).unwrap();
+            ctrl.age_block(0, 100_000).unwrap();
+            for page in 0..4 {
+                let data: Vec<u8> = (0..4096).map(|i| (i * 7 + page) as u8).collect();
+                ctrl.write_page(0, page, &data).unwrap();
+            }
+        }
+        for page in 0..4 {
+            let ra = a.read_page(0, page).unwrap();
+            let rb = b.read_page(0, page).unwrap();
+            assert_eq!(ra, rb, "page {page} diverged");
+            assert_eq!(ra.senses, 1);
+        }
+        assert_eq!(b.retry_stats(), RetryStats::default());
     }
 }

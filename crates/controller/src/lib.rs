@@ -29,7 +29,12 @@
 //!   overwrite workloads can run on top of the cross-layer machinery;
 //! * [`scrub`] — background scrub / read-reclaim: a policy engine that
 //!   scans per-block disturb state (reads since erase, data age) and
-//!   plans relocate+erase maintenance through the FTL machinery.
+//!   plans relocate+erase maintenance through the FTL machinery;
+//! * [`retry`] — stepped read-reference retry: on an uncorrectable
+//!   read, re-sense at ladder offsets tracking the Vth shift, and
+//!   remember the winning offset per block so steady-state reads start
+//!   near the optimum (the voltage-domain mitigation next to `scrub`'s
+//!   data movement).
 //!
 //! # Example
 //!
@@ -59,6 +64,7 @@ pub mod ftl;
 pub mod ocp;
 pub mod regs;
 pub mod reliability;
+pub mod retry;
 pub mod scrub;
 pub mod throughput;
 
@@ -70,4 +76,5 @@ pub use error::CtrlError;
 pub use ftl::{Ftl, FtlError, FtlOp, FtlStats, LogicalMap};
 pub use regs::{ConfigCommand, RegisterFile, ServiceLevel, StatusFlags};
 pub use reliability::{ReliabilityManager, ReliabilityPolicy};
+pub use retry::{ReadOffsetTable, RetryPolicy, RetryStats};
 pub use scrub::{ScrubPolicy, ScrubStats, Scrubber};

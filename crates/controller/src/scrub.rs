@@ -34,6 +34,20 @@ use crate::ftl::{FtlError, FtlOp, LogicalMap};
 /// The default ([`ScrubPolicy::disabled`]) never qualifies anything, so
 /// every stack layer carries the knob at zero behavioral cost until a
 /// caller opts in.
+///
+/// # Precedence with read-retry
+///
+/// Scrub and read-retry ([`crate::retry::RetryPolicy`]) are independent
+/// knobs and may both be enabled. **Scrub is batch-scoped and
+/// data-movement-domain**: [`Scrubber::plan_pass`] plans relocations
+/// against the *flushed* device state between batches, paying write
+/// amplification and erase cycles. **Retry is per-read and
+/// voltage-domain**: it re-senses an individual failing read at stepped
+/// reference offsets, paying read latency, and never moves data. The
+/// two compose rather than conflict — retry senses still bump the
+/// read-disturb accumulator the scrubber scans, so retried blocks keep
+/// marching toward the scrub thresholds, and a scrub erase resets both
+/// the accumulator and the block's learned read offset.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScrubPolicy {
     /// Reads since erase at which a block qualifies (`u64::MAX` never

@@ -264,6 +264,9 @@ pub enum CommandOutput {
         /// Whether the source decode succeeded (the best-effort data is
         /// relocated either way; a miss surfaces at the next host read).
         read_ok: bool,
+        /// Extra read-retry senses the source read needed beyond its
+        /// first (0 with retry disabled or a clean first sense).
+        retry_senses: u32,
         /// Read + write device latency, seconds.
         latency_s: f64,
         /// Read + write energy, joules.
@@ -330,6 +333,17 @@ pub struct BatchReport {
     /// maintenance (relocations + scrub erases) — the device time the
     /// batch paid for reliability instead of host traffic.
     pub scrub_latency_s: f64,
+    /// Reads whose first sense was uncorrectable and entered the
+    /// read-retry ladder (0 with retry disabled).
+    pub retry_reads: u64,
+    /// Extra senses the retry ladder issued beyond each read's first.
+    pub retry_senses: u64,
+    /// Retried reads still uncorrectable after the sense budget.
+    pub retry_exhausted: u64,
+    /// Portion of [`BatchReport::device_latency_s`] spent on retry
+    /// senses — the read-latency price of the voltage-domain
+    /// mitigation (already included in `read_latency_s`).
+    pub retry_latency_s: f64,
 }
 
 impl BatchReport {
@@ -497,6 +511,22 @@ impl EngineBuilder {
     /// [`Command::Relocate`]/[`Command::ScrubErase`] maintenance.
     pub fn scrub_policy(mut self, scrub: ScrubPolicy) -> Self {
         self.scrub = scrub;
+        self
+    }
+
+    /// Sets the read-retry policy the controller applies on
+    /// uncorrectable reads (default
+    /// [`RetryPolicy::disabled`](mlcx_controller::retry::RetryPolicy::disabled)
+    /// — the pre-retry datapath, bit-for-bit). Call after
+    /// [`EngineBuilder::controller_config`], which replaces the whole
+    /// configuration including this knob. Retry senses are charged to
+    /// the channel scheduler like any read, surface in
+    /// [`BatchReport::retry_senses`]/[`BatchReport::retry_latency_s`],
+    /// and — through the block's learned offset — lower the effective
+    /// disturb RBER the `(wear-bucket, disturb-epoch)` memo derives ECC
+    /// schedules against.
+    pub fn retry_policy(mut self, retry: mlcx_controller::retry::RetryPolicy) -> Self {
+        self.config.retry = retry;
         self
     }
 
@@ -711,6 +741,12 @@ impl StorageEngine {
     /// The scrub/read-reclaim policy the engine was built with.
     pub fn scrub_policy(&self) -> &ScrubPolicy {
         &self.scrub
+    }
+
+    /// The read-retry policy the controller applies on uncorrectable
+    /// reads.
+    pub fn retry_policy(&self) -> &mlcx_controller::retry::RetryPolicy {
+        self.ctrl.retry_policy()
     }
 
     /// Advances the device wall clock — the retention time base every
@@ -941,8 +977,12 @@ impl StorageEngine {
         let die_blocks = self.ctrl.config().geometry.die_blocks(die);
         let lo = region.start.max(die_blocks.start);
         let hi = region.end.min(die_blocks.end);
+        // Effective (offset-aware) figures: a block whose learned read
+        // offset tracks its Vth shift exposes the recovered RBER to the
+        // derivation, not the nominal-reference one. Identical to the
+        // device's raw accessor with retry off or nothing learned.
         (lo..hi)
-            .map(|b| self.ctrl.device().block_disturb_rber(b).unwrap_or(0.0))
+            .map(|b| self.ctrl.block_effective_disturb_rber(b).unwrap_or(0.0))
             .fold(0.0, f64::max)
     }
 
@@ -999,6 +1039,14 @@ impl StorageEngine {
                 self.last_batch.absorb(report.latency_s, report.energy_j);
                 self.last_batch.read_latency_s += report.latency_s;
                 self.last_batch.bytes_read += report.data.len();
+                if report.senses > 1 {
+                    self.last_batch.retry_reads += 1;
+                    self.last_batch.retry_senses += u64::from(report.senses - 1);
+                    self.last_batch.retry_latency_s += report.retry_latency_s;
+                    if !report.outcome.is_success() {
+                        self.last_batch.retry_exhausted += 1;
+                    }
+                }
                 let corrected = report.outcome.corrected_bits() as u64;
                 self.last_batch.corrected_bits += corrected;
                 let stats = &mut self.services[idx].stats;
@@ -1030,6 +1078,14 @@ impl StorageEngine {
             Command::Relocate { from, to, .. } => {
                 let read = self.ctrl.read_page(from.0, from.1)?;
                 self.last_batch.absorb(read.latency_s, read.energy_j);
+                if read.senses > 1 {
+                    self.last_batch.retry_reads += 1;
+                    self.last_batch.retry_senses += u64::from(read.senses - 1);
+                    self.last_batch.retry_latency_s += read.retry_latency_s;
+                    if !read.outcome.is_success() {
+                        self.last_batch.retry_exhausted += 1;
+                    }
+                }
                 let corrected = read.outcome.corrected_bits();
                 self.last_batch.corrected_bits += corrected as u64;
                 let wear = self.ctrl.device().block_cycles(to.0)?.max(1);
@@ -1045,6 +1101,7 @@ impl StorageEngine {
                 Ok(CommandOutput::Relocate {
                     corrected_bits: corrected,
                     read_ok: read.outcome.is_success(),
+                    retry_senses: read.senses.saturating_sub(1),
                     latency_s: read.latency_s + write.latency_s,
                     energy_j: read.energy_j + write.energy_j,
                     t_used: write.t_used,
@@ -1500,10 +1557,9 @@ mod tests {
         let mut e = EngineBuilder::date2012()
             .seed(5)
             .disturb_model(DisturbModel {
-                read_disturb_per_read: 0.0,
                 retention_scale: 1e-4,
                 retention_wear_exponent: 0.0,
-                reference_cycles: 1e6,
+                ..DisturbModel::disabled()
             })
             .build()
             .unwrap();
@@ -1550,6 +1606,72 @@ mod tests {
             e.scrub_policy().read_threshold,
             mlcx_nand::disturb::DisturbModel::SCRUB_READ_THRESHOLD
         );
+    }
+
+    #[test]
+    fn retry_policy_rides_the_builder_and_counts_in_the_batch() {
+        use mlcx_controller::retry::RetryPolicy;
+        use mlcx_nand::disturb::DisturbModel;
+        let e = engine();
+        assert!(!e.retry_policy().is_enabled());
+
+        // The controller unit tests pin the ladder mechanics; here the
+        // batch layer: a parked page whose first sense fails must
+        // surface retry counters in the BatchReport, and the recovered
+        // read must complete successfully.
+        let mut e = EngineBuilder::date2012()
+            .disturb_model(DisturbModel {
+                retention_scale: 2e-3,
+                rber_per_step: 1e-3,
+                ..DisturbModel::disabled()
+            })
+            .retry_policy(RetryPolicy::date2012())
+            .seed(9)
+            .build()
+            .unwrap();
+        assert!(e.retry_policy().is_enabled());
+        let svc = e.register_service("kv", Objective::Baseline, 0..4).unwrap();
+        let data = vec![0x3Cu8; 4096];
+        // Age first: the retention wear term keys off the wear *at
+        // program time*.
+        e.controller_mut().age_block(0, 100_000).unwrap();
+        e.submit(&[
+            Command::erase(svc, 0),
+            Command::write(svc, 0, 0, data.clone()),
+        ])
+        .unwrap();
+        assert!(e.poll().iter().all(|c| c.result.is_ok()));
+        e.advance_hours(20_000.0);
+
+        e.submit(&[Command::read(svc, 0, 0)]).unwrap();
+        let done = e.poll();
+        let Ok(CommandOutput::Read(r)) = &done[0].result else {
+            panic!("read must complete");
+        };
+        assert!(r.outcome.is_success() && r.data == data);
+        assert!(r.senses > 1);
+        let batch = e.last_batch();
+        assert_eq!(batch.retry_reads, 1);
+        assert_eq!(batch.retry_senses, u64::from(r.senses - 1));
+        assert_eq!(batch.retry_exhausted, 0);
+        assert!(batch.retry_latency_s > 0.0);
+        assert!(batch.read_latency_s >= batch.retry_latency_s);
+
+        // The learned offset flows into derivation: the effective
+        // region disturb RBER is now the recovered figure, so a point
+        // derived after the retry sees less extra RBER than nominal.
+        let learned = e.controller().read_offsets().get(0);
+        assert_ne!(learned, 0);
+        let eff = e.controller().block_effective_disturb_rber(0).unwrap();
+        let nominal = e.controller().device().block_disturb_rber(0).unwrap();
+        assert!(eff < nominal, "eff {eff:e} vs nominal {nominal:e}");
+
+        // Steady state: same-seed single-sense read, no new counters.
+        e.submit(&[Command::read(svc, 0, 0)]).unwrap();
+        assert!(e.poll().iter().all(|c| c.result.is_ok()));
+        let batch = e.last_batch();
+        assert_eq!((batch.retry_reads, batch.retry_senses), (0, 0));
+        assert_eq!(batch.retry_latency_s, 0.0);
     }
 
     #[test]

@@ -38,12 +38,15 @@
 //!   channel-contention scenarios that exercise the striped FTL, the
 //!   per-die operating-point memo and the channel busy-time scheduler
 //!   end-to-end on multi-die topologies
-//!   ([`Topology`](mlcx_nand::Topology)); and the retention-stress and
+//!   ([`Topology`](mlcx_nand::Topology)); the retention-stress and
 //!   read-reclaim scenario pair that turns the device's
 //!   disturb/retention models plus the background scrubber
 //!   (`mlcx_controller::scrub`) into a measurable
 //!   reliability-performance trade-off — run each with scrub off and on
-//!   to quantify the UBER recovered and the device time paid.
+//!   to quantify the UBER recovered and the device time paid; and the
+//!   scrub-vs-retry preset that runs the same seeded retention-failure
+//!   workload under every [`presets::MitigationMode`], pricing scrub's
+//!   write amplification against retry's extra senses.
 //!
 //! Time is a first-class axis: phases can advance the device wall
 //! clock (`ScenarioBuilder::phase_with_elapsed` →

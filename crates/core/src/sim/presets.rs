@@ -14,7 +14,7 @@
 //! `WorkloadRunner` drives end-to-end through the striped FTL, the
 //! per-die operating-point memo and the channel busy-time scheduler.
 
-use mlcx_controller::{ControllerConfig, ScrubPolicy};
+use mlcx_controller::{ControllerConfig, RetryPolicy, ScrubPolicy};
 use mlcx_nand::disturb::DisturbModel;
 use mlcx_nand::{DeviceGeometry, Topology};
 
@@ -168,6 +168,104 @@ pub fn read_reclaim(seed: u64, scrub: bool) -> Scenario {
     builder.build().expect("read-reclaim preset must validate")
 }
 
+/// Which reliability mitigations a [`scrub_vs_retry`] arm enables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MitigationMode {
+    /// Neither mitigation: the parked data's reads fail uncorrectable.
+    None,
+    /// Background scrub only: stale blocks are relocated and erased
+    /// (data-movement domain — pays write amplification and erases).
+    ScrubOnly,
+    /// Read-retry only: failing reads re-sense at ladder offsets
+    /// (voltage domain — pays extra senses, moves no data).
+    RetryOnly,
+    /// Both mitigations together.
+    Both,
+}
+
+impl MitigationMode {
+    /// Whether the arm runs the background scrubber.
+    pub fn scrub(self) -> bool {
+        matches!(self, MitigationMode::ScrubOnly | MitigationMode::Both)
+    }
+
+    /// Whether the arm runs stepped read-reference retry.
+    pub fn retry(self) -> bool {
+        matches!(self, MitigationMode::RetryOnly | MitigationMode::Both)
+    }
+}
+
+/// Scrub-vs-retry preset: the *same* seeded retention-failure workload
+/// run under each [`MitigationMode`], so the two mitigations' costs are
+/// directly comparable. A read-only serving tenant's working set is
+/// prefilled once (no overwrites, so no stale garbage pages muddy the
+/// per-block disturb accounting), parked for 20,000 hours under a
+/// demo-scaled wear-independent retention model harsh enough that
+/// nominal-reference reads come back *uncorrectable* (unlike
+/// [`retention_stress`], where the EOL schedule still decodes), then
+/// read-served:
+///
+/// * [`MitigationMode::None`] — every read of parked data fails; the
+///   report's `read_failures` and disturbed-UBER columns show the
+///   exposure.
+/// * [`MitigationMode::ScrubOnly`] — the retention scrubber rewrites
+///   stale blocks at the current clock: recovery paid in relocations
+///   and erases (pure write amplification — the workload itself writes
+///   nothing).
+/// * [`MitigationMode::RetryOnly`] — the ladder re-senses failing reads
+///   near the shifted optimum and the per-block offset table makes
+///   steady state single-sense: recovery paid purely in read latency —
+///   zero relocations, zero erases.
+/// * [`MitigationMode::Both`] — retry absorbs errors between scrub
+///   passes; scrub bounds how far the ladder must reach.
+pub fn scrub_vs_retry(seed: u64, mode: MitigationMode) -> Scenario {
+    let mut builder = Scenario::builder()
+        .engine(engine_with(16, Topology::single()))
+        .disturb_model(DisturbModel {
+            // Demo-scaled retention, independent of program-time wear
+            // (exponent 0) so the prefilled data ages at full rate:
+            // ~1.5e-3 additive RBER after the park (~50 raw errors per
+            // codeword — uncorrectable at the fresh-wear schedule),
+            // with a step size that puts the Vth shift almost exactly
+            // two reference steps out, squarely on a date2012 ladder
+            // rung.
+            retention_scale: 3.5e-4,
+            retention_wear_exponent: 0.0,
+            rber_per_step: 7.5e-4,
+            offset_residual_fraction: 0.01,
+            ..DisturbModel::disabled()
+        })
+        .seed(seed)
+        .batch_size(24)
+        // A small working set: the prefill packs it into a few blocks
+        // and the read-only serve phase revisits every block.
+        .utilization(0.25)
+        .prefill(true)
+        .service(
+            "serve",
+            Objective::Baseline,
+            0..16,
+            TraceKind::ReadMostly { read_ratio: 1.0 },
+        )
+        // Park the prefilled working set ~2.3 years.
+        .phase_with_elapsed("park", 0, 0, 20_000.0)
+        // Serve pure read traffic against the parked data.
+        .phase("serve", 280, 0);
+    if mode.scrub() {
+        builder = builder.scrub_policy(ScrubPolicy {
+            read_threshold: u64::MAX,
+            retention_age_hours: 5_000.0,
+            max_blocks_per_pass: 2,
+        });
+    }
+    if mode.retry() {
+        builder = builder.retry_policy(RetryPolicy::date2012());
+    }
+    builder
+        .build()
+        .expect("scrub-vs-retry preset must validate")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,5 +392,76 @@ mod tests {
         );
         assert!(s_on.model_log10_uber_disturbed < s_off.model_log10_uber_disturbed);
         assert_eq!(on, read_reclaim(31, true).run().unwrap());
+    }
+
+    #[test]
+    fn scrub_vs_retry_recovers_uber_in_different_currencies() {
+        let none = scrub_vs_retry(7, MitigationMode::None).run().unwrap();
+        let scrub = scrub_vs_retry(7, MitigationMode::ScrubOnly).run().unwrap();
+        let retry = scrub_vs_retry(7, MitigationMode::RetryOnly).run().unwrap();
+        let both = scrub_vs_retry(7, MitigationMode::Both).run().unwrap();
+
+        // Unmitigated, the parked data genuinely fails: this preset is
+        // harsher than retention_stress on purpose.
+        assert!(none.read_failures > 0, "none arm must see failed reads");
+        assert_eq!(none.total_retried_reads, 0);
+        assert_eq!(none.total_scrub_relocations + none.total_scrub_erases, 0);
+
+        // Retry-only moves no data at all...
+        assert_eq!(retry.total_scrub_relocations, 0);
+        assert_eq!(retry.total_scrub_erases, 0);
+        assert!(retry.total_retried_reads > 0, "the ladder must have walked");
+        assert!(retry.total_retry_senses >= retry.total_retried_reads);
+        // ...and recovers the reads the none arm lost.
+        assert!(
+            retry.read_failures < none.read_failures / 4,
+            "retry must recover most failing reads: {} vs {}",
+            retry.read_failures,
+            none.read_failures
+        );
+        assert_eq!(retry.integrity_violations, 0);
+
+        // The verify sweep reads every mapped page, so by its end every
+        // parked block has a learned offset: >= 1 decade of model UBER
+        // recovered at the effective (offset-aware) reference, with
+        // zero relocations/erases.
+        let v_none = &phase(&none, "verify").services[0];
+        let v_retry = &phase(&retry, "verify").services[0];
+        let recovered = v_none.model_log10_uber_disturbed - v_retry.model_log10_uber_disturbed;
+        assert!(
+            recovered >= 1.0,
+            "retry must recover >= 1 decade of UBER, got {recovered:.2} \
+             (none {:.2}, retry {:.2})",
+            v_none.model_log10_uber_disturbed,
+            v_retry.model_log10_uber_disturbed
+        );
+        // The price is read latency: extra senses, accounted per read.
+        let s_retry = &phase(&retry, "serve").services[0];
+        assert!(s_retry.retry_latency_s > 0.0);
+        assert!(s_retry.retried_reads > 0);
+
+        // Scrub-only pays in data movement: relocation writes and
+        // erases against a workload that itself writes nothing — pure
+        // write amplification, where retry moved no data at all.
+        assert!(scrub.total_scrub_relocations > 0, "scrubber must have run");
+        assert!(scrub.total_scrub_erases > 0);
+        assert_eq!(scrub.total_retried_reads, 0);
+        assert!(
+            scrub.read_failures < none.read_failures,
+            "scrub must stem the failures once it has swept: {} vs {}",
+            scrub.read_failures,
+            none.read_failures
+        );
+
+        // Both together: retry absorbs what scrub hasn't reached yet.
+        assert!(both.total_scrub_relocations > 0);
+        assert!(both.read_failures <= retry.read_failures);
+
+        // Determinism: every arm is a fixed function of the seed.
+        assert_eq!(none, scrub_vs_retry(7, MitigationMode::None).run().unwrap());
+        assert_eq!(
+            retry,
+            scrub_vs_retry(7, MitigationMode::RetryOnly).run().unwrap()
+        );
     }
 }

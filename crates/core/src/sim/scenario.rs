@@ -149,6 +149,14 @@ pub struct ServicePhaseReport {
     pub scrub_relocations: u64,
     /// Scrub erases executed for this service this phase.
     pub scrub_erases: u64,
+    /// Reads (host, GC, or scrub-relocate source) whose first sense was
+    /// uncorrectable and entered the retry ladder this phase.
+    pub retried_reads: u64,
+    /// Extra read-retry senses beyond each read's first this phase.
+    pub retry_senses: u64,
+    /// Extra device time the retry senses cost this phase, seconds
+    /// (already included in the read latencies).
+    pub retry_latency_s: f64,
     /// Highest P/E cycle count across the service's blocks at phase
     /// end (before the phase's fast-forward).
     pub max_wear: u64,
@@ -191,6 +199,11 @@ pub struct PhaseReport {
     pub scrub_relocations: u64,
     /// Scrub erases executed across every service this phase.
     pub scrub_erases: u64,
+    /// Reads that entered the retry ladder across every service this
+    /// phase.
+    pub retried_reads: u64,
+    /// Extra read-retry senses across every service this phase.
+    pub retry_senses: u64,
 }
 
 impl PhaseReport {
@@ -228,6 +241,12 @@ pub struct ScenarioReport {
     pub total_scrub_relocations: u64,
     /// Scrub erases executed across the whole run.
     pub total_scrub_erases: u64,
+    /// Reads that entered the retry ladder across the whole run.
+    pub total_retried_reads: u64,
+    /// Extra read-retry senses across the whole run (the latency-domain
+    /// price of recovery, where scrub's is
+    /// [`ScenarioReport::total_scrub_relocations`]).
+    pub total_retry_senses: u64,
 }
 
 impl ScenarioReport {
@@ -266,6 +285,7 @@ impl ScenarioReport {
             "lg-uber",
             "lg-uber+d",
             "scrub",
+            "retry",
             "wear",
         ]);
         for phase in &self.phases {
@@ -288,13 +308,14 @@ impl ScenarioReport {
                     fixed2(s.model_log10_uber),
                     fixed2(s.model_log10_uber_disturbed),
                     format!("{}r/{}e", s.scrub_relocations, s.scrub_erases),
+                    format!("{}r/{}s", s.retried_reads, s.retry_senses),
                     s.max_wear.to_string(),
                 ]);
             }
         }
         let mut out = t.render();
         out.push_str(&format!(
-            "total: {} commands, {:.3} ms device time ({:.3} ms overlapped, {:.2}x parallel), {:.3} mJ, {} pages verified, {} integrity violations, {} scrub relocations, {} scrub erases\n",
+            "total: {} commands, {:.3} ms device time ({:.3} ms overlapped, {:.2}x parallel), {:.3} mJ, {} pages verified, {} integrity violations, {} scrub relocations, {} scrub erases, {} retried reads, {} retry senses\n",
             self.total_commands,
             self.total_device_time_s * 1e3,
             self.total_parallel_time_s * 1e3,
@@ -304,6 +325,8 @@ impl ScenarioReport {
             self.integrity_violations,
             self.total_scrub_relocations,
             self.total_scrub_erases,
+            self.total_retried_reads,
+            self.total_retry_senses,
         ));
         out
     }
@@ -557,6 +580,19 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Enables stepped read-reference retry on uncorrectable reads: the
+    /// controller walks `policy`'s ladder and remembers the winning
+    /// offset per block, trading read latency for recovered reads where
+    /// [`ScenarioBuilder::scrub_policy`] trades write amplification
+    /// (see `RetryPolicy` for the precedence between the two). As with
+    /// [`ScenarioBuilder::disturb_model`], call this *after*
+    /// [`ScenarioBuilder::engine`]: replacing the engine builder
+    /// replaces this knob too.
+    pub fn retry_policy(mut self, policy: mlcx_controller::retry::RetryPolicy) -> Self {
+        self.engine = self.engine.retry_policy(policy);
+        self
+    }
+
     /// Validates and produces the scenario.
     ///
     /// # Errors
@@ -641,6 +677,9 @@ struct Acc {
     codeword_bits_read: u64,
     scrub_relocations: u64,
     scrub_erases: u64,
+    retried_reads: u64,
+    retry_senses: u64,
+    retry_latency_s: f64,
 }
 
 struct SimService {
@@ -830,6 +869,8 @@ impl WorkloadRunner {
             .sum();
         let total_scrub_relocations = phases.iter().map(|p| p.scrub_relocations).sum();
         let total_scrub_erases = phases.iter().map(|p| p.scrub_erases).sum();
+        let total_retried_reads = phases.iter().map(|p| p.retried_reads).sum();
+        let total_retry_senses = phases.iter().map(|p| p.retry_senses).sum();
         Ok(ScenarioReport {
             phases,
             total_commands,
@@ -843,6 +884,8 @@ impl WorkloadRunner {
             read_failures,
             total_scrub_relocations,
             total_scrub_erases,
+            total_retried_reads,
+            total_retry_senses,
         })
     }
 
@@ -1140,6 +1183,11 @@ impl WorkloadRunner {
                             acc.corrected_bits += r.outcome.corrected_bits() as u64;
                             acc.codeword_bits_read +=
                                 (k_bits + codeword_extra * r.t_used as usize) as u64;
+                            if r.senses > 1 {
+                                acc.retried_reads += 1;
+                                acc.retry_senses += u64::from(r.senses - 1);
+                                acc.retry_latency_s += r.retry_latency_s;
+                            }
                             if !r.outcome.is_success() {
                                 acc.read_failures += 1;
                             } else if r.data != payload(page_bytes, svc, lpn, version) {
@@ -1172,6 +1220,11 @@ impl WorkloadRunner {
                             acc.corrected_bits += r.outcome.corrected_bits() as u64;
                             acc.codeword_bits_read +=
                                 (k_bits + codeword_extra * r.t_used as usize) as u64;
+                            if r.senses > 1 {
+                                acc.retried_reads += 1;
+                                acc.retry_senses += u64::from(r.senses - 1);
+                                acc.retry_latency_s += r.retry_latency_s;
+                            }
                             if !r.outcome.is_success() {
                                 // The relocation copies the (corrupted)
                                 // best-effort data; any damage surfaces
@@ -1200,11 +1253,18 @@ impl WorkloadRunner {
                 },
                 CmdMeta::ScrubRelocate { svc } => match c.result {
                     Ok(CommandOutput::Relocate {
-                        energy_j, read_ok, ..
+                        energy_j,
+                        read_ok,
+                        retry_senses,
+                        ..
                     }) => {
                         let acc = &mut self.services[svc].acc;
                         acc.energy_j += energy_j;
                         acc.scrub_relocations += 1;
+                        if retry_senses > 0 {
+                            acc.retried_reads += 1;
+                            acc.retry_senses += u64::from(retry_senses);
+                        }
                         if !read_ok {
                             // Best-effort data was relocated anyway; the
                             // damage surfaces at the next host read.
@@ -1244,9 +1304,13 @@ impl WorkloadRunner {
                 .max()
                 .unwrap_or(0);
             // Worst additive disturb across the region: what a read of
-            // the most-pressed block's oldest page would pay right now.
+            // the most-pressed block's oldest page would pay right now,
+            // *at the reference each block would actually be sensed at*
+            // — with retry enabled, a block's learned offset discounts
+            // the shift the ladder has already tuned away.
+            let ctrl = self.engine.controller();
             let model_disturb_rber = blocks
-                .map(|b| device.block_disturb_rber(b).unwrap_or(0.0))
+                .map(|b| ctrl.block_effective_disturb_rber(b).unwrap_or(0.0))
                 .fold(0.0, f64::max);
             let objective = self.services[i].objective;
             let model = self.engine.model();
@@ -1284,6 +1348,9 @@ impl WorkloadRunner {
                 model_log10_uber_disturbed,
                 scrub_relocations: acc.scrub_relocations,
                 scrub_erases: acc.scrub_erases,
+                retried_reads: acc.retried_reads,
+                retry_senses: acc.retry_senses,
+                retry_latency_s: acc.retry_latency_s,
                 max_wear,
                 write_amplification: ftl.write_amplification(),
                 ftl,
@@ -1292,6 +1359,8 @@ impl WorkloadRunner {
         let energy_j = PhaseReport::totals(&services);
         let scrub_relocations = services.iter().map(|s| s.scrub_relocations).sum();
         let scrub_erases = services.iter().map(|s| s.scrub_erases).sum();
+        let retried_reads = services.iter().map(|s| s.retried_reads).sum();
+        let retry_senses = services.iter().map(|s| s.retry_senses).sum();
         PhaseReport {
             name: name.to_string(),
             fast_forward_cycles,
@@ -1307,6 +1376,8 @@ impl WorkloadRunner {
             knob_writes: self.phase_knob_writes,
             scrub_relocations,
             scrub_erases,
+            retried_reads,
+            retry_senses,
         }
     }
 }

@@ -344,6 +344,40 @@ impl NandDevice {
         Ok(self.disturb.read_disturb_rber(b.reads_since_erase) + retention)
     }
 
+    /// Like [`NandDevice::block_disturb_rber`], but for a read sensed at
+    /// read-reference `offset` steps from nominal: the worst per-page
+    /// [`DisturbModel::rber_at_offset`] over the block's programmed
+    /// pages. At offset 0 this is exactly
+    /// [`NandDevice::block_disturb_rber`]; a well-learned offset reports
+    /// the *effective* (recovered) disturb RBER a retrying controller
+    /// actually exposes upward.
+    ///
+    /// # Errors
+    ///
+    /// [`NandError::BlockOutOfRange`] for bad indices.
+    pub fn block_disturb_rber_at(&self, block: usize, offset: i32) -> Result<f64, NandError> {
+        if offset == 0 {
+            return self.block_disturb_rber(block);
+        }
+        self.check_block(block)?;
+        let b = &self.blocks[block];
+        if b.pages.iter().all(Option::is_none) {
+            return Ok(0.0);
+        }
+        Ok(b.pages
+            .iter()
+            .flatten()
+            .map(|p| {
+                self.disturb.rber_at_offset(
+                    b.reads_since_erase,
+                    self.clock_hours - p.programmed_at_hours,
+                    p.cycles_at_program,
+                    offset,
+                )
+            })
+            .fold(0.0, f64::max))
+    }
+
     /// Ages a block by `cycles` P/E cycles without simulating each one —
     /// the lifetime-sweep experiments use this to position the device at a
     /// wear point.
@@ -551,6 +585,9 @@ impl NandDevice {
     /// Reads a page back, injecting raw bit errors per the lifetime RBER
     /// model (errors depend on the algorithm and wear *at program time*).
     ///
+    /// Senses at the nominal read references — exactly
+    /// [`NandDevice::read_page_at`] with a zero reference offset.
+    ///
     /// A rejected read of a blank page leaves the block's read-disturb
     /// accumulator untouched (no word line was sensed), and the Nth
     /// successful read sees the disturb accumulated by the N−1 reads
@@ -563,6 +600,29 @@ impl NandDevice {
         &mut self,
         block: usize,
         page: usize,
+    ) -> Result<(Vec<u8>, Vec<u8>, OpReport), NandError> {
+        self.read_page_at(block, page, 0)
+    }
+
+    /// Reads a page back sensing at read-reference `offset` steps from
+    /// nominal (signed; see [`DisturbModel::rber_at_offset`]).
+    ///
+    /// The injected error rate is the endurance RBER plus the
+    /// offset-dependent disturb/retention term: an offset tracking the
+    /// page's Vth shift recovers most of the additive RBER, a zero
+    /// offset reproduces [`NandDevice::read_page`] bit-for-bit, and a
+    /// stale offset on an unshifted page *adds* misreads. Every sense —
+    /// retry senses included — bumps the block's read-disturb
+    /// accumulator: re-reading is never free at the cell level.
+    ///
+    /// # Errors
+    ///
+    /// Geometry errors; [`NandError::PageNotProgrammed`] for blank pages.
+    pub fn read_page_at(
+        &mut self,
+        block: usize,
+        page: usize,
+        offset: i32,
     ) -> Result<(Vec<u8>, Vec<u8>, OpReport), NandError> {
         self.check_page(block, page)?;
         let geometry_spare = self.geometry.spare_bytes;
@@ -580,10 +640,11 @@ impl NandDevice {
         let endurance = self
             .aging
             .rber(stored.algorithm, stored.cycles_at_program.max(1));
-        let extra = self.disturb.additional_rber(
+        let extra = self.disturb.rber_at_offset(
             prior_reads,
             self.clock_hours - stored.programmed_at_hours,
             stored.cycles_at_program,
+            offset,
         );
         let rber = (endurance + extra).min(0.5);
         debug_assert!(spare.len() <= geometry_spare);
@@ -1014,10 +1075,8 @@ mod tests {
         use crate::disturb::DisturbModel;
         let mut dev = device();
         dev.set_disturb_model(DisturbModel {
-            read_disturb_per_read: 0.0,
             retention_scale: 5e-4,
-            retention_wear_exponent: 0.5,
-            reference_cycles: 1e6,
+            ..DisturbModel::disabled()
         });
         dev.age_block(0, 1_000_000).unwrap();
         dev.erase_block(0).unwrap();
@@ -1040,6 +1099,63 @@ mod tests {
         assert!((dev.now_hours() - 10_000.0).abs() < 1e-9);
         let aged = count_errs(&mut dev);
         assert!(aged > fresh, "aged {aged} vs fresh {fresh}");
+    }
+
+    #[test]
+    fn offset_reads_track_the_shift_and_zero_offset_matches_read_page() {
+        use crate::disturb::DisturbModel;
+        // Two identically-seeded devices: read_page on one must be
+        // bit-identical to read_page_at(.., 0) on the other.
+        let build = || {
+            let mut dev = device();
+            dev.set_disturb_model(DisturbModel {
+                retention_scale: 5e-4,
+                rber_per_step: 1e-3,
+                ..DisturbModel::disabled()
+            });
+            dev.age_block(0, 1_000_000).unwrap();
+            dev.erase_block(0).unwrap();
+            dev.program_page(0, 0, &vec![0xA5u8; 4096], &[0x5Au8; 16])
+                .unwrap();
+            dev.advance_time_hours(20_000.0);
+            dev
+        };
+        let (mut a, mut b) = (build(), build());
+        for _ in 0..6 {
+            let (da, sa, _) = a.read_page(0, 0).unwrap();
+            let (db, sb, _) = b.read_page_at(0, 0, 0).unwrap();
+            assert_eq!(da, db);
+            assert_eq!(sa, sb);
+        }
+
+        // Sensing near the modeled shift injects fewer raw errors than
+        // sensing at nominal (averaged over reads on a fresh pair).
+        let count = |dev: &mut NandDevice, offset: i32| -> usize {
+            (0..16)
+                .map(|_| {
+                    let (d, _, _) = dev.read_page_at(0, 0, offset).unwrap();
+                    d.iter()
+                        .zip(std::iter::repeat(&0xA5u8))
+                        .map(|(x, y)| (x ^ y).count_ones() as usize)
+                        .sum::<usize>()
+                })
+                .sum()
+        };
+        let (mut nominal, mut tuned) = (build(), build());
+        let shift = nominal
+            .disturb_model()
+            .vth_shift_steps(0, 20_000.0, 1_000_001);
+        let rung = shift.round() as i32;
+        assert!(rung >= 1, "the stress must shift at least one step");
+        let at_nominal = count(&mut nominal, 0);
+        let at_optimum = count(&mut tuned, rung);
+        assert!(
+            at_optimum < at_nominal / 2,
+            "tuned {at_optimum} vs nominal {at_nominal}"
+        );
+
+        // Retry senses are not free: each bumps the disturb accumulator.
+        assert_eq!(nominal.block_reads_since_erase(0).unwrap(), 16);
     }
 
     #[test]

@@ -20,6 +20,23 @@
 //! RBER rivals the mid-life endurance RBER — or after months parked at
 //! high wear) and are deliberately secondary to the paper-calibrated
 //! endurance RBER, which still dominates at end of life.
+//!
+//! # Vth shift and read-reference offsets
+//!
+//! Both mechanisms act by *shifting* the programmed threshold-voltage
+//! distributions — retention loss moves them down, read disturb moves
+//! erased/low states up (Cai et al., arXiv:1805.02819). A read sensed at
+//! the nominal references therefore misclassifies the cells the shift
+//! pushed across a reference; a read sensed at a *moved* reference that
+//! tracks the shift recovers most of them (arXiv:2209.01424). The model
+//! exposes this voltage-domain axis through
+//! [`DisturbModel::vth_shift_steps`] (the current shift, in reference
+//! steps) and [`DisturbModel::rber_at_offset`] (the additive RBER when
+//! sensing at a given stepped reference offset). An offset of zero is
+//! *exactly* [`DisturbModel::additional_rber`] — the pre-retry datapath
+//! is reproduced bit-for-bit — while an offset near the shift collapses
+//! the additive RBER to its unrecoverable residual (distribution
+//! widening that no reference placement can undo).
 
 /// Additive RBER contributions from workload-dependent mechanisms.
 ///
@@ -43,6 +60,29 @@ pub struct DisturbModel {
     pub retention_wear_exponent: f64,
     /// End-of-life cycle count the retention scale is referenced to.
     pub reference_cycles: f64,
+    /// Additive RBER one reference step of Vth misalignment is worth.
+    ///
+    /// Converts the mechanisms' additive RBER into an equivalent Vth
+    /// shift expressed in read-reference steps (see
+    /// [`DisturbModel::vth_shift_steps`]): the larger this constant, the
+    /// fewer steps a given disturb/retention RBER corresponds to. Must
+    /// stay nonzero even in [`DisturbModel::disabled`] so the conversion
+    /// is always well-defined.
+    pub rber_per_step: f64,
+    /// Fraction of the additive RBER that no reference offset recovers.
+    ///
+    /// Shifted distributions also *widen*; sensing at the shifted
+    /// optimum still misreads the overlap tails. This is the floor
+    /// [`DisturbModel::rber_at_offset`] converges to at the optimal
+    /// offset.
+    pub offset_residual_fraction: f64,
+    /// RBER penalty per squared step of offset applied to an *unshifted*
+    /// distribution.
+    ///
+    /// Moving the reference away from a well-placed nominal point
+    /// misreads cells near the references; this keeps a nonzero offset
+    /// from ever being free.
+    pub offset_misread_rber: f64,
 }
 
 impl DisturbModel {
@@ -63,17 +103,26 @@ impl DisturbModel {
             retention_scale: 2.5e-5,
             retention_wear_exponent: 0.5,
             reference_cycles: 1e6,
+            rber_per_step: 1e-4,
+            offset_residual_fraction: 0.05,
+            offset_misread_rber: 1e-5,
         }
     }
 
     /// A model with both mechanisms disabled (the paper's evaluation
-    /// conditions).
+    /// conditions). The reference-offset constants stay at their
+    /// [`DisturbModel::date2012`] values so the step conversion remains
+    /// well-defined; with both mechanisms off the shift is zero and any
+    /// nonzero offset only costs [`DisturbModel::offset_misread_rber`].
     pub fn disabled() -> Self {
         DisturbModel {
             read_disturb_per_read: 0.0,
             retention_scale: 0.0,
             retention_wear_exponent: 0.5,
             reference_cycles: 1e6,
+            rber_per_step: 1e-4,
+            offset_residual_fraction: 0.05,
+            offset_misread_rber: 1e-5,
         }
     }
 
@@ -101,6 +150,49 @@ impl DisturbModel {
     /// with `cycles` wear that has seen `reads` reads since erase.
     pub fn additional_rber(&self, reads: u64, hours: f64, cycles: u64) -> f64 {
         self.read_disturb_rber(reads) + self.retention_rber(hours, cycles)
+    }
+
+    /// The current Vth shift of the page's distributions, in
+    /// read-reference steps (fractional; zero when nothing shifted).
+    ///
+    /// The additive RBER of [`DisturbModel::additional_rber`] is what a
+    /// *nominal-reference* read sees; dividing by
+    /// [`DisturbModel::rber_per_step`] recovers the equivalent
+    /// distribution shift a moved read reference could track.
+    pub fn vth_shift_steps(&self, reads: u64, hours: f64, cycles: u64) -> f64 {
+        self.additional_rber(reads, hours, cycles) / self.rber_per_step
+    }
+
+    /// Additive RBER when the page is sensed at read-reference `offset`
+    /// (in steps, signed) instead of the nominal references.
+    ///
+    /// * `offset == 0` returns *exactly*
+    ///   [`DisturbModel::additional_rber`] — the pre-retry datapath,
+    ///   bit-for-bit.
+    /// * An offset matching [`DisturbModel::vth_shift_steps`] collapses
+    ///   the additive RBER to its unrecoverable residual
+    ///   (`offset_residual_fraction` of nominal — distribution widening
+    ///   the reference cannot undo); mismatch grows the RBER
+    ///   quadratically back toward (and past) the nominal value.
+    /// * On an unshifted page, a nonzero offset costs
+    ///   [`DisturbModel::offset_misread_rber`] per squared step — a
+    ///   stale learned offset is never free.
+    pub fn rber_at_offset(&self, reads: u64, hours: f64, cycles: u64, offset: i32) -> f64 {
+        let nominal = self.additional_rber(reads, hours, cycles);
+        if offset == 0 {
+            return nominal;
+        }
+        let shift = self.vth_shift_steps(reads, hours, cycles);
+        let off = offset as f64;
+        if shift == 0.0 {
+            return nominal + self.offset_misread_rber * off * off;
+        }
+        let residual = nominal * self.offset_residual_fraction;
+        // 0 at the shifted optimum, -1 back at the nominal reference:
+        // the quadratic reproduces `nominal` at offset 0 and penalizes
+        // overshoot symmetrically.
+        let dist = (off - shift) / shift;
+        residual + (nominal - residual) * dist * dist
     }
 }
 
@@ -174,5 +266,66 @@ mod tests {
         let total = m.additional_rber(500_000, 100.0, 1_000_000);
         let parts = m.read_disturb_rber(500_000) + m.retention_rber(100.0, 1_000_000);
         assert!((total - parts).abs() < 1e-18);
+    }
+
+    #[test]
+    fn zero_offset_is_bitwise_nominal() {
+        let m = DisturbModel::date2012();
+        for (reads, hours, cycles) in [
+            (0, 0.0, 1),
+            (50_000, 24.0, 100_000),
+            (500_000, 8760.0, 1_000_000),
+        ] {
+            // `==` on purpose: the offset-0 path must return the very
+            // same f64 the pre-retry datapath computed.
+            assert!(
+                m.rber_at_offset(reads, hours, cycles, 0)
+                    == m.additional_rber(reads, hours, cycles)
+            );
+        }
+    }
+
+    #[test]
+    fn optimum_offset_recovers_to_the_residual() {
+        let m = DisturbModel::date2012();
+        let (reads, hours, cycles) = (DisturbModel::SCRUB_READ_THRESHOLD, 8760.0, 1_000_000);
+        let nominal = m.additional_rber(reads, hours, cycles);
+        let shift = m.vth_shift_steps(reads, hours, cycles);
+        assert!(shift > 1.0, "the worst case must shift past one step");
+        // The integer rung nearest the shift must land close to the
+        // residual floor, and far below nominal.
+        let best = m.rber_at_offset(reads, hours, cycles, shift.round() as i32);
+        let residual = nominal * m.offset_residual_fraction;
+        assert!(best < nominal / 5.0, "best {best:e} vs nominal {nominal:e}");
+        assert!(best >= residual, "no offset beats the widening residual");
+    }
+
+    #[test]
+    fn offset_mismatch_grows_quadratically_and_symmetrically() {
+        let m = DisturbModel::date2012();
+        let (reads, hours, cycles) = (400_000, 8760.0, 1_000_000);
+        let shift = m.vth_shift_steps(reads, hours, cycles);
+        let rung = shift.round() as i32;
+        let near = m.rber_at_offset(reads, hours, cycles, rung);
+        let far = m.rber_at_offset(reads, hours, cycles, rung + 3);
+        assert!(far > near, "overshoot must be penalized");
+        // Same |distance| from the optimum => same RBER.
+        let a = m.rber_at_offset(reads, hours, cycles, 2);
+        let off = 2.0;
+        let mirror = 2.0 * shift - off;
+        let nominal = m.additional_rber(reads, hours, cycles);
+        let residual = nominal * m.offset_residual_fraction;
+        let expect = residual + (nominal - residual) * ((off - shift) / shift).powi(2);
+        assert!((a - expect).abs() < 1e-18, "quadratic form holds");
+        assert!(mirror.is_finite());
+    }
+
+    #[test]
+    fn offsets_on_unshifted_pages_cost_misreads() {
+        let m = DisturbModel::disabled();
+        assert_eq!(m.rber_at_offset(1_000, 100.0, 1_000_000, 0), 0.0);
+        let one = m.rber_at_offset(1_000, 100.0, 1_000_000, 1);
+        let two = m.rber_at_offset(1_000, 100.0, 1_000_000, -2);
+        assert!(one > 0.0 && (two - 4.0 * one).abs() < 1e-18);
     }
 }

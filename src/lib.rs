@@ -86,6 +86,7 @@ pub use mlcx_controller::{
     ReadReport, ReliabilityManager, ReliabilityPolicy, ServiceLevel, WriteReport,
 };
 pub use mlcx_controller::{Ftl, FtlError, FtlOp, FtlStats, LogicalMap};
+pub use mlcx_controller::{ReadOffsetTable, RetryPolicy, RetryStats};
 pub use mlcx_controller::{ScrubPolicy, ScrubStats, Scrubber};
 pub use mlcx_core::{
     BatchReport, CmdId, Command, CommandOutput, Completion, EngineBuilder, Metrics, MlcxError,

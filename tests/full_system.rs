@@ -19,6 +19,7 @@ fn serviced_device_with_disturb_survives_mixed_workload() {
             retention_scale: 2.5e-5,
             retention_wear_exponent: 0.5,
             reference_cycles: 1e6,
+            ..DisturbModel::disabled()
         });
 
     let payments = engine

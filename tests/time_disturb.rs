@@ -30,6 +30,7 @@ fn advance_hours_surfaces_retention_rber_in_measured_reads() {
             retention_scale: 1e-4,
             retention_wear_exponent: 0.5,
             reference_cycles: 1e6,
+            ..DisturbModel::disabled()
         })
         .build()
         .unwrap();
@@ -68,6 +69,7 @@ fn advance_hours_surfaces_retention_rber_in_measured_reads() {
         retention_scale: 1e-4,
         retention_wear_exponent: 0.5,
         reference_cycles: 1e6,
+        ..DisturbModel::disabled()
     }
     .retention_rber(30_000.0, 1_000_001);
     assert!((rber - expected).abs() < 1e-12);
