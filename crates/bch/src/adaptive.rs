@@ -7,6 +7,7 @@ use mlcx_gf2::{minpoly::GeneratorTable, GfField};
 
 use crate::code::{BchCode, DecodeOutcome};
 use crate::error::BchError;
+use crate::kernel::CodecKernel;
 
 /// Running counters the codec exposes to the reliability manager.
 ///
@@ -70,6 +71,7 @@ pub struct AdaptiveBch {
     k_bits: usize,
     tmin: u32,
     tmax: u32,
+    kernel: CodecKernel,
     rom: GeneratorTable,
     codes: Vec<Option<Arc<BchCode>>>,
     current_t: u32,
@@ -87,6 +89,22 @@ impl AdaptiveBch {
     /// * [`BchError::MessageNotByteAligned`] / [`BchError::CodeTooLong`]
     ///   when the worst-case code does not fit the field.
     pub fn new(m: u32, k_bits: usize, tmin: u32, tmax: u32) -> Result<Self, BchError> {
+        Self::new_with_kernel(m, k_bits, tmin, tmax, CodecKernel::Auto)
+    }
+
+    /// Like [`AdaptiveBch::new`] with an explicit codec kernel rung applied
+    /// to every per-`t` code instance.
+    ///
+    /// # Errors
+    ///
+    /// See [`AdaptiveBch::new`].
+    pub fn new_with_kernel(
+        m: u32,
+        k_bits: usize,
+        tmin: u32,
+        tmax: u32,
+        kernel: CodecKernel,
+    ) -> Result<Self, BchError> {
         let field = Arc::new(GfField::new(m)?);
         if tmin == 0 || tmin > tmax {
             return Err(BchError::CorrectionOutOfRange {
@@ -114,6 +132,7 @@ impl AdaptiveBch {
             k_bits,
             tmin,
             tmax,
+            kernel: kernel.resolve(),
             rom,
             codes: vec![None; tmax as usize],
             current_t: tmin,
@@ -148,6 +167,11 @@ impl AdaptiveBch {
     /// The currently selected correction capability.
     pub fn correction(&self) -> u32 {
         self.current_t
+    }
+
+    /// The codec kernel rung every code instance runs (`Auto` resolved).
+    pub fn kernel(&self) -> CodecKernel {
+        self.kernel
     }
 
     /// Selects a new correction capability (the dedicated input port of the
@@ -193,11 +217,12 @@ impl AdaptiveBch {
         }
         let idx = (t - 1) as usize;
         if self.codes[idx].is_none() {
-            let code = BchCode::with_generator(
+            let code = BchCode::with_generator_kernel(
                 self.field.clone(),
                 self.k_bits,
                 t,
                 self.rom.get(t).clone(),
+                self.kernel,
             )?;
             self.codes[idx] = Some(Arc::new(code));
         }
@@ -292,6 +317,7 @@ impl fmt::Debug for AdaptiveBch {
             .field("k_bits", &self.k_bits)
             .field("t_range", &(self.tmin..=self.tmax))
             .field("current_t", &self.current_t)
+            .field("kernel", &self.kernel)
             .finish()
     }
 }
@@ -381,5 +407,15 @@ mod tests {
         let a = c.code_for(3).unwrap();
         let b = c.code_for(3).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn kernel_propagates_to_code_instances() {
+        let mut auto = AdaptiveBch::new(10, 32 * 8, 1, 4).unwrap();
+        assert_eq!(auto.kernel(), CodecKernel::Fused);
+        assert_eq!(auto.code_for(2).unwrap().kernel(), CodecKernel::Fused);
+        let mut refc = AdaptiveBch::new_with_kernel(10, 32 * 8, 1, 4, CodecKernel::Byte).unwrap();
+        assert_eq!(refc.kernel(), CodecKernel::Byte);
+        assert_eq!(refc.code_for(2).unwrap().kernel(), CodecKernel::Byte);
     }
 }

@@ -46,33 +46,55 @@ impl BitReg {
     ///
     /// Requires `r >= 8`.
     pub(crate) fn top8(&self) -> u8 {
-        debug_assert!(self.bits >= 8);
-        let mut out = 0u8;
-        for j in 0..8 {
-            out <<= 1;
-            if self.bit(self.bits - 1 - j) {
-                out |= 1;
-            }
+        self.top_bits(8) as u8
+    }
+
+    /// The top `count` bits (coefficients `x^(r-1) .. x^(r-count)`),
+    /// MSB-first in the returned value. Requires `count <= 64 <= ...` —
+    /// precisely `1 <= count <= 64` and `r >= count`.
+    pub(crate) fn top_bits(&self, count: usize) -> u64 {
+        debug_assert!((1..=64).contains(&count) && self.bits >= count);
+        let lo = self.bits - count;
+        let (w, off) = (lo / 64, lo % 64);
+        let mut v = self.words[w] >> off;
+        if off != 0 && w + 1 < self.words.len() {
+            v |= self.words[w + 1] << (64 - off);
         }
-        out
+        if count < 64 {
+            v &= (1u64 << count) - 1;
+        }
+        v
     }
 
     /// Shift the register left by 8 bit positions, discarding overflow.
     pub(crate) fn shl8(&mut self) {
-        let n = self.words.len();
-        for i in (0..n).rev() {
-            let lo = if i == 0 { 0 } else { self.words[i - 1] >> 56 };
-            self.words[i] = self.words[i] << 8 | lo;
-        }
-        self.mask_top();
+        self.shln(8);
     }
 
     /// Shift left by one bit position, discarding overflow.
     pub(crate) fn shl1(&mut self) {
+        self.shln(1);
+    }
+
+    /// Shift left by `k` bit positions (`1 <= k <= 64`), discarding
+    /// overflow — the wide step of the sliced LFSR datapaths.
+    pub(crate) fn shln(&mut self, k: usize) {
+        debug_assert!((1..=64).contains(&k));
         let n = self.words.len();
-        for i in (0..n).rev() {
-            let lo = if i == 0 { 0 } else { self.words[i - 1] >> 63 };
-            self.words[i] = self.words[i] << 1 | lo;
+        if k == 64 {
+            for i in (1..n).rev() {
+                self.words[i] = self.words[i - 1];
+            }
+            self.words[0] = 0;
+        } else {
+            for i in (0..n).rev() {
+                let lo = if i == 0 {
+                    0
+                } else {
+                    self.words[i - 1] >> (64 - k)
+                };
+                self.words[i] = self.words[i] << k | lo;
+            }
         }
         self.mask_top();
     }
@@ -130,5 +152,35 @@ mod tests {
     fn from_words_masks_extra_bits() {
         let reg = BitReg::from_words(&[u64::MAX], 10);
         assert_eq!(reg.words()[0], 0x3FF);
+    }
+
+    #[test]
+    fn top_bits_matches_bit_reads() {
+        // r = 100 puts the top-32/top-64 windows across the word seam.
+        let reg = BitReg::from_words(&[0x0123_4567_89AB_CDEF, 0xFEDC_BA98_7654_3210], 100);
+        for count in [1usize, 7, 8, 31, 32, 33, 63, 64] {
+            let got = reg.top_bits(count);
+            let mut expect = 0u64;
+            for j in 0..count {
+                expect <<= 1;
+                if reg.bit(100 - 1 - j) {
+                    expect |= 1;
+                }
+            }
+            assert_eq!(got, expect, "count = {count}");
+        }
+    }
+
+    #[test]
+    fn shln_matches_repeated_shl1() {
+        for k in [2usize, 8, 13, 32, 63, 64] {
+            let mut wide = BitReg::from_words(&[0x9E37_79B9_7F4A_7C15, 0x2545_F491_4F6C_DD1D], 90);
+            let mut serial = wide.clone();
+            wide.shln(k);
+            for _ in 0..k {
+                serial.shl1();
+            }
+            assert_eq!(wide, serial, "k = {k}");
+        }
     }
 }

@@ -75,6 +75,90 @@ pub fn find_error_positions(field: &GfField, lambda: &[u32], n_bits: usize) -> O
     None
 }
 
+/// Log-stride variant of [`find_error_positions`] (codec kernel rung 2+).
+///
+/// Each nonzero term of the locator is tracked as a *log-domain* exponent:
+/// term `d` at step `s` is `alpha^(log lambda_d + d*(start+s) mod N)`, so
+/// stepping is one add and one conditional subtract instead of a full
+/// Galois multiply (two log lookups, zero checks). Bit-identical to the
+/// linear search: the evaluated field elements are the same, so the root
+/// set, early exit and ordering all match.
+pub fn find_error_positions_stride(
+    field: &GfField,
+    lambda: &[u32],
+    n_bits: usize,
+) -> Option<Vec<usize>> {
+    let deg = crate::berlekamp::locator_degree(lambda);
+    if deg == 0 {
+        return None;
+    }
+    let n_full = field.order() as usize;
+    debug_assert!(n_bits <= n_full);
+    let n = field.order();
+    let start = (n_full - (n_bits - 1)) as i64;
+
+    // (stride d, log-domain index) for every nonzero coefficient; zero
+    // coefficients contribute nothing at every step, exactly as in the
+    // linear search where their term stays 0 forever.
+    let terms: Vec<(u32, u32)> = lambda[..=deg]
+        .iter()
+        .enumerate()
+        .filter(|&(_, &coef)| coef != 0)
+        .map(|(d, &coef)| {
+            let log = field.log(coef).expect("nonzero coefficient has a log");
+            let idx = (log as i64 + d as i64 * start).rem_euclid(n as i64) as u32;
+            (d as u32, idx)
+        })
+        .collect();
+    let mut logs: Vec<u32> = terms.iter().map(|&(_, idx)| idx).collect();
+
+    let mut positions = Vec::with_capacity(deg);
+    for s in 0..n_bits {
+        let mut acc = 0u32;
+        for &log in &logs {
+            acc ^= field.alpha_pow_reduced(log);
+        }
+        if acc == 0 {
+            positions.push(s);
+            if positions.len() == deg {
+                return Some(positions);
+            }
+        }
+        if s + 1 < n_bits {
+            for (log, &(d, _)) in logs.iter_mut().zip(&terms) {
+                *log += d;
+                if *log >= n {
+                    *log -= n;
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Direct solve for a degree-1 locator (codec kernel rung 3).
+///
+/// `lambda(x) = lambda_0 + lambda_1 x` vanishes at `alpha^j` exactly when
+/// `j = log(lambda_0) - log(lambda_1) (mod N)`; the Chien step index `s`
+/// maps to exponent `start + s`, so the unique candidate position is
+/// `s = (j - start) mod N`, valid iff it falls inside the shortened range.
+/// Returns exactly what the linear search over `n_bits` steps would.
+pub fn solve_single_error(field: &GfField, lambda: &[u32], n_bits: usize) -> Option<Vec<usize>> {
+    debug_assert_eq!(crate::berlekamp::locator_degree(lambda), 1);
+    let n_full = field.order() as i64;
+    debug_assert!(n_bits as i64 <= n_full);
+    // lambda_0 = 0 would put the root at x = 0, which is no alpha^j: the
+    // linear search finds nothing.
+    let l0 = field.log(lambda[0])?;
+    let l1 = field
+        .log(lambda[1])
+        .expect("degree-1 locator has nonzero lambda_1");
+    let start = n_full - (n_bits as i64 - 1);
+    let j = (l0 as i64 - l1 as i64).rem_euclid(n_full);
+    let s = (j - start).rem_euclid(n_full) as usize;
+    (s < n_bits).then(|| vec![s])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,5 +227,66 @@ mod tests {
         let f = GfField::new(8).unwrap();
         let lambda = locator_for(&f, &[30, 30]);
         assert_eq!(find_error_positions(&f, &lambda, 255), None);
+    }
+
+    #[test]
+    fn stride_search_matches_linear_search() {
+        let f = GfField::new(10).unwrap();
+        let n = 400usize;
+        let cases: [&[usize]; 5] = [
+            &[0],
+            &[399],
+            &[0, 57, 399],
+            &[12, 13, 14, 15],
+            &[100, 350], // plus out-of-range and degenerate cases below
+        ];
+        for positions in cases {
+            let exps: Vec<u32> = positions.iter().map(|&p| (n - 1 - p) as u32).collect();
+            let lambda = locator_for(&f, &exps);
+            assert_eq!(
+                find_error_positions_stride(&f, &lambda, n),
+                find_error_positions(&f, &lambda, n),
+                "positions {positions:?}"
+            );
+        }
+        // Out-of-range root and repeated root: both must agree on None.
+        for lambda in [
+            locator_for(&f, &[(n - 10) as u32, (n + 5) as u32]),
+            locator_for(&f, &[30, 30]),
+        ] {
+            assert_eq!(
+                find_error_positions_stride(&f, &lambda, n),
+                find_error_positions(&f, &lambda, n)
+            );
+        }
+        assert_eq!(find_error_positions_stride(&f, &[1], n), None);
+    }
+
+    #[test]
+    fn single_error_solve_matches_linear_search() {
+        let f = GfField::new(10).unwrap();
+        let n = 400usize;
+        // Every in-range position, a sample of out-of-range exponents.
+        for p in [0usize, 1, 57, 199, 398, 399] {
+            let lambda = locator_for(&f, &[(n - 1 - p) as u32]);
+            assert_eq!(
+                solve_single_error(&f, &lambda, n),
+                find_error_positions(&f, &lambda, n),
+                "position {p}"
+            );
+            assert_eq!(solve_single_error(&f, &lambda, n), Some(vec![p]));
+        }
+        for e in [n as u32, (n + 100) as u32, f.order() - 1] {
+            let lambda = locator_for(&f, &[e]);
+            assert_eq!(
+                solve_single_error(&f, &lambda, n),
+                find_error_positions(&f, &lambda, n),
+                "exponent {e}"
+            );
+        }
+        // lambda_0 = 0 (root at x = 0): nothing findable either way.
+        let degenerate = [0u32, 5];
+        assert_eq!(solve_single_error(&f, &degenerate, n), None);
+        assert_eq!(find_error_positions(&f, &degenerate, n), None);
     }
 }

@@ -7,9 +7,10 @@ use mlcx_gf2::{minpoly, Gf2Poly, GfField};
 
 use crate::berlekamp;
 use crate::chien;
-use crate::encoder::LfsrEncoder;
+use crate::encoder::{EncodeLane, LfsrEncoder};
 use crate::error::BchError;
-use crate::syndrome::SyndromeCalculator;
+use crate::kernel::CodecKernel;
+use crate::syndrome::{SyndromeCalculator, SyndromeLane};
 
 /// Result of decoding one codeword.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,9 +81,12 @@ pub struct BchCode {
     t: u32,
     k_bits: usize,
     r_bits: usize,
+    kernel: CodecKernel,
     generator: Gf2Poly,
     encoder: LfsrEncoder,
     syndromes: SyndromeCalculator,
+    /// `beta_i^(-r)` constants for the fused syndrome-via-remainder path.
+    syn_unshift: Vec<u32>,
 }
 
 impl BchCode {
@@ -95,6 +99,20 @@ impl BchCode {
     /// * [`BchError::CodeTooLong`] if `k + r > 2^m - 1`;
     /// * [`BchError::CorrectionOutOfRange`] if `t == 0`.
     pub fn new(field: Arc<GfField>, k_bits: usize, t: u32) -> Result<Self, BchError> {
+        Self::new_with_kernel(field, k_bits, t, CodecKernel::Auto)
+    }
+
+    /// Like [`BchCode::new`] with an explicit codec kernel rung.
+    ///
+    /// # Errors
+    ///
+    /// See [`BchCode::new`].
+    pub fn new_with_kernel(
+        field: Arc<GfField>,
+        k_bits: usize,
+        t: u32,
+        kernel: CodecKernel,
+    ) -> Result<Self, BchError> {
         if t == 0 {
             return Err(BchError::CorrectionOutOfRange {
                 t,
@@ -103,7 +121,7 @@ impl BchCode {
             });
         }
         let generator = minpoly::generator_poly(&field, t);
-        Self::with_generator(field, k_bits, t, generator)
+        Self::with_generator_kernel(field, k_bits, t, generator, kernel)
     }
 
     /// Builds the code from a pre-computed generator polynomial (the
@@ -118,6 +136,23 @@ impl BchCode {
         t: u32,
         generator: Gf2Poly,
     ) -> Result<Self, BchError> {
+        Self::with_generator_kernel(field, k_bits, t, generator, CodecKernel::Auto)
+    }
+
+    /// Builds the code from a pre-computed generator polynomial on an
+    /// explicit codec kernel rung. Every rung decodes bit-identically; the
+    /// knob trades table footprint against throughput.
+    ///
+    /// # Errors
+    ///
+    /// See [`BchCode::new`].
+    pub fn with_generator_kernel(
+        field: Arc<GfField>,
+        k_bits: usize,
+        t: u32,
+        generator: Gf2Poly,
+        kernel: CodecKernel,
+    ) -> Result<Self, BchError> {
         if !k_bits.is_multiple_of(8) || k_bits == 0 {
             return Err(BchError::MessageNotByteAligned { k_bits });
         }
@@ -130,22 +165,44 @@ impl BchCode {
                 n_full,
             });
         }
-        let encoder = LfsrEncoder::new(&generator);
-        let syndromes = SyndromeCalculator::new(field.clone(), t);
+        let kernel = kernel.resolve();
+        let (enc_lane, syn_lane) = match kernel {
+            CodecKernel::Reference => (EncodeLane::Bit, SyndromeLane::Bit),
+            CodecKernel::Byte => (EncodeLane::Byte, SyndromeLane::Byte),
+            CodecKernel::Word => (EncodeLane::Slice4, SyndromeLane::Dual),
+            // The fused rung evaluates syndromes over the short LFSR
+            // remainder, so the plain byte tables suffice there.
+            CodecKernel::Fused => (EncodeLane::Slice8, SyndromeLane::Byte),
+            CodecKernel::Auto => unreachable!("resolve() removes Auto"),
+        };
+        let encoder = LfsrEncoder::with_lane(&generator, enc_lane);
+        let syndromes = SyndromeCalculator::with_lane(field.clone(), t, syn_lane);
+        let syn_unshift = if kernel == CodecKernel::Fused {
+            syndromes.unshift_factors(r_bits)
+        } else {
+            Vec::new()
+        };
         Ok(BchCode {
             field,
             t,
             k_bits,
             r_bits,
+            kernel,
             generator,
             encoder,
             syndromes,
+            syn_unshift,
         })
     }
 
     /// The correction capability `t`.
     pub fn correction_capability(&self) -> u32 {
         self.t
+    }
+
+    /// The codec kernel rung this instance runs (`Auto` already resolved).
+    pub fn kernel(&self) -> CodecKernel {
+        self.kernel
     }
 
     /// Message length `k` in bits.
@@ -221,13 +278,28 @@ impl BchCode {
                 actual: parity.len(),
             });
         }
-        // Stage 0 (paper: "if all remainders are null the codeword is
-        // error-free and the decoding process ends").
-        if self.encoder.codeword_is_valid(message, parity) {
-            return Ok(DecodeOutcome::Clean);
-        }
-        // Stage 1: syndromes.
-        let syn = self.syndromes.compute(message, parity, self.r_bits);
+        // Stages 0+1: validity shortcut (paper: "if all remainders are null
+        // the codeword is error-free and the decoding process ends") and
+        // syndrome computation. The fused rung does both in one LFSR pass:
+        // the remainder state is zero iff the codeword is valid, and
+        // otherwise S_i = state(beta_i) * beta_i^(-r).
+        let syn = if self.kernel == CodecKernel::Fused {
+            let state = self.encoder.codeword_state(message, parity);
+            if state.is_zero() {
+                return Ok(DecodeOutcome::Clean);
+            }
+            let state_bytes = self.encoder.state_bytes(&state);
+            let mut syn = self.syndromes.compute(&[], &state_bytes, self.r_bits);
+            for (s, &unshift) in syn.iter_mut().zip(&self.syn_unshift) {
+                *s = self.field.mul(*s, unshift);
+            }
+            syn
+        } else {
+            if self.encoder.codeword_is_valid(message, parity) {
+                return Ok(DecodeOutcome::Clean);
+            }
+            self.syndromes.compute(message, parity, self.r_bits)
+        };
         // Stage 2: Berlekamp-Massey.
         let lambda = berlekamp::error_locator(&self.field, &syn);
         let deg = berlekamp::locator_degree(&lambda);
@@ -235,9 +307,17 @@ impl BchCode {
             return Ok(DecodeOutcome::Uncorrectable);
         }
         // Stage 3: Chien search over the shortened range.
-        let Some(positions) =
-            chien::find_error_positions(&self.field, &lambda, self.codeword_bits())
-        else {
+        let n_bits = self.codeword_bits();
+        let positions = match self.kernel {
+            CodecKernel::Reference | CodecKernel::Byte => {
+                chien::find_error_positions(&self.field, &lambda, n_bits)
+            }
+            CodecKernel::Fused if deg == 1 => {
+                chien::solve_single_error(&self.field, &lambda, n_bits)
+            }
+            _ => chien::find_error_positions_stride(&self.field, &lambda, n_bits),
+        };
+        let Some(positions) = positions else {
             return Ok(DecodeOutcome::Uncorrectable);
         };
         let mut message_bit_errors = 0;
@@ -276,6 +356,7 @@ impl fmt::Debug for BchCode {
             .field("t", &self.t)
             .field("k_bits", &self.k_bits)
             .field("r_bits", &self.r_bits)
+            .field("kernel", &self.kernel)
             .finish()
     }
 }
@@ -454,6 +535,60 @@ mod tests {
             c.decode(&mut recv, &mut parity).unwrap(),
             DecodeOutcome::Clean
         );
+    }
+
+    #[test]
+    fn default_kernel_is_top_rung() {
+        let c = code(11, 64, 4);
+        assert_eq!(c.kernel(), CodecKernel::Fused);
+        let field = Arc::new(GfField::new(11).unwrap());
+        let r = BchCode::new_with_kernel(field, 64 * 8, 4, CodecKernel::Reference).unwrap();
+        assert_eq!(r.kernel(), CodecKernel::Reference);
+    }
+
+    #[test]
+    fn every_kernel_decodes_identically() {
+        let field = Arc::new(GfField::new(12).unwrap());
+        let codes: Vec<BchCode> = CodecKernel::RUNGS
+            .iter()
+            .map(|&k| BchCode::new_with_kernel(field.clone(), 96 * 8, 5, k).unwrap())
+            .collect();
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..6 {
+            let msg: Vec<u8> = (0..96).map(|_| rng.random()).collect();
+            let parity0 = codes[0].encode(&msg).unwrap();
+            // 0..=t+2 errors: clean, correctable and uncorrectable cases.
+            let weight = trial;
+            let mut positions = std::collections::BTreeSet::new();
+            while positions.len() < weight {
+                positions.insert(rng.random_range(0..codes[0].codeword_bits()));
+            }
+            let mut outcomes = Vec::new();
+            for c in &codes {
+                assert_eq!(
+                    c.encode(&msg).unwrap(),
+                    parity0,
+                    "encode rung {}",
+                    c.kernel()
+                );
+                let mut recv = msg.clone();
+                let mut parity = parity0.clone();
+                for &p in &positions {
+                    if p < c.message_bits() {
+                        flip(&mut recv, p);
+                    } else {
+                        flip(&mut parity, p - c.message_bits());
+                    }
+                }
+                let out = c.decode(&mut recv, &mut parity).unwrap();
+                outcomes.push((out, recv, parity));
+            }
+            for (o, r, p) in &outcomes[1..] {
+                assert_eq!(o, &outcomes[0].0, "trial {trial}");
+                assert_eq!(r, &outcomes[0].1, "trial {trial}");
+                assert_eq!(p, &outcomes[0].2, "trial {trial}");
+            }
+        }
     }
 
     #[test]

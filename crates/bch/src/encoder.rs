@@ -5,49 +5,134 @@
 //! feedback taps are selected by multiplexers from a generator-polynomial
 //! ROM. The datapath consumes the message `p` bits per clock, so encode
 //! latency is `k/p` cycles **independent of the selected `t`** — the
-//! software model mirrors that with a byte-parallel (p = 8) table step.
+//! software model mirrors that with a table-driven parallel step whose
+//! width is one rung of the codec kernel ladder:
+//!
+//! * [`EncodeLane::Bit`] — 1 bit/step (the rung-0 reference);
+//! * [`EncodeLane::Byte`] — 8 bits/step via one 256-entry table;
+//! * [`EncodeLane::Slice4`] — 32 bits/step via four position tables
+//!   (slicing-by-4, after the CRC slicing technique);
+//! * [`EncodeLane::Slice8`] — 64 bits/step via eight position tables.
+//!
+//! All lanes compute the identical remainder polynomial; a lane wider than
+//! the register (`8*lanes > r`) is silently clamped down so narrow codes
+//! stay correct.
 
 use mlcx_gf2::Gf2Poly;
 
 use crate::bitreg::BitReg;
 
-/// Byte-parallel LFSR engine for one fixed generator polynomial.
+/// Datapath width of the [`LfsrEncoder`] (bits folded per step).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum EncodeLane {
+    /// Bit-serial stepping (reference rung).
+    Bit,
+    /// One byte per step through a 256-entry table.
+    #[default]
+    Byte,
+    /// Four bytes per step (slicing-by-4); requires `r >= 32`.
+    Slice4,
+    /// Eight bytes per step (slicing-by-8); requires `r >= 64`.
+    Slice8,
+}
+
+impl EncodeLane {
+    /// Bytes consumed per sliced step (0 for the serial lanes).
+    fn slice_bytes(self) -> usize {
+        match self {
+            EncodeLane::Bit | EncodeLane::Byte => 0,
+            EncodeLane::Slice4 => 4,
+            EncodeLane::Slice8 => 8,
+        }
+    }
+
+    /// The widest lane the register width `r` supports.
+    fn widest_for(r_bits: usize) -> EncodeLane {
+        if r_bits >= 64 {
+            EncodeLane::Slice8
+        } else if r_bits >= 32 {
+            EncodeLane::Slice4
+        } else if r_bits >= 8 {
+            EncodeLane::Byte
+        } else {
+            EncodeLane::Bit
+        }
+    }
+}
+
+/// Parallel LFSR engine for one fixed generator polynomial.
 ///
 /// `step_table[v]` holds `(v(x) * x^r) mod g(x)`: folding one message byte
 /// into the remainder costs one table lookup plus one 8-bit shift — the
-/// software analogue of the hardware's 8-bit-parallel LFSR network.
+/// software analogue of the hardware's 8-bit-parallel LFSR network. The
+/// sliced lanes extend this with per-byte-position tables
+/// `slice_table[j][v] = (v(x) * x^(r + 8*(lanes-1-j))) mod g(x)` so one
+/// step folds 4 or 8 message bytes with independent lookups.
 #[derive(Debug, Clone)]
 pub struct LfsrEncoder {
     r_bits: usize,
     words_per_entry: usize,
+    lane: EncodeLane,
     /// Flattened 256-entry table; entry `v` occupies
-    /// `step_table[v*words_per_entry .. (v+1)*words_per_entry]`.
+    /// `step_table[v*words_per_entry .. (v+1)*words_per_entry]`. Built
+    /// whenever `r >= 8` (the sliced lanes fall back to it for tail bytes).
     step_table: Vec<u64>,
+    /// Flattened `slice_bytes x 256` position tables for the sliced lanes
+    /// (empty otherwise); byte position `j`, entry `v` occupies
+    /// `slice_table[(j*256 + v)*words_per_entry ..][..words_per_entry]`.
+    slice_table: Vec<u64>,
     /// Low `r` bits of the generator (g without the x^r term), for the
-    /// bit-serial fallback used when `r < 8`.
+    /// bit-serial lane.
     feedback: Vec<u64>,
 }
 
 impl LfsrEncoder {
-    /// Builds the engine for generator polynomial `g` (degree = parity bits).
+    /// Builds the engine for generator polynomial `g` (degree = parity
+    /// bits) with the default byte-parallel lane.
     ///
     /// # Panics
     ///
     /// Panics if `g` is constant (degree < 1).
     pub fn new(generator: &Gf2Poly) -> Self {
+        Self::with_lane(generator, EncodeLane::Byte)
+    }
+
+    /// Builds the engine with an explicit datapath lane. Lanes wider than
+    /// the register allows are clamped down (the result is bit-identical
+    /// either way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is constant (degree < 1).
+    pub fn with_lane(generator: &Gf2Poly, lane: EncodeLane) -> Self {
         let r_bits = generator
             .degree()
             .filter(|&d| d >= 1)
             .expect("generator polynomial must have degree >= 1");
+        let lane = lane.min(EncodeLane::widest_for(r_bits));
         let words_per_entry = r_bits.div_ceil(64).max(1);
-        let mut step_table = vec![0u64; 256 * words_per_entry];
+        let fill = |table: &mut [u64], v: u64, idx: usize, shift: usize| {
+            let rem = Gf2Poly::from_int(v).shl(shift).rem(generator);
+            let dst = &mut table[idx * words_per_entry..(idx + 1) * words_per_entry];
+            for (i, w) in rem.as_words().iter().enumerate() {
+                dst[i] = *w;
+            }
+        };
+        let mut step_table = Vec::new();
         if r_bits >= 8 {
+            step_table = vec![0u64; 256 * words_per_entry];
             for v in 0u64..256 {
-                let rem = Gf2Poly::from_int(v).shl(r_bits).rem(generator);
-                let dst = &mut step_table
-                    [(v as usize) * words_per_entry..(v as usize + 1) * words_per_entry];
-                for (i, w) in rem.as_words().iter().enumerate() {
-                    dst[i] = *w;
+                fill(&mut step_table, v, v as usize, r_bits);
+            }
+        }
+        let lanes = lane.slice_bytes();
+        let mut slice_table = Vec::new();
+        if lanes > 0 {
+            slice_table = vec![0u64; lanes * 256 * words_per_entry];
+            for j in 0..lanes {
+                let shift = r_bits + 8 * (lanes - 1 - j);
+                for v in 0u64..256 {
+                    fill(&mut slice_table, v, j * 256 + v as usize, shift);
                 }
             }
         }
@@ -60,9 +145,16 @@ impl LfsrEncoder {
         LfsrEncoder {
             r_bits,
             words_per_entry,
+            lane,
             step_table,
+            slice_table,
             feedback,
         }
+    }
+
+    /// The effective datapath lane (after clamping to the register width).
+    pub fn lane(&self) -> EncodeLane {
+        self.lane
     }
 
     /// Number of parity bits `r` (the generator degree).
@@ -83,17 +175,7 @@ impl LfsrEncoder {
     /// low bits of the last byte are zero padding.
     pub fn remainder(&self, message: &[u8]) -> Vec<u8> {
         let mut state = BitReg::zero(self.r_bits);
-        if self.r_bits >= 8 {
-            for &byte in message {
-                self.step_byte(&mut state, byte);
-            }
-        } else {
-            for &byte in message {
-                for j in (0..8).rev() {
-                    self.step_bit(&mut state, byte >> j & 1 == 1);
-                }
-            }
-        }
+        self.fold_bytes(&mut state, message);
         self.emit(&state)
     }
 
@@ -103,31 +185,72 @@ impl LfsrEncoder {
     ///
     /// Returns `true` when the received codeword is a valid codeword.
     pub fn codeword_is_valid(&self, message: &[u8], parity: &[u8]) -> bool {
+        self.codeword_state(message, parity).is_zero()
+    }
+
+    /// The LFSR state after folding the whole received codeword:
+    /// `received(x) * x^r mod g(x)`. Zero iff the codeword is valid; the
+    /// fused decode rung derives all `2t` syndromes from this one state
+    /// (`S_i = state(beta_i) * beta_i^(-r)`).
+    pub(crate) fn codeword_state(&self, message: &[u8], parity: &[u8]) -> BitReg {
         let mut state = BitReg::zero(self.r_bits);
-        let mut process = |bytes: &[u8], nbits: usize| {
-            let full = nbits / 8;
-            for &byte in &bytes[..full] {
-                if self.r_bits >= 8 {
-                    self.step_byte(&mut state, byte);
-                } else {
-                    for j in (0..8).rev() {
-                        self.step_bit(&mut state, byte >> j & 1 == 1);
-                    }
+        self.fold_bytes(&mut state, message);
+        let full = self.r_bits / 8;
+        self.fold_bytes(&mut state, &parity[..full]);
+        for j in 0..self.r_bits % 8 {
+            self.step_bit(&mut state, parity[full] >> (7 - j) & 1 == 1);
+        }
+        state
+    }
+
+    /// Serializes an LFSR state in the parity-byte layout (MSB-first).
+    pub(crate) fn state_bytes(&self, state: &BitReg) -> Vec<u8> {
+        self.emit(state)
+    }
+
+    fn fold_bytes(&self, state: &mut BitReg, bytes: &[u8]) {
+        let lanes = self.lane.slice_bytes();
+        let tail = match self.lane {
+            EncodeLane::Bit => bytes,
+            EncodeLane::Byte => {
+                for &byte in bytes {
+                    self.step_byte(state, byte);
                 }
+                return;
             }
-            for j in 0..nbits % 8 {
-                self.step_bit(&mut state, bytes[full] >> (7 - j) & 1 == 1);
+            EncodeLane::Slice4 | EncodeLane::Slice8 => {
+                let mut chunks = bytes.chunks_exact(lanes);
+                for chunk in &mut chunks {
+                    self.step_slice(state, chunk);
+                }
+                for &byte in chunks.remainder() {
+                    self.step_byte(state, byte);
+                }
+                return;
             }
         };
-        process(message, message.len() * 8);
-        process(parity, self.r_bits);
-        state.is_zero()
+        for &byte in tail {
+            for j in (0..8).rev() {
+                self.step_bit(state, byte >> j & 1 == 1);
+            }
+        }
     }
 
     fn step_byte(&self, state: &mut BitReg, byte: u8) {
         let v = (state.top8() ^ byte) as usize;
         state.shl8();
         state.xor(&self.step_table[v * self.words_per_entry..(v + 1) * self.words_per_entry]);
+    }
+
+    fn step_slice(&self, state: &mut BitReg, chunk: &[u8]) {
+        let lanes = chunk.len();
+        let top = state.top_bits(8 * lanes);
+        state.shln(8 * lanes);
+        for (j, &byte) in chunk.iter().enumerate() {
+            let v = ((top >> (8 * (lanes - 1 - j))) as u8 ^ byte) as usize;
+            let base = (j * 256 + v) * self.words_per_entry;
+            state.xor(&self.slice_table[base..base + self.words_per_entry]);
+        }
     }
 
     fn step_bit(&self, state: &mut BitReg, bit: bool) {
@@ -183,6 +306,7 @@ mod tests {
         let f = GfField::new(4).unwrap();
         let g = generator_poly(&f, 1); // x^4 + x + 1, r = 4 < 8: bit-serial
         let enc = LfsrEncoder::new(&g);
+        assert_eq!(enc.lane(), EncodeLane::Bit);
         let msg = [0b1011_0010u8];
         assert_eq!(enc.remainder(&msg), reference_remainder(&msg, &g));
     }
@@ -200,6 +324,42 @@ mod tests {
                 "t = {t}"
             );
         }
+    }
+
+    #[test]
+    fn every_lane_matches_the_polynomial_reference() {
+        // r = 13*6 = 78 supports Slice8; message lengths exercise the
+        // chunk remainders of both sliced lanes.
+        let f = GfField::new(13).unwrap();
+        let g = generator_poly(&f, 6);
+        for lane in [
+            EncodeLane::Bit,
+            EncodeLane::Byte,
+            EncodeLane::Slice4,
+            EncodeLane::Slice8,
+        ] {
+            let enc = LfsrEncoder::with_lane(&g, lane);
+            assert_eq!(enc.lane(), lane);
+            for len in [1usize, 3, 4, 7, 8, 9, 16, 33, 64] {
+                let msg: Vec<u8> = (0..len).map(|i| (i * 151 + 29) as u8).collect();
+                assert_eq!(
+                    enc.remainder(&msg),
+                    reference_remainder(&msg, &g),
+                    "lane {lane:?}, len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wide_lanes_clamp_to_register_width() {
+        let f = GfField::new(10).unwrap();
+        let g = generator_poly(&f, 3); // r = 30 < 32
+        let enc = LfsrEncoder::with_lane(&g, EncodeLane::Slice8);
+        assert_eq!(enc.lane(), EncodeLane::Byte);
+        let g2 = generator_poly(&f, 5); // r = 50: Slice4 fits, Slice8 not
+        let enc2 = LfsrEncoder::with_lane(&g2, EncodeLane::Slice8);
+        assert_eq!(enc2.lane(), EncodeLane::Slice4);
     }
 
     #[test]
@@ -227,17 +387,40 @@ mod tests {
     }
 
     #[test]
-    fn systematic_codeword_validates() {
+    fn systematic_codeword_validates_in_every_lane() {
         let f = GfField::new(11).unwrap();
         let g = generator_poly(&f, 6);
-        let enc = LfsrEncoder::new(&g);
         let msg: Vec<u8> = (0..100).map(|i| (i * 101 + 55) as u8).collect();
-        let parity = enc.remainder(&msg);
-        assert!(enc.codeword_is_valid(&msg, &parity));
-        // Any single flipped bit must invalidate it.
-        let mut bad = msg.clone();
-        bad[50] ^= 0x08;
-        assert!(!enc.codeword_is_valid(&bad, &parity));
+        for lane in [
+            EncodeLane::Bit,
+            EncodeLane::Byte,
+            EncodeLane::Slice4,
+            EncodeLane::Slice8,
+        ] {
+            let enc = LfsrEncoder::with_lane(&g, lane);
+            let parity = enc.remainder(&msg);
+            assert!(enc.codeword_is_valid(&msg, &parity), "lane {lane:?}");
+            // Any single flipped bit must invalidate it.
+            let mut bad = msg.clone();
+            bad[50] ^= 0x08;
+            assert!(!enc.codeword_is_valid(&bad, &parity), "lane {lane:?}");
+        }
+    }
+
+    #[test]
+    fn codeword_state_is_lane_invariant() {
+        let f = GfField::new(13).unwrap();
+        let g = generator_poly(&f, 8);
+        let msg: Vec<u8> = (0..64).map(|i| (i * 73 + 5) as u8).collect();
+        let reference = LfsrEncoder::with_lane(&g, EncodeLane::Bit);
+        let mut parity = reference.remainder(&msg);
+        parity[2] ^= 0x10; // corrupt so the state is nonzero
+        let expect = reference.state_bytes(&reference.codeword_state(&msg, &parity));
+        for lane in [EncodeLane::Byte, EncodeLane::Slice4, EncodeLane::Slice8] {
+            let enc = LfsrEncoder::with_lane(&g, lane);
+            let got = enc.state_bytes(&enc.codeword_state(&msg, &parity));
+            assert_eq!(got, expect, "lane {lane:?}");
+        }
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //! 4. **Chien search** ([`chien`]) — root search over the *shortened*
 //!    position range, starting from the ROM-stored first element.
 //!
+//! Every pipeline stage exists at several datapath widths — the codec
+//! kernel ladder ([`kernel`]): a bit-serial reference rung, the byte-table
+//! rung, a word-sliced rung and a fused single-pass rung. All rungs are
+//! bit-identical (differentially tested); [`CodecKernel`] selects one.
+//!
 //! On top of the functional codec, [`hardware`] provides the latency and
 //! power model used to reproduce the paper's Fig. 8 (encode/decode latency
 //! vs. memory lifetime at 80 MHz) and the 7 mW -> 1 mW ECC power relaxation
@@ -53,8 +58,10 @@ pub mod berlekamp;
 pub mod chien;
 pub mod encoder;
 pub mod hardware;
+pub mod kernel;
 pub mod syndrome;
 
 pub use adaptive::{AdaptiveBch, CodecStats};
 pub use code::{BchCode, DecodeOutcome};
 pub use error::BchError;
+pub use kernel::CodecKernel;

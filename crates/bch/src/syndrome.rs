@@ -3,35 +3,83 @@
 //! The hardware computes the `2t` syndromes by dividing the received
 //! codeword by the `2t` factor polynomials of the generator and evaluating
 //! the remainders in GF(2^m). The software model evaluates the received
-//! polynomial directly at `alpha^1 .. alpha^2t` with a byte-parallel Horner
-//! step — numerically identical, and it preserves the defining property the
-//! decoder relies on: *all syndromes are zero iff the codeword is valid*.
+//! polynomial directly at `alpha^1 .. alpha^2t` — numerically identical,
+//! and it preserves the defining property the decoder relies on: *all
+//! syndromes are zero iff the codeword is valid*. The Horner step width is
+//! one rung of the codec kernel ladder:
+//!
+//! * [`SyndromeLane::Bit`] — definition-level bit-serial Horner
+//!   (the rung-0 reference);
+//! * [`SyndromeLane::Byte`] — one byte per fold via 256-entry tables;
+//! * [`SyndromeLane::Dual`] — two bytes per fold (one field multiply per
+//!   16 message bits, halving the multiply count).
+//!
+//! The top (fused) decode rung does not walk the codeword here at all: it
+//! evaluates the `r`-bit LFSR remainder instead (see
+//! [`SyndromeCalculator::unshift_factors`]).
 
 use std::sync::Arc;
 
 use mlcx_gf2::GfField;
 
-/// Byte-parallel syndrome evaluator for syndromes `S_1 .. S_2t`.
+/// Horner step width of the [`SyndromeCalculator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyndromeLane {
+    /// Bit-serial evaluation straight from the definition.
+    Bit,
+    /// Byte-parallel table fold.
+    #[default]
+    Byte,
+    /// Dual-byte (16-bit) table fold.
+    Dual,
+}
+
+/// Parallel syndrome evaluator for syndromes `S_1 .. S_2t`.
 #[derive(Debug, Clone)]
 pub struct SyndromeCalculator {
     field: Arc<GfField>,
     two_t: usize,
-    /// `pow8[i]` = `alpha^(8*(i+1))`: the per-syndrome Horner fold factor.
+    lane: SyndromeLane,
+    /// `pow8[i]` = `alpha^(8*(i+1))`: the per-syndrome byte fold factor.
     pow8: Vec<u32>,
+    /// `pow16[i]` = `alpha^(16*(i+1))`: the dual-byte fold factor.
+    pow16: Vec<u32>,
     /// Flattened `two_t x 256` table: entry `[i][b]` is the contribution of
     /// message byte `b` to syndrome `i+1` before folding.
     tables: Vec<u32>,
+    /// Dual lane only: `hi_tables[i][b] = beta_i^8 * tables[i][b]` — the
+    /// contribution of the more significant byte of a 16-bit chunk.
+    hi_tables: Vec<u32>,
 }
 
 impl SyndromeCalculator {
-    /// Builds the evaluator for correction capability `t`.
+    /// Builds the evaluator for correction capability `t` with the default
+    /// byte lane.
     pub fn new(field: Arc<GfField>, t: u32) -> Self {
+        Self::with_lane(field, t, SyndromeLane::Byte)
+    }
+
+    /// Builds the evaluator with an explicit Horner lane.
+    pub fn with_lane(field: Arc<GfField>, t: u32, lane: SyndromeLane) -> Self {
         let two_t = (2 * t) as usize;
         let mut pow8 = Vec::with_capacity(two_t);
-        let mut tables = vec![0u32; two_t * 256];
+        let mut pow16 = Vec::with_capacity(two_t);
+        let mut tables = Vec::new();
+        let mut hi_tables = Vec::new();
+        if lane != SyndromeLane::Bit {
+            tables = vec![0u32; two_t * 256];
+        }
+        if lane == SyndromeLane::Dual {
+            hi_tables = vec![0u32; two_t * 256];
+        }
         for i in 0..two_t {
             let beta = field.alpha_pow((i + 1) as i64);
-            pow8.push(field.pow(beta, 8));
+            let beta8 = field.pow(beta, 8);
+            pow8.push(beta8);
+            pow16.push(field.pow(beta, 16));
+            if lane == SyndromeLane::Bit {
+                continue;
+            }
             // Powers beta^0..beta^7 index the bit positions within a byte.
             let mut pows = [0u32; 8];
             for (bitpos, p) in pows.iter_mut().enumerate() {
@@ -42,18 +90,31 @@ impl SyndromeCalculator {
                 let low = b.trailing_zeros() as usize;
                 tables[base + b] = tables[base + (b & (b - 1))] ^ pows[low];
             }
+            if lane == SyndromeLane::Dual {
+                for b in 0usize..256 {
+                    hi_tables[base + b] = field.mul(beta8, tables[base + b]);
+                }
+            }
         }
         SyndromeCalculator {
             field,
             two_t,
+            lane,
             pow8,
+            pow16,
             tables,
+            hi_tables,
         }
     }
 
     /// Number of syndromes produced (`2t`).
     pub fn count(&self) -> usize {
         self.two_t
+    }
+
+    /// The Horner lane this evaluator runs.
+    pub fn lane(&self) -> SyndromeLane {
+        self.lane
     }
 
     /// Evaluates all syndromes of the received codeword.
@@ -65,18 +126,48 @@ impl SyndromeCalculator {
         let f = &self.field;
         let mut syn = vec![0u32; self.two_t];
         for (i, syn_i) in syn.iter_mut().enumerate() {
-            let fold = self.pow8[i];
-            let tbl = &self.tables[i * 256..(i + 1) * 256];
+            let beta = f.alpha_pow((i + 1) as i64);
             let mut s = 0u32;
-            for &byte in message {
-                s = f.mul(s, fold) ^ tbl[byte as usize];
+            match self.lane {
+                SyndromeLane::Bit => {
+                    for &byte in message {
+                        for j in (0..8).rev() {
+                            s = f.mul(s, beta) ^ (byte >> j & 1) as u32;
+                        }
+                    }
+                }
+                SyndromeLane::Byte => {
+                    let fold = self.pow8[i];
+                    let tbl = &self.tables[i * 256..(i + 1) * 256];
+                    for &byte in message {
+                        s = f.mul(s, fold) ^ tbl[byte as usize];
+                    }
+                }
+                SyndromeLane::Dual => {
+                    let fold8 = self.pow8[i];
+                    let fold16 = self.pow16[i];
+                    let lo = &self.tables[i * 256..(i + 1) * 256];
+                    let hi = &self.hi_tables[i * 256..(i + 1) * 256];
+                    let mut chunks = message.chunks_exact(2);
+                    for pair in &mut chunks {
+                        s = f.mul(s, fold16) ^ hi[pair[0] as usize] ^ lo[pair[1] as usize];
+                    }
+                    for &byte in chunks.remainder() {
+                        s = f.mul(s, fold8) ^ lo[byte as usize];
+                    }
+                }
             }
             // Parity: full bytes then the trailing partial byte bit-serially.
             let full = parity_bits / 8;
             for &byte in &parity[..full] {
-                s = f.mul(s, fold) ^ tbl[byte as usize];
+                if self.lane == SyndromeLane::Bit {
+                    for j in (0..8).rev() {
+                        s = f.mul(s, beta) ^ (byte >> j & 1) as u32;
+                    }
+                } else {
+                    s = f.mul(s, self.pow8[i]) ^ self.tables[i * 256 + byte as usize];
+                }
             }
-            let beta = f.alpha_pow((i + 1) as i64);
             for j in 0..parity_bits % 8 {
                 let bit = parity[full] >> (7 - j) & 1;
                 s = f.mul(s, beta) ^ bit as u32;
@@ -84,6 +175,17 @@ impl SyndromeCalculator {
             *syn_i = s;
         }
         syn
+    }
+
+    /// The `beta_i^(-r)` constants that convert an evaluated LFSR remainder
+    /// into syndromes: since `received(x) * x^r = q(x) g(x) + state(x)` and
+    /// `g(beta_i) = 0`, we get `S_i = state(beta_i) * beta_i^(-r)`. The
+    /// fused decode rung evaluates the `r`-bit `state` with [`Self::compute`]
+    /// and multiplies by these factors.
+    pub fn unshift_factors(&self, parity_bits: usize) -> Vec<u32> {
+        (0..self.two_t)
+            .map(|i| self.field.alpha_pow(-((i as i64 + 1) * parity_bits as i64)))
+            .collect()
     }
 
     /// `true` when every syndrome is zero (valid codeword).
@@ -136,6 +238,55 @@ mod tests {
             calc.compute(&msg, &parity, r),
             reference_syndromes(&field, t, &msg, &parity, r)
         );
+    }
+
+    #[test]
+    fn every_lane_matches_the_reference() {
+        let field = Arc::new(GfField::new(13).unwrap());
+        let t = 4;
+        let g = generator_poly(&field, t);
+        let r = g.degree().unwrap();
+        let parity: Vec<u8> = (0..r.div_ceil(8)).map(|i| (i * 91 + 17) as u8).collect();
+        // Odd and even message lengths exercise the dual-lane tail.
+        for len in [1usize, 2, 7, 8, 31, 32] {
+            let msg: Vec<u8> = (0..len).map(|i| (i * 201 + 3) as u8).collect();
+            let expect = reference_syndromes(&field, t, &msg, &parity, r);
+            for lane in [SyndromeLane::Bit, SyndromeLane::Byte, SyndromeLane::Dual] {
+                let calc = SyndromeCalculator::with_lane(field.clone(), t, lane);
+                assert_eq!(calc.lane(), lane);
+                assert_eq!(
+                    calc.compute(&msg, &parity, r),
+                    expect,
+                    "lane {lane:?}, len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unshift_factors_recover_syndromes_from_remainder() {
+        // S_i = state(beta_i) * beta_i^(-r) must equal the directly
+        // computed syndromes for a corrupted codeword.
+        let field = Arc::new(GfField::new(11).unwrap());
+        let t = 3;
+        let g = generator_poly(&field, t);
+        let r = g.degree().unwrap();
+        let enc = crate::encoder::LfsrEncoder::new(&g);
+        let calc = SyndromeCalculator::new(field.clone(), t);
+        let mut msg: Vec<u8> = (0..50).map(|i| (i * 7 + 111) as u8).collect();
+        let parity = enc.remainder(&msg);
+        msg[10] ^= 0x42; // corrupt
+        let direct = calc.compute(&msg, &parity, r);
+        let state = enc.codeword_state(&msg, &parity);
+        let state_bytes = enc.state_bytes(&state);
+        let evaluated = calc.compute(&[], &state_bytes, r);
+        let unshift = calc.unshift_factors(r);
+        let via_state: Vec<u32> = evaluated
+            .iter()
+            .zip(&unshift)
+            .map(|(&s, &u)| field.mul(s, u))
+            .collect();
+        assert_eq!(via_state, direct);
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! Differential tests for the codec-kernel ladder: every rung must be
+//! bit-identical to rung 0 ([`CodecKernel::Reference`]) — same parity on
+//! encode, same outcome classification and same corrected buffers on
+//! decode, same error classification on malformed inputs.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use mlcx_bch::{BchCode, BchError, CodecKernel, DecodeOutcome};
+use mlcx_gf2::GfField;
+use proptest::prelude::*;
+
+fn flip(buf: &mut [u8], bitpos: usize) {
+    buf[bitpos / 8] ^= 1 << (7 - bitpos % 8);
+}
+
+fn inject(message: &mut [u8], parity: &mut [u8], k_bits: usize, positions: &BTreeSet<usize>) {
+    for &p in positions {
+        if p < k_bits {
+            flip(message, p);
+        } else {
+            flip(parity, p - k_bits);
+        }
+    }
+}
+
+/// Builds the same (m, k, t) code once per ladder rung.
+fn ladder(m: u32, k_bits: usize, t: u32) -> Vec<BchCode> {
+    let field = Arc::new(GfField::new(m).unwrap());
+    CodecKernel::RUNGS
+        .iter()
+        .map(|&k| BchCode::new_with_kernel(Arc::clone(&field), k_bits, t, k).unwrap())
+        .collect()
+}
+
+/// Decodes one corrupted copy per rung and returns (outcome, message, parity).
+fn decode_all(
+    codes: &[BchCode],
+    msg: &[u8],
+    parity: &[u8],
+    k_bits: usize,
+    positions: &BTreeSet<usize>,
+) -> Vec<(DecodeOutcome, Vec<u8>, Vec<u8>)> {
+    codes
+        .iter()
+        .map(|code| {
+            let mut recv = msg.to_vec();
+            let mut par = parity.to_vec();
+            inject(&mut recv, &mut par, k_bits, positions);
+            let out = code.decode(&mut recv, &mut par).unwrap();
+            (out, recv, par)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every rung produces the exact parity bytes of the bit-serial rung 0
+    /// on random payloads across field sizes and capabilities.
+    #[test]
+    fn every_rung_encodes_identically(
+        m in 9u32..=13,
+        t in 1u32..=8,
+        k_bytes in 16usize..=96,
+        seed in any::<u64>(),
+    ) {
+        let field = Arc::new(GfField::new(m).unwrap());
+        let k_bits = k_bytes * 8;
+        prop_assume!(k_bits + (m * t) as usize <= field.order() as usize);
+        let codes = ladder(m, k_bits, t);
+
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let msg: Vec<u8> = (0..k_bytes).map(|_| rng.random()).collect();
+
+        let reference = codes[0].encode(&msg).unwrap();
+        for code in &codes[1..] {
+            let parity = code.encode(&msg).unwrap();
+            prop_assert_eq!(&parity, &reference);
+        }
+    }
+
+    /// For every error weight 0..=t the full ladder corrects to the same
+    /// buffers with the same outcome (positions included) as rung 0.
+    #[test]
+    fn every_rung_corrects_identically(
+        m in 10u32..=13,
+        t in 1u32..=8,
+        seed in any::<u64>(),
+    ) {
+        let field = Arc::new(GfField::new(m).unwrap());
+        let k_bytes = 64usize;
+        let k_bits = k_bytes * 8;
+        prop_assume!(k_bits + (m * t) as usize <= field.order() as usize);
+        let codes = ladder(m, k_bits, t);
+
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let msg: Vec<u8> = (0..k_bytes).map(|_| rng.random()).collect();
+        let parity = codes[0].encode(&msg).unwrap();
+        let n = codes[0].codeword_bits();
+
+        for weight in 0..=t as usize {
+            let mut positions = BTreeSet::new();
+            while positions.len() < weight {
+                positions.insert(rng.random_range(0..n));
+            }
+            let results = decode_all(&codes, &msg, &parity, k_bits, &positions);
+            let (ref_out, ref_msg, ref_par) = &results[0];
+            // Rung 0 must actually correct the pattern; the rest must match
+            // it bit for bit.
+            prop_assert_eq!(ref_msg, &msg);
+            match ref_out {
+                DecodeOutcome::Clean => prop_assert_eq!(weight, 0),
+                DecodeOutcome::Corrected { bit_errors, .. } => {
+                    prop_assert_eq!(*bit_errors, weight)
+                }
+                DecodeOutcome::Uncorrectable => prop_assert!(false, "weight <= t must correct"),
+            }
+            for (out, got_msg, got_par) in &results[1..] {
+                prop_assert_eq!(out, ref_out);
+                prop_assert_eq!(got_msg, ref_msg);
+                prop_assert_eq!(got_par, ref_par);
+            }
+        }
+    }
+
+    /// Beyond-capability patterns classify identically on every rung:
+    /// either all detect (buffers untouched, identical) or all miscorrect
+    /// into the same valid codeword.
+    #[test]
+    fn every_rung_classifies_uncorrectable_identically(
+        extra in 1u32..=4,
+        seed in any::<u64>(),
+    ) {
+        let t = 4u32;
+        let k_bits = 64 * 8;
+        let codes = ladder(11, k_bits, t);
+
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let msg: Vec<u8> = (0..64).map(|_| rng.random()).collect();
+        let parity = codes[0].encode(&msg).unwrap();
+        let n = codes[0].codeword_bits();
+
+        let mut positions = BTreeSet::new();
+        while positions.len() < (t + extra) as usize {
+            positions.insert(rng.random_range(0..n));
+        }
+        let results = decode_all(&codes, &msg, &parity, k_bits, &positions);
+        let (ref_out, ref_msg, ref_par) = &results[0];
+        prop_assert!(*ref_out != DecodeOutcome::Clean, "corrupted codeword cannot be clean");
+        for (out, got_msg, got_par) in &results[1..] {
+            prop_assert_eq!(out, ref_out);
+            prop_assert_eq!(got_msg, ref_msg);
+            prop_assert_eq!(got_par, ref_par);
+        }
+    }
+}
+
+/// `Auto` resolves to the top rung and decodes identically to it.
+#[test]
+fn auto_matches_the_top_rung() {
+    let field = Arc::new(GfField::new(12).unwrap());
+    let auto = BchCode::new(Arc::clone(&field), 96 * 8, 5).unwrap();
+    let top = BchCode::new_with_kernel(
+        Arc::clone(&field),
+        96 * 8,
+        5,
+        *CodecKernel::RUNGS.last().unwrap(),
+    )
+    .unwrap();
+    assert_eq!(auto.kernel(), top.kernel());
+
+    let msg: Vec<u8> = (0..96).map(|i| (i * 37 + 11) as u8).collect();
+    let parity = auto.encode(&msg).unwrap();
+    assert_eq!(parity, top.encode(&msg).unwrap());
+
+    let mut recv = msg.clone();
+    let mut par = parity.clone();
+    for p in [0usize, 511, 512, 767] {
+        flip(&mut recv, p);
+    }
+    let out = auto.decode(&mut recv, &mut par).unwrap();
+    assert_eq!(out.corrected_bits(), 4);
+    assert_eq!(recv, msg);
+}
+
+/// Malformed inputs raise the identical `BchError` on every rung.
+#[test]
+fn every_rung_classifies_errors_identically() {
+    let codes = ladder(11, 64 * 8, 3);
+    let msg = vec![0u8; 64];
+    let parity = codes[0].encode(&msg).unwrap();
+
+    let mut expected_short_msg: Option<BchError> = None;
+    let mut expected_short_par: Option<BchError> = None;
+    for code in &codes {
+        let mut short = vec![0u8; 63];
+        let mut par = parity.clone();
+        let err = code.decode(&mut short, &mut par).unwrap_err();
+        match &expected_short_msg {
+            None => expected_short_msg = Some(err),
+            Some(e) => assert_eq!(&err, e, "kernel {}", code.kernel()),
+        }
+
+        let mut recv = msg.clone();
+        let mut par = parity[..parity.len() - 1].to_vec();
+        let err = code.decode(&mut recv, &mut par).unwrap_err();
+        match &expected_short_par {
+            None => expected_short_par = Some(err),
+            Some(e) => assert_eq!(&err, e, "kernel {}", code.kernel()),
+        }
+
+        let err = code.encode(&[0u8; 12]).unwrap_err();
+        assert!(matches!(
+            err,
+            BchError::BufferSize {
+                what: "message",
+                ..
+            }
+        ));
+    }
+    assert!(matches!(
+        expected_short_msg,
+        Some(BchError::BufferSize {
+            what: "message",
+            ..
+        })
+    ));
+    assert!(matches!(
+        expected_short_par,
+        Some(BchError::BufferSize { what: "parity", .. })
+    ));
+}

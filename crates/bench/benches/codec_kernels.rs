@@ -1,0 +1,212 @@
+//! Codec-kernel ladder bench: per-rung encode+decode throughput of the
+//! same 2048-bit-message BCH code (GF(2^13), t = 8), paired-median
+//! speedup of every rung over the bit-serial reference rung.
+//!
+//! Each sample times one batch of seeded encode -> inject -> decode
+//! round trips per rung, strictly interleaved so clock drift hits every
+//! rung equally; the per-rung medians give the speedup ladder. Two
+//! acceptance bars, asserted in-bench:
+//!
+//! * the ladder is monotone — each rung at least as fast as the one
+//!   below (3 % pairing tolerance);
+//! * the top rung is >= 4x the reference rung.
+//!
+//! Bit-identity is pinned the same way the differential tests pin it:
+//! every rung's parity bytes and corrected positions fold to the same
+//! checksums, recorded as `exact` metrics in the committed baseline so
+//! a kernel change that alters any output fails the CI gate
+//! (`crates/bench/baselines/codec_kernels.json`). `MLCX_SMOKE=1` trims
+//! the batch and sample counts and skips the Criterion pass.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlcx_bch::{BchCode, CodecKernel, DecodeOutcome};
+use mlcx_bench::{smoke, BenchResult};
+use mlcx_gf2::GfField;
+use std::hint::black_box;
+
+const M: u32 = 13;
+const MSG_BYTES: usize = 256; // 2048-bit message
+const T: u32 = 8;
+const SEED: u64 = 2012;
+
+fn ladder() -> Vec<BchCode> {
+    let field = Arc::new(GfField::new(M).unwrap());
+    CodecKernel::RUNGS
+        .iter()
+        .map(|&k| BchCode::new_with_kernel(Arc::clone(&field), MSG_BYTES * 8, T, k).unwrap())
+        .collect()
+}
+
+/// Seeded per-iteration error schedules: weights cycle 0..=t so every
+/// batch exercises the clean shortcut, single-error solve and
+/// full-capability correction.
+fn error_schedule(iters: usize, n_bits: usize) -> Vec<Vec<usize>> {
+    let mut state = SEED | 1;
+    let mut next = |modulo: usize| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 33) as usize % modulo
+    };
+    (0..iters)
+        .map(|i| {
+            let weight = i % (T as usize + 1);
+            let mut positions = Vec::new();
+            while positions.len() < weight {
+                let p = next(n_bits);
+                if !positions.contains(&p) {
+                    positions.push(p);
+                }
+            }
+            positions.sort_unstable();
+            positions
+        })
+        .collect()
+}
+
+fn flip(buf: &mut [u8], bitpos: usize) {
+    buf[bitpos / 8] ^= 1 << (7 - bitpos % 8);
+}
+
+/// One timed batch: encode, inject the iteration's schedule, decode,
+/// fold parity bytes and corrected positions into checksums.
+fn run_batch(code: &BchCode, msg: &[u8], schedule: &[Vec<usize>]) -> (u64, u64) {
+    let k_bits = MSG_BYTES * 8;
+    let mut parity_sum = 0u64;
+    let mut position_sum = 0u64;
+    for positions in schedule {
+        let parity = code.encode(msg).unwrap();
+        for (i, &b) in parity.iter().enumerate() {
+            parity_sum = parity_sum.wrapping_add((b as u64) << (i % 8));
+        }
+        let mut recv = msg.to_vec();
+        let mut par = parity;
+        for &p in positions {
+            if p < k_bits {
+                flip(&mut recv, p);
+            } else {
+                flip(&mut par, p - k_bits);
+            }
+        }
+        match code.decode(&mut recv, &mut par).unwrap() {
+            DecodeOutcome::Clean => assert!(positions.is_empty()),
+            DecodeOutcome::Corrected { positions: got, .. } => {
+                assert_eq!(&got, positions, "kernel {}", code.kernel());
+                for &p in &got {
+                    position_sum = position_sum.wrapping_mul(31).wrapping_add(p as u64 + 1);
+                }
+            }
+            DecodeOutcome::Uncorrectable => {
+                panic!("kernel {}: schedule stays within t", code.kernel())
+            }
+        }
+        assert_eq!(recv, msg, "kernel {}", code.kernel());
+    }
+    (parity_sum, position_sum)
+}
+
+fn median(mut times: Vec<f64>) -> f64 {
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+fn bench(c: &mut Criterion) {
+    let codes = ladder();
+    let msg: Vec<u8> = (0..MSG_BYTES).map(|i| (i * 97 + 13) as u8).collect();
+    let n_bits = codes[0].codeword_bits();
+    let (iters, samples) = if smoke() { (8, 3) } else { (24, 9) };
+    let schedule = error_schedule(iters, n_bits);
+
+    // Bit-identity pin: every rung folds to the same checksums.
+    let checksums: Vec<(u64, u64)> = codes
+        .iter()
+        .map(|code| run_batch(code, &msg, &schedule))
+        .collect();
+    for (code, sums) in codes.iter().zip(&checksums) {
+        assert_eq!(
+            sums,
+            &checksums[0],
+            "kernel {} diverged from the reference rung",
+            code.kernel()
+        );
+    }
+
+    // Strictly interleaved paired timing rounds.
+    let mut times: Vec<Vec<f64>> = vec![Vec::with_capacity(samples); codes.len()];
+    for _ in 0..samples {
+        for (rung, code) in codes.iter().enumerate() {
+            let start = Instant::now();
+            black_box(run_batch(code, &msg, &schedule));
+            times[rung].push(start.elapsed().as_secs_f64());
+        }
+    }
+    let medians: Vec<f64> = times.into_iter().map(median).collect();
+    let speedups: Vec<f64> = medians.iter().map(|&t| medians[0] / t).collect();
+
+    println!(
+        "\n===== codec_kernels — {}-bit message, GF(2^{M}), t = {T} =====",
+        MSG_BYTES * 8
+    );
+    println!("{:>10} {:>14} {:>10}", "rung", "batch (ms)", "speedup");
+    for ((kernel, s), t) in CodecKernel::RUNGS.iter().zip(&speedups).zip(&medians) {
+        println!("{:>10} {:>14.3} {:>9.2}x", kernel.name(), t * 1e3, s);
+    }
+
+    // Acceptance bars: monotone ladder, top rung >= 4x the reference.
+    for (i, pair) in speedups.windows(2).enumerate() {
+        assert!(
+            pair[1] >= pair[0] * 0.97,
+            "ladder must be monotone: rung {} at {:.2}x vs rung {} at {:.2}x",
+            i + 1,
+            pair[1],
+            i,
+            pair[0]
+        );
+    }
+    let top = *speedups.last().unwrap();
+    assert!(
+        top >= 4.0,
+        "top rung must be >= 4x the reference rung, got {top:.2}x"
+    );
+
+    let mut record = BenchResult::new(
+        "codec_kernels",
+        "per-rung encode+inject+decode ladder, 2048-bit message, GF(2^13) t=8",
+    );
+    record.exact = vec![
+        ("message_bits".into(), (MSG_BYTES * 8) as f64),
+        ("parity_bits".into(), codes[0].parity_bits() as f64),
+        ("codeword_bits".into(), n_bits as f64),
+        ("iters_per_batch".into(), iters as f64),
+        ("parity_checksum".into(), checksums[0].0 as f64),
+        ("positions_checksum".into(), checksums[0].1 as f64),
+    ];
+    record.wall = CodecKernel::RUNGS
+        .iter()
+        .zip(&medians)
+        .map(|(kernel, &t)| (format!("{}_batch_s", kernel.name()), t))
+        .collect();
+    record.write();
+
+    if smoke() {
+        println!("smoke mode: skipping the Criterion pass");
+        return;
+    }
+    let mut group = c.benchmark_group("codec_kernels");
+    for (kernel, code) in CodecKernel::RUNGS.iter().zip(&codes) {
+        group.bench_function(kernel.name(), |b| {
+            b.iter(|| black_box(run_batch(code, &msg, &schedule)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use mlcx_bch::hardware::{EccHardware, EccPowerModel};
-use mlcx_bch::{AdaptiveBch, CodecStats, DecodeOutcome};
+use mlcx_bch::{AdaptiveBch, CodecKernel, CodecStats, DecodeOutcome};
 use mlcx_hv::HvSubsystem;
 use mlcx_nand::device::CodeStore;
 use mlcx_nand::disturb::DisturbModel;
@@ -28,6 +28,11 @@ pub struct ControllerConfig {
     pub ecc_tmin: u32,
     /// Maximum correction capability.
     pub ecc_tmax: u32,
+    /// Codec kernel rung of the BCH datapath. The preset is
+    /// [`CodecKernel::Auto`] (the fastest rung); every rung is
+    /// bit-identical, so this knob only trades table footprint against
+    /// throughput — see `mlcx_bch::kernel` for the ladder.
+    pub ecc_kernel: CodecKernel,
     /// Socket interface parameters.
     pub ocp: OcpSocket,
     /// Flash bus parameters.
@@ -62,6 +67,7 @@ impl ControllerConfig {
             ecc_m: 16,
             ecc_tmin: 3,
             ecc_tmax: 65,
+            ecc_kernel: CodecKernel::Auto,
             ocp: OcpSocket::date2012(),
             flash_if: FlashInterface::date2012(),
             ecc_hw: EccHardware::date2012(),
@@ -115,6 +121,12 @@ impl ControllerConfigBuilder {
     /// Maximum correction capability.
     pub fn ecc_tmax(mut self, t: u32) -> Self {
         self.config.ecc_tmax = t;
+        self
+    }
+
+    /// Codec kernel rung of the BCH datapath (bit-identical across rungs).
+    pub fn ecc_kernel(mut self, kernel: CodecKernel) -> Self {
+        self.config.ecc_kernel = kernel;
         self
     }
 
@@ -299,11 +311,12 @@ impl MemoryController {
             .geometry
             .validate()
             .map_err(|reason| CtrlError::InvalidConfig { reason })?;
-        let codec = AdaptiveBch::new(
+        let codec = AdaptiveBch::new_with_kernel(
             config.ecc_m,
             config.geometry.page_bytes * 8,
             config.ecc_tmin,
             config.ecc_tmax,
+            config.ecc_kernel,
         )?;
         if codec.max_parity_bytes() > config.geometry.spare_bytes {
             return Err(CtrlError::SpareOverflow {
@@ -367,6 +380,11 @@ impl MemoryController {
     /// Codec feedback counters (for the reliability manager).
     pub fn codec_stats(&self) -> CodecStats {
         self.codec.stats()
+    }
+
+    /// The adaptive BCH codec (kernel/capability inspection).
+    pub fn codec(&self) -> &AdaptiveBch {
+        &self.codec
     }
 
     /// The underlying device (wear inspection).
@@ -946,6 +964,7 @@ mod tests {
             .unwrap();
         assert_eq!((config.ecc_tmin, config.ecc_tmax), (5, 30));
         assert_eq!(config.ecc_m, 16, "preset fields survive");
+        assert_eq!(config.ecc_kernel, CodecKernel::Auto, "preset kernel");
         assert!(MemoryController::new(config, 1).is_ok());
 
         assert!(matches!(
@@ -960,6 +979,16 @@ mod tests {
             ControllerConfig::builder().ecc_m(17).build(),
             Err(CtrlError::InvalidConfig { .. })
         ));
+    }
+
+    #[test]
+    fn ecc_kernel_knob_reaches_the_codec() {
+        let config = ControllerConfig::builder()
+            .ecc_kernel(CodecKernel::Byte)
+            .build()
+            .unwrap();
+        let ctrl = MemoryController::new(config, 1).unwrap();
+        assert_eq!(ctrl.codec().kernel(), CodecKernel::Byte);
     }
 
     #[test]

@@ -74,6 +74,7 @@ pub use controller::{
 };
 pub use error::CtrlError;
 pub use ftl::{Ftl, FtlError, FtlOp, FtlStats, LogicalMap};
+pub use mlcx_bch::CodecKernel;
 pub use regs::{ConfigCommand, RegisterFile, ServiceLevel, StatusFlags};
 pub use reliability::{ReliabilityManager, ReliabilityPolicy};
 pub use retry::{ReadOffsetTable, RetryPolicy, RetryStats};

@@ -530,6 +530,17 @@ impl EngineBuilder {
         self
     }
 
+    /// Selects the codec kernel rung of the BCH datapath (default
+    /// [`CodecKernel::Auto`](mlcx_controller::CodecKernel::Auto) — the
+    /// fastest rung). Every rung is bit-identical, so simulation results
+    /// do not depend on this knob; it only changes wall-clock throughput.
+    /// Call after [`EngineBuilder::controller_config`], which replaces
+    /// the whole configuration including this knob.
+    pub fn codec_kernel(mut self, kernel: mlcx_controller::CodecKernel) -> Self {
+        self.config.ecc_kernel = kernel;
+        self
+    }
+
     /// Overrides the cross-layer subsystem model.
     pub fn model(mut self, model: SubsystemModel) -> Self {
         self.model = model;

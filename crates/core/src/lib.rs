@@ -61,6 +61,7 @@ pub use engine::{
     StorageEngine, WearBucketing,
 };
 pub use error::MlcxError;
+pub use mlcx_controller::CodecKernel;
 pub use model::{Metrics, OperatingPoint, SubsystemModel, SubsystemModelBuilder};
 pub use policy::Objective;
 pub use services::{ServiceError, ServiceRegion, ServiceStats, ServicedStore};

@@ -593,6 +593,17 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Selects the codec kernel rung of the BCH datapath (default
+    /// `Auto`, the fastest rung). Every rung decodes bit-identically, so
+    /// scenario reports do not depend on this knob — only wall-clock
+    /// speed does. As with [`ScenarioBuilder::disturb_model`], call this
+    /// *after* [`ScenarioBuilder::engine`]: replacing the engine builder
+    /// replaces this knob too.
+    pub fn codec_kernel(mut self, kernel: mlcx_controller::CodecKernel) -> Self {
+        self.engine = self.engine.codec_kernel(kernel);
+        self
+    }
+
     /// Validates and produces the scenario.
     ///
     /// # Errors

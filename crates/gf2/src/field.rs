@@ -220,6 +220,14 @@ impl GfField {
         self.exp[e] as u32
     }
 
+    /// `alpha^e` for an exponent already reduced to `0 <= e < 2^m - 1` —
+    /// the division-free hot path of the log-stride Chien search.
+    #[inline]
+    pub fn alpha_pow_reduced(&self, e: u32) -> u32 {
+        debug_assert!(e < self.order());
+        self.exp[e as usize] as u32
+    }
+
     /// Raises `a` to the (signed) power `e`.
     ///
     /// `pow(0, 0)` is defined as 1 by the empty-product convention;

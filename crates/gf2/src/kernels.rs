@@ -1,0 +1,377 @@
+//! Word-parallel carry-less multiplication kernel ladder.
+//!
+//! Dense GF(2)\[x\] multiplication over bit-packed [`Block`] words, as a
+//! ladder of progressively optimized kernels (the `mul_raw_0..3` idiom):
+//!
+//! | rung | kernel | technique |
+//! |------|--------|-----------|
+//! | 0 | [`mul_raw_0`] | bit-serial schoolbook — the definition, and the reference every other rung is differential-tested against |
+//! | 1 | [`mul_raw_1`] | word-sliced schoolbook: per set bit of `a`, XOR-accumulate a whole word-shifted copy of `b` |
+//! | 2 | [`mul_raw_2`] | 4-bit windowed: 16 precomputed shifted multiples of `b`, two table XORs per byte of `a` |
+//! | 3 | [`mul_raw_3`] | `x86_64` CLMUL (`pclmulqdq`): one 64x64 carry-less multiply per word pair, behind a `cfg` + runtime-detect gate |
+//!
+//! Every rung computes the *same* product; [`MulKernel`] is the selection
+//! knob, and [`MulKernel::best`] resolves to the fastest rung available on
+//! the running CPU (the CLMUL rung falls back to the windowed kernel when
+//! the `clmul` cargo feature is off, the target is not `x86_64`, or the
+//! CPU does not advertise `pclmulqdq`).
+//!
+//! All kernels accept *raw* word slices (trailing zero words allowed) and
+//! return a raw word vector that may carry trailing zero words — callers
+//! building a [`crate::Gf2Poly`] must normalize, which
+//! [`crate::Gf2Poly::mul_with`] does.
+
+/// The machine word the kernels operate on (64 coefficient bits).
+pub type Block = u64;
+
+/// Result length (in words) that can hold `a * b` for any inputs.
+fn product_len(a: &[Block], b: &[Block]) -> usize {
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    a.len() + b.len()
+}
+
+/// Rung 0 — bit-serial schoolbook multiplication (the definition).
+///
+/// For every set coefficient bit of `a`, XORs `b` shifted by that single
+/// bit position into the accumulator, one *bit* at a time. Quadratic in
+/// bits; exists purely as the differential-testing reference.
+pub fn mul_raw_0(a: &[Block], b: &[Block]) -> Vec<Block> {
+    let mut acc = vec![0u64; product_len(a, b)];
+    for (wi, &aw) in a.iter().enumerate() {
+        for bit in 0..64 {
+            if aw >> bit & 1 == 1 {
+                let shift = wi * 64 + bit;
+                let (ws, bs) = (shift / 64, shift % 64);
+                for (bj, &bw) in b.iter().enumerate() {
+                    if bw == 0 {
+                        continue;
+                    }
+                    acc[ws + bj] ^= bw << bs;
+                    if bs != 0 {
+                        acc[ws + bj + 1] ^= bw >> (64 - bs);
+                    }
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// Rung 1 — word-sliced schoolbook: skips zero words of `a` wholesale and
+/// XOR-accumulates word-shifted copies of `b` (one shift per set bit of
+/// `a`, whole words at a time).
+pub fn mul_raw_1(a: &[Block], b: &[Block]) -> Vec<Block> {
+    let mut acc = vec![0u64; product_len(a, b)];
+    for (wi, &aw) in a.iter().enumerate() {
+        if aw == 0 {
+            continue;
+        }
+        for bit in 0..64 {
+            if aw >> bit & 1 == 1 {
+                for (bj, &bw) in b.iter().enumerate() {
+                    acc[wi + bj] ^= bw << bit;
+                    if bit != 0 {
+                        acc[wi + bj + 1] ^= bw >> (64 - bit);
+                    }
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// Rung 2 — 4-bit windowed multiplication.
+///
+/// Precomputes the 16 products `w * b` for every 4-bit window value `w`,
+/// then folds `a` one nibble at a time: two table XOR-accumulates per byte
+/// of `a` instead of up to eight single-bit passes.
+pub fn mul_raw_2(a: &[Block], b: &[Block]) -> Vec<Block> {
+    let out_len = product_len(a, b);
+    let mut acc = vec![0u64; out_len];
+    if out_len == 0 {
+        return acc;
+    }
+    // window[w] = w(x) * b(x), each b.len() + 1 words long.
+    let wlen = b.len() + 1;
+    let mut window = vec![0u64; 16 * wlen];
+    for w in 1usize..16 {
+        // w = (w & (w-1)) ^ (lowest set bit): build each entry from a
+        // previously filled one plus a single-bit shift of b.
+        let prev = w & (w - 1);
+        let bit = (w ^ prev).trailing_zeros() as usize;
+        for j in 0..wlen {
+            let mut word = window[prev * wlen + j];
+            if j < b.len() {
+                word ^= b[j] << bit;
+            }
+            if bit != 0 && j > 0 {
+                word ^= b[j - 1] >> (64 - bit);
+            }
+            window[w * wlen + j] = word;
+        }
+    }
+    for (wi, &aw) in a.iter().enumerate() {
+        if aw == 0 {
+            continue;
+        }
+        for nib in 0..16 {
+            let w = (aw >> (4 * nib) & 0xF) as usize;
+            if w == 0 {
+                continue;
+            }
+            let shift = 4 * nib;
+            let tbl = &window[w * wlen..(w + 1) * wlen];
+            for (j, &tw) in tbl.iter().enumerate() {
+                if tw == 0 {
+                    continue;
+                }
+                acc[wi + j] ^= tw << shift;
+                if shift != 0 && wi + j + 1 < out_len {
+                    acc[wi + j + 1] ^= tw >> (64 - shift);
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// `true` when the CLMUL rung will actually execute `pclmulqdq` on this
+/// build/CPU (cargo feature on, `x86_64` target, CPU flag present).
+pub fn clmul_available() -> bool {
+    clmul::available()
+}
+
+/// Rung 3 — carry-less multiply via `pclmulqdq`, one 64x64 product per
+/// word pair, XOR-accumulated into the 128-bit lanes.
+///
+/// Falls back to [`mul_raw_2`] (bit-identical result) when
+/// [`clmul_available`] is `false`, so it is always safe to call.
+pub fn mul_raw_3(a: &[Block], b: &[Block]) -> Vec<Block> {
+    if clmul::available() {
+        clmul::mul(a, b)
+    } else {
+        mul_raw_2(a, b)
+    }
+}
+
+#[cfg(all(feature = "clmul", target_arch = "x86_64"))]
+mod clmul {
+    //! The only unsafe in the crate: `pclmulqdq` intrinsics, reachable
+    //! solely through the runtime feature check in [`available`].
+    #![allow(unsafe_code)]
+
+    use super::{product_len, Block};
+
+    pub(super) fn available() -> bool {
+        // sse4.1 covers the pextrq lane extraction below; every CPU
+        // shipping pclmulqdq also ships sse4.1, but detect both anyway.
+        std::arch::is_x86_feature_detected!("pclmulqdq")
+            && std::arch::is_x86_feature_detected!("sse4.1")
+    }
+
+    pub(super) fn mul(a: &[Block], b: &[Block]) -> Vec<Block> {
+        debug_assert!(available());
+        // SAFETY: `available()` verified the CPU executes pclmulqdq/sse2.
+        unsafe { mul_impl(a, b) }
+    }
+
+    #[target_feature(enable = "pclmulqdq", enable = "sse2", enable = "sse4.1")]
+    unsafe fn mul_impl(a: &[Block], b: &[Block]) -> Vec<Block> {
+        use std::arch::x86_64::{_mm_clmulepi64_si128, _mm_cvtsi64_si128, _mm_extract_epi64};
+        let mut acc = vec![0u64; product_len(a, b)];
+        for (wi, &aw) in a.iter().enumerate() {
+            if aw == 0 {
+                continue;
+            }
+            let va = _mm_cvtsi64_si128(aw as i64);
+            for (bj, &bw) in b.iter().enumerate() {
+                if bw == 0 {
+                    continue;
+                }
+                let vb = _mm_cvtsi64_si128(bw as i64);
+                let prod = _mm_clmulepi64_si128::<0>(va, vb);
+                acc[wi + bj] ^= _mm_extract_epi64::<0>(prod) as u64;
+                acc[wi + bj + 1] ^= _mm_extract_epi64::<1>(prod) as u64;
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(not(all(feature = "clmul", target_arch = "x86_64")))]
+mod clmul {
+    //! Portable stand-in: the CLMUL rung is unavailable and
+    //! [`super::mul_raw_3`] falls back to the windowed kernel.
+    use super::Block;
+
+    pub(super) fn available() -> bool {
+        false
+    }
+
+    pub(super) fn mul(_a: &[Block], _b: &[Block]) -> Vec<Block> {
+        unreachable!("clmul::mul is only called when available() is true")
+    }
+}
+
+/// Selection knob over the [`mul_raw_0..3`](self) ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MulKernel {
+    /// Rung 0: bit-serial reference ([`mul_raw_0`]).
+    Reference,
+    /// Rung 1: word-sliced schoolbook ([`mul_raw_1`]) — the historical
+    /// `Gf2Poly::mul` path, and the default.
+    #[default]
+    Word,
+    /// Rung 2: 4-bit windowed ([`mul_raw_2`]).
+    Windowed,
+    /// Rung 3: `pclmulqdq` carry-less multiply ([`mul_raw_3`]); falls
+    /// back to the windowed kernel where CLMUL is unavailable.
+    Clmul,
+}
+
+impl MulKernel {
+    /// Every rung, in ladder order.
+    pub const ALL: [MulKernel; 4] = [
+        MulKernel::Reference,
+        MulKernel::Word,
+        MulKernel::Windowed,
+        MulKernel::Clmul,
+    ];
+
+    /// The ladder rung index (0 = reference).
+    pub fn rung(self) -> usize {
+        match self {
+            MulKernel::Reference => 0,
+            MulKernel::Word => 1,
+            MulKernel::Windowed => 2,
+            MulKernel::Clmul => 3,
+        }
+    }
+
+    /// `true` when this rung runs its own code path on this build/CPU
+    /// (the CLMUL rung reports `false` where it would fall back).
+    pub fn is_native(self) -> bool {
+        match self {
+            MulKernel::Clmul => clmul_available(),
+            _ => true,
+        }
+    }
+
+    /// The fastest rung that is native on this build/CPU.
+    pub fn best() -> MulKernel {
+        if clmul_available() {
+            MulKernel::Clmul
+        } else {
+            MulKernel::Windowed
+        }
+    }
+
+    /// Runs the selected kernel on raw word slices (output may carry
+    /// trailing zero words; see the module docs).
+    pub fn mul_raw(self, a: &[Block], b: &[Block]) -> Vec<Block> {
+        match self {
+            MulKernel::Reference => mul_raw_0(a, b),
+            MulKernel::Word => mul_raw_1(a, b),
+            MulKernel::Windowed => mul_raw_2(a, b),
+            MulKernel::Clmul => mul_raw_3(a, b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    fn random_words(n: usize, state: &mut u64) -> Vec<u64> {
+        (0..n).map(|_| xorshift(state)).collect()
+    }
+
+    #[test]
+    fn all_rungs_match_reference_on_random_inputs() {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for (la, lb) in [(1, 1), (1, 3), (2, 2), (3, 5), (7, 4), (16, 16)] {
+            let a = random_words(la, &mut state);
+            let b = random_words(lb, &mut state);
+            let reference = mul_raw_0(&a, &b);
+            for k in MulKernel::ALL {
+                assert_eq!(
+                    k.mul_raw(&a, &b),
+                    reference,
+                    "rung {} diverged on {la}x{lb} words",
+                    k.rung()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn commutative_across_rungs() {
+        let mut state = 99u64;
+        let a = random_words(5, &mut state);
+        let b = random_words(3, &mut state);
+        for k in MulKernel::ALL {
+            // a*b and b*a differ in raw length; compare content-padded.
+            let mut ab = k.mul_raw(&a, &b);
+            let mut ba = k.mul_raw(&b, &a);
+            let len = ab.len().max(ba.len());
+            ab.resize(len, 0);
+            ba.resize(len, 0);
+            assert_eq!(ab, ba, "rung {}", k.rung());
+        }
+    }
+
+    #[test]
+    fn empty_and_zero_operands() {
+        for k in MulKernel::ALL {
+            assert!(k.mul_raw(&[], &[1, 2, 3]).is_empty());
+            assert!(k.mul_raw(&[5], &[]).is_empty());
+            assert!(k.mul_raw(&[0, 0], &[0]).iter().all(|&w| w == 0));
+        }
+    }
+
+    #[test]
+    fn single_bit_times_single_bit() {
+        // x^63 * x^1 = x^64: crosses the word boundary in every kernel.
+        for k in MulKernel::ALL {
+            let got = k.mul_raw(&[1u64 << 63], &[1u64 << 1]);
+            assert_eq!(got[0], 0, "rung {}", k.rung());
+            assert_eq!(got[1], 1, "rung {}", k.rung());
+        }
+    }
+
+    #[test]
+    fn trailing_zero_words_in_inputs_are_harmless() {
+        let a = [0xDEAD_BEEFu64, 0, 0];
+        let b = [0x1234_5678u64, 0];
+        let reference = mul_raw_0(&[0xDEAD_BEEF], &[0x1234_5678]);
+        for k in MulKernel::ALL {
+            let got = k.mul_raw(&a, &b);
+            // Same product, possibly longer tail of zeros.
+            assert_eq!(&got[..reference.len()], &reference[..], "rung {}", k.rung());
+            assert!(got[reference.len()..].iter().all(|&w| w == 0));
+        }
+    }
+
+    #[test]
+    fn ladder_metadata_consistent() {
+        assert_eq!(MulKernel::default(), MulKernel::Word);
+        for (i, k) in MulKernel::ALL.iter().enumerate() {
+            assert_eq!(k.rung(), i);
+        }
+        let best = MulKernel::best();
+        assert!(best.is_native());
+        assert!(best.rung() >= 2);
+        if clmul_available() {
+            assert_eq!(best, MulKernel::Clmul);
+        }
+    }
+}

@@ -13,6 +13,11 @@
 //! * [`minpoly`] — cyclotomic cosets, minimal polynomials and BCH generator
 //!   polynomial construction (the contents of the small "polynomial ROM" the
 //!   paper's adaptable encoder multiplexes over).
+//! * [`kernels`] — the word-parallel carry-less multiplication ladder
+//!   (`mul_raw_0..3`): bit-serial reference, word-sliced schoolbook, 4-bit
+//!   windowed, and an `x86_64` CLMUL (`pclmulqdq`) rung behind a runtime
+//!   detect + `cfg`/feature gate with a portable fallback. [`MulKernel`]
+//!   selects a rung; every rung is differential-tested bit-identical.
 //!
 //! # Example
 //!
@@ -29,13 +34,18 @@
 //! # Ok::<(), mlcx_gf2::GfError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the CLMUL rung of `kernels` carries the
+// crate's only `#[allow(unsafe_code)]`, scoped to the intrinsics module
+// and guarded by a runtime CPU-feature check.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod field;
 mod poly;
 
+pub mod kernels;
 pub mod minpoly;
 
 pub use field::{GfError, GfField};
+pub use kernels::{clmul_available, MulKernel};
 pub use poly::Gf2Poly;

@@ -140,31 +140,24 @@ impl Gf2Poly {
         Gf2Poly::from_words(words)
     }
 
-    /// Carry-less (GF(2)) product `self * rhs`.
+    /// Carry-less (GF(2)) product `self * rhs`, through the word-sliced
+    /// schoolbook kernel (ladder rung 1 — operand degrees in this crate
+    /// stay in the low thousands, so O(n*m/64) is ample; pick a higher
+    /// rung explicitly with [`Gf2Poly::mul_with`]).
     pub fn mul(&self, rhs: &Gf2Poly) -> Self {
+        self.mul_with(rhs, crate::MulKernel::Word)
+    }
+
+    /// Carry-less product through an explicit [`crate::MulKernel`] rung.
+    ///
+    /// Every rung returns the same polynomial (the raw kernel output is
+    /// normalized here, so trailing zero words never leak into the
+    /// canonical representation).
+    pub fn mul_with(&self, rhs: &Gf2Poly, kernel: crate::MulKernel) -> Self {
         if self.is_zero() || rhs.is_zero() {
             return Gf2Poly::zero();
         }
-        // Schoolbook over words; operand degrees in this crate stay in the
-        // low thousands (generator polynomials), so O(n*m/64) is ample.
-        let mut acc = vec![0u64; self.words.len() + rhs.words.len() + 1];
-        for (wi, &w) in self.words.iter().enumerate() {
-            if w == 0 {
-                continue;
-            }
-            for b in 0..64 {
-                if w >> b & 1 == 1 {
-                    // acc ^= rhs << (64*wi + b)
-                    for (rj, &rw) in rhs.words.iter().enumerate() {
-                        acc[wi + rj] ^= rw << b;
-                        if b != 0 {
-                            acc[wi + rj + 1] ^= rw >> (64 - b);
-                        }
-                    }
-                }
-            }
-        }
-        Gf2Poly::from_words(acc)
+        Gf2Poly::from_words(kernel.mul_raw(&self.words, &rhs.words))
     }
 
     /// Quotient and remainder of `self / divisor`.
@@ -313,10 +306,21 @@ impl Gf2Poly {
         acc
     }
 
+    /// `true` when the packed representation is canonical (no trailing
+    /// all-zero words). Every constructor and operation on [`Gf2Poly`]
+    /// maintains this invariant — it is what makes the derived
+    /// `PartialEq`/`Hash` and the O(1) [`Gf2Poly::degree`] correct for
+    /// degrees that are not a multiple of 64. Exposed so differential
+    /// tests over the [`crate::kernels`] ladder can pin it.
+    pub fn is_normalized(&self) -> bool {
+        self.words.last() != Some(&0)
+    }
+
     fn normalize(&mut self) {
         while self.words.last() == Some(&0) {
             self.words.pop();
         }
+        debug_assert!(self.is_normalized());
     }
 }
 
@@ -485,6 +489,70 @@ mod tests {
         assert_eq!(p.to_string(), "x^3 + x + 1");
         assert_eq!(Gf2Poly::zero().to_string(), "0");
         assert_eq!(format!("{:?}", Gf2Poly::one()), "Gf2Poly(1)");
+    }
+
+    #[test]
+    fn from_words_normalizes_trailing_zero_words() {
+        // Same polynomial, three packings: PartialEq/degree must be
+        // canonical regardless of how many zero words the caller padded.
+        let canonical = Gf2Poly::from_words(vec![0b101]);
+        let padded = Gf2Poly::from_words(vec![0b101, 0, 0]);
+        assert_eq!(canonical, padded);
+        assert_eq!(padded.as_words().len(), 1);
+        assert!(padded.is_normalized());
+        assert_eq!(padded.degree(), Some(2));
+        assert!(Gf2Poly::from_words(vec![0, 0]).is_zero());
+    }
+
+    #[test]
+    fn word_boundary_tail_masks() {
+        // Degrees 63 / 64 / 65: the packing tail straddles the word edge.
+        for deg in [62usize, 63, 64, 65, 127, 128] {
+            let p = Gf2Poly::monomial(deg);
+            assert_eq!(p.degree(), Some(deg), "deg {deg}");
+            assert_eq!(p.as_words().len(), deg / 64 + 1, "deg {deg}");
+            assert!(p.is_normalized());
+            // Clearing the top bit must drop the now-empty word(s).
+            let mut q = p.clone();
+            q.set_coeff(deg, false);
+            assert!(q.is_zero());
+            assert!(q.as_words().is_empty());
+        }
+    }
+
+    #[test]
+    fn mul_with_every_kernel_is_canonical_across_word_boundaries() {
+        use crate::MulKernel;
+        // (x^63 + 1)(x + 1) = x^64 + x^63 + x + 1: the product's top term
+        // lands exactly on a fresh word.
+        let a = Gf2Poly::from_exponents(&[63, 0]);
+        let b = Gf2Poly::from_exponents(&[1, 0]);
+        let expect = Gf2Poly::from_exponents(&[64, 63, 1, 0]);
+        for k in MulKernel::ALL {
+            let got = a.mul_with(&b, k);
+            assert_eq!(got, expect, "kernel rung {}", k.rung());
+            assert!(got.is_normalized(), "kernel rung {}", k.rung());
+        }
+        // x^64 * x^64 = x^128 and (x^64 + x^63)^2 = x^128 + x^126:
+        // raw kernel outputs carry trailing zero words that must be
+        // trimmed before PartialEq/degree are trustworthy.
+        let m = Gf2Poly::monomial(64);
+        for k in MulKernel::ALL {
+            let got = m.mul_with(&m, k);
+            assert_eq!(got.degree(), Some(128), "kernel rung {}", k.rung());
+            assert_eq!(got.as_words().len(), 3, "kernel rung {}", k.rung());
+        }
+    }
+
+    #[test]
+    fn div_rem_at_word_boundary_degrees() {
+        // Divisor of degree exactly 64; dividend degree 130.
+        let d = Gf2Poly::from_exponents(&[64, 3, 0]);
+        let a = Gf2Poly::from_exponents(&[130, 64, 17, 2]);
+        let (q, r) = a.div_rem(&d);
+        assert_eq!(&q.mul(&d) + &r, a);
+        assert!(r.degree().unwrap_or(0) < 64);
+        assert!(q.is_normalized() && r.is_normalized());
     }
 
     #[test]

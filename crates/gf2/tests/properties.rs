@@ -1,6 +1,6 @@
 //! Property-based tests for the algebraic substrates.
 
-use mlcx_gf2::{minpoly, Gf2Poly, GfField};
+use mlcx_gf2::{minpoly, Gf2Poly, GfField, MulKernel};
 use proptest::prelude::*;
 
 fn arb_poly(max_deg: usize) -> impl Strategy<Value = Gf2Poly> {
@@ -103,6 +103,33 @@ proptest! {
         prop_assert_eq!(mp.degree(), Some(coset.len()));
         // Vanishes on alpha^s.
         prop_assert_eq!(mp.eval_in_field(&f, f.alpha_pow(s as i64)), 0);
+    }
+
+    #[test]
+    fn every_mul_kernel_matches_reference(a in arb_poly(300), b in arb_poly(300)) {
+        // Differential harness for the mul_raw ladder: each rung must be
+        // bit-identical to the rung-0 bit-serial reference, including the
+        // CLMUL rung (which silently falls back when unsupported).
+        let reference = a.mul_with(&b, MulKernel::Reference);
+        for kernel in MulKernel::ALL {
+            let out = kernel.mul_raw(a.as_words(), b.as_words());
+            prop_assert_eq!(Gf2Poly::from_words(out), reference.clone());
+        }
+    }
+
+    #[test]
+    fn mul_kernels_canonicalize_word_boundaries(shift_a in 0usize..200, shift_b in 0usize..200) {
+        // Single-bit operands land products exactly on/around word seams;
+        // every rung must produce the same canonical (normalized) words.
+        let mut a = Gf2Poly::zero();
+        a.set_coeff(shift_a, true);
+        let mut b = Gf2Poly::zero();
+        b.set_coeff(shift_b, true);
+        for kernel in MulKernel::ALL {
+            let p = a.mul_with(&b, kernel);
+            prop_assert!(p.is_normalized());
+            prop_assert_eq!(p.degree(), Some(shift_a + shift_b));
+        }
     }
 
     #[test]

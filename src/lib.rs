@@ -79,7 +79,7 @@ pub use mlcx_gf2 as gf2;
 pub use mlcx_hv as hv;
 pub use mlcx_nand as nand;
 
-pub use mlcx_bch::{AdaptiveBch, BchCode, DecodeOutcome};
+pub use mlcx_bch::{AdaptiveBch, BchCode, CodecKernel, DecodeOutcome};
 pub use mlcx_controller::{ChannelScheduler, IssueSlot, OpTiming};
 pub use mlcx_controller::{
     ConfigCommand, ControllerConfig, ControllerConfigBuilder, CtrlError, MemoryController,
@@ -94,4 +94,5 @@ pub use mlcx_core::{
     ServiceRegion, ServiceStats, ServicedStore, StorageEngine, SubsystemModel,
     SubsystemModelBuilder, TraceGenerator, TraceKind, WearBucketing, WorkloadRunner,
 };
+pub use mlcx_gf2::MulKernel;
 pub use mlcx_nand::{AgingModel, DeviceGeometry, MlcLevel, NandDevice, ProgramAlgorithm, Topology};
