@@ -1,7 +1,8 @@
 //! First performance baseline of the command-queue `StorageEngine`:
-//! one 64-page mixed read/write batch submitted through the engine vs.
-//! the same 64 page operations issued as sequential per-page
-//! `ServicedStore` calls.
+//! one 64-page mixed read/write batch submitted through the engine's
+//! submission queue vs. the same 64 page operations issued as
+//! sequential per-page `execute()` calls on a `PerPage`-bucketed
+//! engine (the semantics of the retired `ServicedStore` shim).
 //!
 //! The host pattern is a realistic mixed stream — an ingest service
 //! writing a worn (end-of-life) region, interleaved page-by-page with a
@@ -24,8 +25,9 @@ use std::time::Instant;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mlcx_bench::{smoke, BenchResult};
 use mlcx_controller::{ControllerConfig, MemoryController};
-use mlcx_core::engine::{Command, EngineBuilder, ServiceHandle, StorageEngine};
-use mlcx_core::services::ServicedStore;
+use mlcx_core::engine::{
+    Command, CommandOutput, EngineBuilder, ServiceHandle, StorageEngine, WearBucketing,
+};
 use mlcx_core::{Objective, SubsystemModel};
 use std::hint::black_box;
 
@@ -77,25 +79,30 @@ fn engine_under_test() -> (StorageEngine, ServiceHandle, ServiceHandle) {
     (engine, ingest, library)
 }
 
-fn store_under_test() -> ServicedStore {
+/// The sequential baseline: a `PerPage`-bucketed engine driven one
+/// `execute()` call at a time, so the cross-layer configuration is
+/// re-derived from the region's wear on *every* write — the original
+/// per-page store semantics.
+fn sequential_under_test() -> (StorageEngine, ServiceHandle, ServiceHandle) {
     let ctrl = MemoryController::new(ControllerConfig::date2012(), 4096).unwrap();
-    let mut store = ServicedStore::new(ctrl, SubsystemModel::date2012());
-    store
-        .add_region("ingest", Objective::MaxReadThroughput, 0..8)
+    let mut engine =
+        StorageEngine::with_bucketing(ctrl, SubsystemModel::date2012(), WearBucketing::PerPage);
+    let ingest = engine
+        .register_service("ingest", Objective::MaxReadThroughput, 0..8)
         .unwrap();
-    store
-        .add_region("library", Objective::Baseline, 8..16)
+    let library = engine
+        .register_service("library", Objective::Baseline, 8..16)
         .unwrap();
-    store
+    engine
         .controller_mut()
         .age_block(INGEST_BLOCK, EOL_CYCLES)
         .unwrap();
-    prime_library(store.controller_mut());
-    store
+    prime_library(engine.controller_mut());
+    (engine, ingest, library)
 }
 
 /// The 64-page mixed batch through the engine: one submit in host
-/// order, one poll.
+/// order, one drain.
 fn run_batched(engine: &mut StorageEngine, ingest: ServiceHandle, library: ServiceHandle) -> usize {
     let mut cmds = Vec::with_capacity(1 + WRITES + READS);
     cmds.push(Command::erase(ingest, INGEST_BLOCK));
@@ -114,8 +121,8 @@ fn run_batched(engine: &mut StorageEngine, ingest: ServiceHandle, library: Servi
             Some(p) => cmds.push(Command::read(library, LIBRARY_BLOCK, p)),
         }
     }
-    engine.submit_owned(cmds).unwrap();
-    let completions = engine.poll();
+    engine.sq().submit_owned(cmds).unwrap();
+    let completions = engine.cq().drain();
     assert!(completions.iter().all(|c| c.result.is_ok()));
     assert_eq!(engine.last_batch().commands, 1 + WRITES + READS);
     assert!(engine.last_batch().device_latency_s > 0.0);
@@ -123,24 +130,38 @@ fn run_batched(engine: &mut StorageEngine, ingest: ServiceHandle, library: Servi
     completions.len()
 }
 
-/// The same 64 page operations as sequential per-page store calls, in
-/// the host's order.
-fn run_sequential(store: &mut ServicedStore) -> usize {
-    store.erase("ingest", INGEST_BLOCK).unwrap();
+/// The same 64 page operations as sequential per-page `execute()`
+/// calls, in the host's order.
+fn run_sequential(
+    engine: &mut StorageEngine,
+    ingest: ServiceHandle,
+    library: ServiceHandle,
+) -> usize {
+    engine
+        .execute(Command::erase(ingest, INGEST_BLOCK))
+        .unwrap();
     let mut done = 1;
     let mut next_write = 0usize;
     for slot in host_pattern() {
         match slot {
             None => {
-                store
-                    .write("ingest", INGEST_BLOCK, next_write, &payload(next_write))
+                engine
+                    .execute(Command::write(
+                        ingest,
+                        INGEST_BLOCK,
+                        next_write,
+                        payload(next_write),
+                    ))
                     .unwrap();
                 next_write += 1;
             }
-            Some(p) => {
-                let r = store.read("library", LIBRARY_BLOCK, p).unwrap();
-                assert!(r.outcome.is_success());
-            }
+            Some(p) => match engine
+                .execute(Command::read(library, LIBRARY_BLOCK, p))
+                .unwrap()
+            {
+                CommandOutput::Read(r) => assert!(r.outcome.is_success()),
+                other => panic!("expected read output, got {other:?}"),
+            },
         }
         done += 1;
     }
@@ -160,7 +181,7 @@ fn measure_round(
     engine: &mut StorageEngine,
     ingest: ServiceHandle,
     library: ServiceHandle,
-    store: &mut ServicedStore,
+    seq: &mut (StorageEngine, ServiceHandle, ServiceHandle),
     samples: usize,
 ) -> (f64, f64, f64) {
     let mut batched = Vec::with_capacity(samples);
@@ -170,7 +191,7 @@ fn measure_round(
         black_box(run_batched(engine, ingest, library));
         batched.push(start.elapsed().as_secs_f64());
         let start = Instant::now();
-        black_box(run_sequential(store));
+        black_box(run_sequential(&mut seq.0, seq.1, seq.2));
         sequential.push(start.elapsed().as_secs_f64());
     }
     let diffs: Vec<f64> = sequential
@@ -186,10 +207,10 @@ fn bench(c: &mut Criterion) {
 
     // --- The recorded baseline: batched vs sequential.
     let (mut engine, ingest, library) = engine_under_test();
-    let mut store = store_under_test();
+    let mut seq = sequential_under_test();
     for _ in 0..3 {
         black_box(run_batched(&mut engine, ingest, library));
-        black_box(run_sequential(&mut store));
+        black_box(run_sequential(&mut seq.0, seq.1, seq.2));
     }
 
     // The structural advantage is deterministic: one schedule
@@ -205,7 +226,7 @@ fn bench(c: &mut Criterion) {
 
     let mut record = BenchResult::new(
         "engine_batch",
-        "64-page mixed batch, paired alternating medians vs sequential ServicedStore",
+        "64-page mixed batch, paired alternating medians vs sequential per-page execute()",
     );
     record.exact = vec![
         ("commands".into(), batch.commands as f64),
@@ -224,7 +245,7 @@ fn bench(c: &mut Criterion) {
         // ordering assertion stays full-mode (CI noise is the gate's
         // tolerance band to judge).
         let (batched_s, sequential_s, paired_diff_s) =
-            measure_round(&mut engine, ingest, library, &mut store, 8);
+            measure_round(&mut engine, ingest, library, &mut seq, 8);
         println!(
             "smoke round: batched {:.3} ms, sequential {:.3} ms, paired diff {:+.0} us",
             batched_s * 1e3,
@@ -247,7 +268,7 @@ fn bench(c: &mut Criterion) {
     let mut recorded_wall = (0.0, 0.0);
     for round in 0..3 {
         let (batched_s, sequential_s, paired_diff_s) =
-            measure_round(&mut engine, ingest, library, &mut store, 24);
+            measure_round(&mut engine, ingest, library, &mut seq, 24);
         recorded_wall = (batched_s, sequential_s);
         let batched_pps = pages / batched_s;
         let sequential_pps = pages / sequential_s;
@@ -260,7 +281,7 @@ fn bench(c: &mut Criterion) {
             batched_pps
         );
         println!(
-            "sequential ServicedStore: {:>9.3} ms/batch  {:>9.0} pages/s",
+            "sequential per-page exec: {:>9.3} ms/batch  {:>9.0} pages/s",
             sequential_s * 1e3,
             sequential_pps
         );
@@ -288,12 +309,12 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_batch");
     group.throughput(Throughput::Elements(pages as u64));
     let (mut engine, ingest, library) = engine_under_test();
-    group.bench_function("batched_submit_poll", |b| {
+    group.bench_function("batched_submit_drain", |b| {
         b.iter(|| black_box(run_batched(&mut engine, ingest, library)))
     });
-    let mut store = store_under_test();
-    group.bench_function("sequential_serviced_store", |b| {
-        b.iter(|| black_box(run_sequential(&mut store)))
+    let mut seq = sequential_under_test();
+    group.bench_function("sequential_per_page_execute", |b| {
+        b.iter(|| black_box(run_sequential(&mut seq.0, seq.1, seq.2)))
     });
     group.finish();
 }

@@ -81,8 +81,8 @@ fn run_workload(engine: &mut StorageEngine) -> Vec<BatchReport> {
             }
         }
         assert_eq!(cmds.len(), CMDS_PER_BATCH);
-        engine.submit_owned(cmds).expect("batch must submit");
-        let completions = engine.poll();
+        engine.sq().submit_owned(cmds).expect("batch must submit");
+        let completions = engine.cq().drain();
         assert!(
             completions.iter().all(|c| c.result.is_ok()),
             "batch {b} had failures"

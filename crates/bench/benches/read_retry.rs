@@ -100,8 +100,8 @@ fn run_workload(engine: &mut StorageEngine) -> ArmResult {
             cmds.push(Command::write(svc, block, page, payload(block, page)));
         }
     }
-    engine.submit_owned(cmds).expect("prefill submits");
-    assert!(engine.poll().iter().all(|c| c.result.is_ok()));
+    engine.sq().submit_owned(cmds).expect("prefill submits");
+    assert!(engine.cq().drain().iter().all(|c| c.result.is_ok()));
     // Park: the stored pages age against the retention model.
     engine.advance_hours(PARK_HOURS);
 
@@ -127,8 +127,8 @@ fn run_workload(engine: &mut StorageEngine) -> ArmResult {
         for _ in 0..READS_PER_BATCH {
             cmds.push(Command::read(svc, next(HOT_BLOCKS), next(PAGES_PER_BLOCK)));
         }
-        engine.submit_owned(cmds).expect("batch submits");
-        for c in engine.poll() {
+        engine.sq().submit_owned(cmds).expect("batch submits");
+        for c in engine.cq().drain() {
             match c.result.expect("commands succeed") {
                 mlcx_core::engine::CommandOutput::Read(r) => {
                     out.read_latencies_s.push(r.latency_s);

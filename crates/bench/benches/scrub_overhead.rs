@@ -97,8 +97,8 @@ fn run_workload(engine: &mut StorageEngine, scrub: bool) -> ArmResult {
             cmds.push(Command::write(svc, block, page, payload(block, page)));
         }
     }
-    engine.submit_owned(cmds).expect("prefill submits");
-    assert!(engine.poll().iter().all(|c| c.result.is_ok()));
+    engine.sq().submit_owned(cmds).expect("prefill submits");
+    assert!(engine.cq().drain().iter().all(|c| c.result.is_ok()));
 
     // Current physical home of each hot slot, and the erased spares.
     let mut hot: Vec<usize> = (0..HOT_BLOCKS).collect();
@@ -150,8 +150,8 @@ fn run_workload(engine: &mut StorageEngine, scrub: bool) -> ArmResult {
             let page = next(PAGES_PER_BLOCK);
             cmds.push(Command::read(svc, block, page));
         }
-        engine.submit_owned(cmds).expect("batch submits");
-        for c in engine.poll() {
+        engine.sq().submit_owned(cmds).expect("batch submits");
+        for c in engine.cq().drain() {
             match c.result.expect("commands succeed") {
                 mlcx_core::engine::CommandOutput::Read(r) if !r.outcome.is_success() => {
                     out.uncorrectable += 1;

@@ -98,6 +98,12 @@ pub struct ChannelScheduler {
     batch_start_s: f64,
     /// Operations issued since `begin_batch`.
     batch_ops: u64,
+    /// Merged issue window of the operations since `begin_command`
+    /// (`None` until the command issues its first operation).
+    cmd_window: Option<IssueSlot>,
+    /// Earliest virtual time the current command may start (its host
+    /// arrival timestamp; 0 when unset).
+    cmd_floor_s: f64,
 }
 
 impl ChannelScheduler {
@@ -109,6 +115,8 @@ impl ChannelScheduler {
             chan_busy_s: vec![0.0; topology.channels],
             batch_start_s: 0.0,
             batch_ops: 0,
+            cmd_window: None,
+            cmd_floor_s: 0.0,
             topology,
         }
     }
@@ -132,6 +140,35 @@ impl ChannelScheduler {
             *busy = 0.0;
         }
         self.batch_ops = 0;
+        self.cmd_window = None;
+        self.cmd_floor_s = 0.0;
+    }
+
+    /// Opens a per-command timing window: every subsequent
+    /// [`ChannelScheduler::issue`] (until the next `begin_command`)
+    /// merges into one [`IssueSlot`] readable from
+    /// [`ChannelScheduler::command_window`], and none of those issues
+    /// may start before `not_before_s` (the command's host arrival
+    /// time). This is the handoff the event-driven engine core uses to
+    /// turn the controller's internal multi-issue commands (a
+    /// retry-laddered read, a relocate's read + write) into one
+    /// completion event with real start/end timestamps.
+    ///
+    /// A floor at or before the batch opening is a no-op, so
+    /// single-submitter drains — where every arrival predates the
+    /// barrier — are bit-identical to the floorless schedule.
+    pub fn begin_command(&mut self, not_before_s: f64) {
+        self.cmd_window = None;
+        self.cmd_floor_s = not_before_s;
+    }
+
+    /// The merged `(earliest start, latest end)` window of the
+    /// operations issued since the last
+    /// [`ChannelScheduler::begin_command`] (`None` for a command that
+    /// touched no device resource — trim, configure, failed
+    /// validation).
+    pub fn command_window(&self) -> Option<IssueSlot> {
+        self.cmd_window
     }
 
     /// Schedules one operation on `die` at the earliest slot its die
@@ -145,8 +182,10 @@ impl ChannelScheduler {
     pub fn issue(&mut self, die: usize, timing: OpTiming) -> IssueSlot {
         let chan = self.topology.channel_of_die(die);
         self.batch_ops += 1;
-        let die_free = self.die_free_s[die].max(self.batch_start_s);
-        if timing.bus_first {
+        let die_free = self.die_free_s[die]
+            .max(self.batch_start_s)
+            .max(self.cmd_floor_s);
+        let slot = if timing.bus_first {
             // Bus transfer gates the die work: wait for both resources.
             let start = die_free.max(self.chan_free_s[chan]);
             let bus_done = start + timing.bus_s;
@@ -177,7 +216,15 @@ impl ChannelScheduler {
                 start_s: start,
                 end_s: end,
             }
-        }
+        };
+        self.cmd_window = Some(match self.cmd_window {
+            None => slot,
+            Some(w) => IssueSlot {
+                start_s: w.start_s.min(slot.start_s),
+                end_s: w.end_s.max(slot.end_s),
+            },
+        });
+        slot
     }
 
     /// Operations issued since the last [`ChannelScheduler::begin_batch`].
@@ -294,5 +341,42 @@ mod tests {
         let slot = s.issue(1, OpTiming::erase(1e-3));
         assert!((slot.start_s - 2e-3).abs() < EPS);
         assert!((s.batch_makespan_s() - 1e-3).abs() < EPS);
+    }
+
+    #[test]
+    fn command_window_merges_multi_issue_commands() {
+        let mut s = ChannelScheduler::new(Topology::single());
+        s.begin_batch();
+        assert_eq!(s.command_window(), None);
+        // A relocate-shaped command: read then write, one window.
+        s.begin_command(0.0);
+        let read = s.issue(0, OpTiming::read(75e-6, 60e-6));
+        let write = s.issue(0, OpTiming::write(30e-6, 900e-6));
+        let w = s.command_window().unwrap();
+        assert!((w.start_s - read.start_s).abs() < EPS);
+        assert!((w.end_s - write.end_s).abs() < EPS);
+        // The next command opens a fresh window.
+        s.begin_command(0.0);
+        assert_eq!(s.command_window(), None);
+        let erase = s.issue(0, OpTiming::erase(2e-3));
+        assert_eq!(s.command_window(), Some(erase));
+    }
+
+    #[test]
+    fn command_floor_delays_the_start_only_when_in_the_future() {
+        let mut s = ChannelScheduler::new(Topology::single());
+        s.begin_batch();
+        // A floor behind the die clock is a no-op...
+        s.begin_command(0.0);
+        let a = s.issue(0, OpTiming::erase(1e-3));
+        assert!(a.start_s.abs() < EPS);
+        s.begin_command(0.5e-3);
+        let b = s.issue(0, OpTiming::erase(1e-3));
+        assert!((b.start_s - 1e-3).abs() < EPS, "die still busy");
+        // ...a future arrival idles the die until the command arrives.
+        s.begin_command(5e-3);
+        let c = s.issue(0, OpTiming::erase(1e-3));
+        assert!((c.start_s - 5e-3).abs() < EPS);
+        assert!((c.end_s - 6e-3).abs() < EPS);
     }
 }

@@ -1,24 +1,32 @@
-//! The command-queue storage engine — the host-facing API of the stack.
+//! The event-driven command-queue storage engine — the host-facing API
+//! of the stack.
 //!
 //! [`StorageEngine`] fronts the adaptive memory controller with an
 //! NVMe-style submission/completion interface: the host registers named
-//! *services* (block regions bound to a cross-layer [`Objective`]),
-//! enqueues typed [`Command`]s in batches with [`StorageEngine::submit`],
-//! and drains results with [`StorageEngine::poll`], which executes the
-//! queued work through the real controller datapath (functional BCH
-//! encode/decode, error-injected NAND model, calibrated latencies) and
-//! returns one [`Completion`] per command plus an aggregate
-//! [`BatchReport`] of modeled latency, energy and throughput.
+//! *services* (block regions bound to a cross-layer [`Objective`] and an
+//! optional [`QosSpec`]), enqueues typed [`Command`]s through its
+//! [`SubmissionQueue`] ([`StorageEngine::sq`]), and drains results from
+//! its [`CompletionQueue`] ([`StorageEngine::cq`]). Execution is
+//! discrete-event: every command is stamped with an *arrival* time on
+//! the engine's virtual clock at submission, dispatch runs the queued
+//! work through the real controller datapath (functional BCH
+//! encode/decode, error-injected NAND model, calibrated latencies) in
+//! [`SchedPolicy`] order, and each command's merged channel/die issue
+//! window becomes a completion event — so completions surface in
+//! *completion-time* order, out of order with respect to dispatch
+//! whenever dies overlap. Each drain also produces an aggregate
+//! [`BatchReport`] of modeled latency, energy, throughput and
+//! tail-latency flow percentiles.
 //!
 //! The engine is also where the cross-layer re-derivation cost is paid
 //! once instead of per page: the operating point selected by a service's
 //! objective at a wear level is memoized per `(service, wear bucket)`
 //! ([`WearBucketing`]), and the controller knobs are only rewritten when
-//! the point actually changes ([`MemoryController::apply_point`]). A
-//! 64-page batch on a same-wear block derives its schedule once, where
-//! the legacy per-page [`ServicedStore`](crate::services::ServicedStore)
-//! path re-derives it 64 times (both paths skip register writes whose
-//! value is already current).
+//! the point actually changes ([`MemoryController::apply_point`]).
+//!
+//! The pre-event entry points ([`StorageEngine::submit`],
+//! [`StorageEngine::poll`]) survive as deprecated thin wrappers over
+//! the queue pair; see `EXPERIMENTS.md` for the migration table.
 //!
 //! # Example
 //!
@@ -30,14 +38,16 @@
 //! let media = engine.register_service("media", Objective::MaxReadThroughput, 0..8)?;
 //!
 //! let data = vec![0x5Au8; 4096];
-//! engine.submit(&[
+//! engine.sq().submit(&[
 //!     Command::erase(media, 0),
 //!     Command::write(media, 0, 0, data.clone()),
 //!     Command::read(media, 0, 0),
 //! ])?;
-//! let completions = engine.poll();
+//! let completions = engine.cq().drain();
 //! assert_eq!(completions.len(), 3);
 //! assert!(completions.iter().all(|c| c.result.is_ok()));
+//! // Completions carry their event timestamps: arrival -> start -> end.
+//! assert!(completions.iter().all(|c| c.arrival_s <= c.start_s && c.start_s <= c.end_s));
 //! let report = engine.last_batch();
 //! assert!(report.device_latency_s > 0.0 && report.energy_j > 0.0);
 //! # Ok::<(), mlcx_core::MlcxError>(())
@@ -50,6 +60,7 @@ use std::ops::Range;
 use mlcx_controller::{ControllerConfig, MemoryController, ReadReport, ScrubPolicy, WriteReport};
 
 use crate::error::MlcxError;
+use crate::event::{CompletionEvent, EventQueue, PolicyBundle, QosSpec, SchedPolicy};
 use crate::model::{OperatingPoint, SubsystemModel};
 use crate::policy::Objective;
 use crate::services::{ServiceError, ServiceRegion, ServiceStats};
@@ -71,6 +82,12 @@ impl ServiceHandle {
     pub fn index(self) -> u32 {
         self.index
     }
+
+    /// A handle with raw fields, for unit tests that need a placeholder.
+    #[cfg(test)]
+    pub(crate) fn test_only(engine: u32, index: u32) -> Self {
+        ServiceHandle { engine, index }
+    }
 }
 
 impl fmt::Display for ServiceHandle {
@@ -87,6 +104,13 @@ impl CmdId {
     /// The raw sequence number (diagnostics only).
     pub fn raw(self) -> u64 {
         self.0
+    }
+
+    /// An id with a raw sequence number, for unit tests that need a
+    /// placeholder.
+    #[cfg(test)]
+    pub(crate) fn test_only(raw: u64) -> Self {
+        CmdId(raw)
     }
 }
 
@@ -276,15 +300,33 @@ pub enum CommandOutput {
     },
 }
 
-/// One completed command.
+/// One completed command, with its event timestamps on the engine's
+/// virtual clock.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Completion {
-    /// The ticket [`StorageEngine::submit`] returned for the command.
+    /// The ticket the submission queue returned for the command.
     pub id: CmdId,
     /// The service the command ran under.
     pub service: ServiceHandle,
     /// The command's outcome.
     pub result: Result<CommandOutput, MlcxError>,
+    /// When the command arrived (was submitted), absolute seconds on
+    /// the virtual clock.
+    pub arrival_s: f64,
+    /// When its first device operation started (its dispatch frontier
+    /// for commands that touch no device resource).
+    pub start_s: f64,
+    /// When its last device operation drained — the event time the
+    /// completion surfaced at.
+    pub end_s: f64,
+}
+
+impl Completion {
+    /// End-to-end flow latency: completion minus arrival, the figure
+    /// the per-tenant tail-latency percentiles are computed over.
+    pub fn flow_s(&self) -> f64 {
+        (self.end_s - self.arrival_s).max(0.0)
+    }
 }
 
 /// Aggregate accounting of one [`StorageEngine::poll`] drain.
@@ -344,6 +386,18 @@ pub struct BatchReport {
     /// senses — the read-latency price of the voltage-domain
     /// mitigation (already included in `read_latency_s`).
     pub retry_latency_s: f64,
+    /// Median end-to-end flow latency (completion minus arrival)
+    /// across the drain's completions, seconds.
+    pub flow_p50_s: f64,
+    /// p99 flow latency across the drain's completions, seconds.
+    pub flow_p99_s: f64,
+    /// p99.9 flow latency across the drain's completions, seconds —
+    /// the tail the QoS scheduler is judged on.
+    pub flow_p999_s: f64,
+    /// Completions whose flow latency exceeded their service's
+    /// [`QosSpec::deadline_s`] (0 with every deadline at the default
+    /// infinity).
+    pub deadline_misses: u64,
 }
 
 impl BatchReport {
@@ -399,8 +453,8 @@ impl BatchReport {
 /// bucket).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum WearBucketing {
-    /// No memoization: re-derive on every command. This is the legacy
-    /// [`ServicedStore`](crate::services::ServicedStore) behaviour.
+    /// No memoization: re-derive on every command — the retired
+    /// per-page `ServicedStore` facade's behaviour.
     PerPage,
     /// Memoize on the exact cycle count: every same-wear command after
     /// the first is a cache hit, and the selected point is identical to
@@ -432,10 +486,24 @@ impl WearBucketing {
     }
 }
 
+/// One submitted, not-yet-dispatched command.
+struct QueuedCmd {
+    id: CmdId,
+    cmd: Command,
+    /// Arrival timestamp on the virtual clock (stamped at submission).
+    arrival_s: f64,
+    /// Global submission sequence — the FIFO/deadline tie-break.
+    seq: u64,
+}
+
 struct ServiceState {
     region: ServiceRegion,
     stats: ServiceStats,
-    queue: VecDeque<(CmdId, Command)>,
+    qos: QosSpec,
+    /// Device time this service has consumed, per unit weight — the
+    /// weighted-fair virtual time its dispatches are ordered by.
+    vtime_s: f64,
+    queue: VecDeque<QueuedCmd>,
     /// Memoized operating point per die, as `(wear-bucket key, disturb
     /// epoch, point)` — the memo is keyed `(service, die, wear bucket)`
     /// because dies age independently, so one die's wear crossing a
@@ -474,6 +542,7 @@ pub struct EngineBuilder {
     seed: u64,
     bucketing: WearBucketing,
     scrub: ScrubPolicy,
+    sched: SchedPolicy,
 }
 
 impl EngineBuilder {
@@ -485,7 +554,31 @@ impl EngineBuilder {
             seed: 2012,
             bucketing: WearBucketing::default(),
             scrub: ScrubPolicy::disabled(),
+            sched: SchedPolicy::default(),
         }
+    }
+
+    /// Installs a whole [`PolicyBundle`] at once — retry, scrub,
+    /// disturb model, codec kernel and dispatch policy in one call,
+    /// the same surface [`ScenarioBuilder::policies`](crate::sim::scenario::ScenarioBuilder::policies)
+    /// (`crate::sim::scenario::ScenarioBuilder::policies`) accepts.
+    /// Call after [`EngineBuilder::controller_config`], which replaces
+    /// the configuration the retry/disturb/kernel knobs live in.
+    pub fn policies(mut self, bundle: PolicyBundle) -> Self {
+        self.config.retry = bundle.retry;
+        self.config.disturb = bundle.disturb;
+        self.config.ecc_kernel = bundle.codec_kernel;
+        self.scrub = bundle.scrub;
+        self.sched = bundle.sched;
+        self
+    }
+
+    /// Selects how dispatch is ordered across services (default
+    /// [`SchedPolicy::ServiceMajor`] — the historical drain order,
+    /// bit-identical to the pre-event engine).
+    pub fn sched_policy(mut self, sched: SchedPolicy) -> Self {
+        self.sched = sched;
+        self
     }
 
     /// Overrides the controller configuration.
@@ -597,6 +690,7 @@ impl EngineBuilder {
         let ctrl = MemoryController::new(self.config, self.seed)?;
         let mut engine = StorageEngine::with_bucketing(ctrl, self.model, self.bucketing);
         engine.scrub = self.scrub;
+        engine.sched = self.sched;
         Ok(engine)
     }
 }
@@ -621,6 +715,20 @@ pub struct StorageEngine {
     disturb_epoch: u64,
     next_id: u64,
     last_batch: BatchReport,
+    /// Cross-service dispatch order.
+    sched: SchedPolicy,
+    /// The engine's virtual clock, absolute seconds — shared with the
+    /// channel scheduler's busy-time timeline. Advances as completion
+    /// events are delivered.
+    clock_s: f64,
+    /// Global submission sequence source (arrival-order tie-breaks).
+    submit_seq: u64,
+    /// Pending completion events, keyed `(end time, dispatch seq)`.
+    events: EventQueue,
+    /// `(service index, flow latency)` of every completion in the most
+    /// recent dispatch — the per-tenant sample stream behind the
+    /// aggregate [`BatchReport`] flow percentiles.
+    last_flows: Vec<(u32, f64)>,
 }
 
 /// Source of per-instance engine ids (handle provenance checks).
@@ -655,6 +763,11 @@ impl StorageEngine {
             disturb_epoch: 0,
             next_id: 0,
             last_batch: BatchReport::default(),
+            sched: SchedPolicy::default(),
+            clock_s: 0.0,
+            submit_seq: 0,
+            events: EventQueue::default(),
+            last_flows: Vec::new(),
         }
     }
 
@@ -677,6 +790,23 @@ impl StorageEngine {
         objective: Objective,
         blocks: Range<usize>,
     ) -> Result<ServiceHandle, MlcxError> {
+        self.register_service_with_qos(name, objective, blocks, QosSpec::default())
+    }
+
+    /// [`StorageEngine::register_service`] with an explicit QoS
+    /// contract: a weighted-fair share, a relative deadline and a
+    /// bounded submission-queue depth.
+    ///
+    /// # Errors
+    ///
+    /// As for [`StorageEngine::register_service`].
+    pub fn register_service_with_qos(
+        &mut self,
+        name: &str,
+        objective: Objective,
+        blocks: Range<usize>,
+        qos: QosSpec,
+    ) -> Result<ServiceHandle, MlcxError> {
         for existing in &self.services {
             if blocks.start < existing.region.blocks.end
                 && existing.region.blocks.start < blocks.end
@@ -697,10 +827,21 @@ impl StorageEngine {
                 blocks,
             },
             stats: ServiceStats::default(),
+            qos,
+            vtime_s: 0.0,
             queue: VecDeque::new(),
             op_slots: vec![None; dies],
         });
         Ok(handle)
+    }
+
+    /// The QoS contract a service was registered with.
+    ///
+    /// # Errors
+    ///
+    /// [`MlcxError::UnknownHandle`] for foreign handles.
+    pub fn qos(&self, handle: ServiceHandle) -> Result<QosSpec, MlcxError> {
+        self.state(handle).map(|s| s.qos)
     }
 
     /// Looks a service up by name.
@@ -810,9 +951,36 @@ impl StorageEngine {
         self.services.iter().map(|s| s.queue.len()).sum()
     }
 
-    /// Accounting of the most recent [`StorageEngine::poll`] drain.
+    /// Accounting of the most recent dispatch (a
+    /// [`CompletionQueue::drain`] or the first
+    /// [`CompletionQueue::try_complete`] after new submissions).
     pub fn last_batch(&self) -> &BatchReport {
         &self.last_batch
+    }
+
+    /// `(service index, flow latency seconds)` of every completion in
+    /// the most recent dispatch — the per-tenant samples behind the
+    /// aggregate [`BatchReport`] flow percentiles. Order follows the
+    /// completion events.
+    pub fn last_batch_flows(&self) -> &[(u32, f64)] {
+        &self.last_flows
+    }
+
+    /// The cross-service dispatch policy the engine runs.
+    pub fn sched_policy(&self) -> SchedPolicy {
+        self.sched
+    }
+
+    /// The engine's virtual clock, absolute seconds. Advances as
+    /// completion events are delivered.
+    pub fn now_s(&self) -> f64 {
+        self.clock_s
+    }
+
+    /// Completions dispatched but not yet delivered through
+    /// [`CompletionQueue::try_complete`].
+    pub fn completions_pending(&self) -> usize {
+        self.events.len()
     }
 
     fn state(&self, handle: ServiceHandle) -> Result<&ServiceState, MlcxError> {
@@ -866,102 +1034,243 @@ impl StorageEngine {
         }
     }
 
+    /// The typed submission-queue view — the primary host surface for
+    /// enqueueing work (see [`SubmissionQueue`]).
+    pub fn sq(&mut self) -> SubmissionQueue<'_> {
+        SubmissionQueue { engine: self }
+    }
+
+    /// The typed completion-queue view — the primary host surface for
+    /// retrieving results (see [`CompletionQueue`]).
+    pub fn cq(&mut self) -> CompletionQueue<'_> {
+        CompletionQueue { engine: self }
+    }
+
     /// Enqueues a batch of commands onto their services' submission
     /// queues, returning one ticket per command (in order).
     ///
-    /// Submission is atomic: every command is validated first, and a
-    /// rejected command leaves no part of the batch enqueued.
-    ///
     /// # Errors
     ///
-    /// [`MlcxError::UnknownHandle`], [`MlcxError::Service`]
-    /// (out-of-region targets) or [`MlcxError::PageSize`] from
-    /// validation.
+    /// As for [`SubmissionQueue::submit`].
+    #[deprecated(
+        note = "use `engine.sq().submit(..)` — the typed SubmissionQueue/CompletionQueue \
+                pair is the primary host surface (see the migration table in EXPERIMENTS.md)"
+    )]
     pub fn submit(&mut self, commands: &[Command]) -> Result<Vec<CmdId>, MlcxError> {
-        self.submit_owned(commands.to_vec())
+        self.submit_at_impl(commands.to_vec(), self.clock_s)
     }
 
-    /// [`StorageEngine::submit`], taking ownership of the commands —
-    /// write payloads are moved into the queues instead of cloned.
+    /// [`StorageEngine::submit`], taking ownership of the commands.
     ///
     /// # Errors
     ///
-    /// As for [`StorageEngine::submit`]; on error the commands are
-    /// dropped without being enqueued.
+    /// As for [`SubmissionQueue::submit_owned`].
+    #[deprecated(
+        note = "use `engine.sq().submit_owned(..)` — the typed SubmissionQueue/CompletionQueue \
+                pair is the primary host surface (see the migration table in EXPERIMENTS.md)"
+    )]
     pub fn submit_owned(&mut self, commands: Vec<Command>) -> Result<Vec<CmdId>, MlcxError> {
+        self.submit_at_impl(commands, self.clock_s)
+    }
+
+    /// Dispatches all queued work and returns every completion, in
+    /// completion-event order.
+    #[deprecated(
+        note = "use `engine.cq().drain()` (or `try_complete()` for event-at-a-time delivery) — \
+                see the migration table in EXPERIMENTS.md"
+    )]
+    pub fn poll(&mut self) -> Vec<Completion> {
+        self.drain_impl()
+    }
+
+    /// Shared submission path: validate everything, enforce queue
+    /// depths, then stamp arrivals and enqueue.
+    fn submit_at_impl(
+        &mut self,
+        commands: Vec<Command>,
+        at_s: f64,
+    ) -> Result<Vec<CmdId>, MlcxError> {
         for cmd in &commands {
             self.validate(cmd)?;
         }
+        // Backpressure, checked atomically with validation: nothing is
+        // enqueued when any service's depth bound would be crossed.
+        let mut incoming = vec![0usize; self.services.len()];
+        for cmd in &commands {
+            incoming[cmd.service().index as usize] += 1;
+        }
+        for (idx, extra) in incoming.iter().enumerate() {
+            let state = &self.services[idx];
+            if *extra > 0 && state.queue.len() + extra > state.qos.depth {
+                return Err(MlcxError::QueueFull {
+                    service: state.region.name.clone(),
+                    depth: state.qos.depth,
+                });
+            }
+        }
+        let arrival_s = self.clock_s.max(at_s);
         let mut ids = Vec::with_capacity(commands.len());
         for cmd in commands {
             let id = CmdId(self.next_id);
             self.next_id += 1;
+            let seq = self.submit_seq;
+            self.submit_seq += 1;
             let idx = cmd.service().index as usize;
-            self.services[idx].queue.push_back((id, cmd));
+            self.services[idx].queue.push_back(QueuedCmd {
+                id,
+                cmd,
+                arrival_s,
+                seq,
+            });
             ids.push(id);
         }
         Ok(ids)
     }
 
-    /// Drains every submission queue through the controller datapath and
-    /// returns the completions in execution order.
-    ///
-    /// Scheduling is *service-major*: each service's queue is drained to
-    /// completion (FIFO) before the next service's begins. Grouping a
-    /// mixed batch by service keeps each service's (algorithm, t)
-    /// configuration — and the codec working set it selects — resident
-    /// across consecutive commands, instead of ping-ponging them at
-    /// every host-order alternation; this is where the batched path's
-    /// throughput edge over per-page sequential calls comes from, on top
-    /// of the memoized operating-point derivation. Commands correlate
-    /// back to the submission through their [`CmdId`]s.
-    ///
-    /// The drain also opens a window on the controller's channel/die
-    /// scheduler: every executed operation registers its bus/cell
-    /// occupancy, and operations whose blocks live on dies behind
-    /// different channels overlap on the modeled timeline. The batch's
-    /// parallel makespan, channel busy time and achieved parallelism
-    /// land in [`BatchReport`] next to the serial latency sum (the two
-    /// are equal on a 1-channel/1-die topology).
-    ///
-    /// Per-command failures are reported inside the corresponding
-    /// [`Completion`]; they never abort the rest of the batch. Aggregate
-    /// accounting for the drain is available from
-    /// [`StorageEngine::last_batch`] afterwards.
-    pub fn poll(&mut self) -> Vec<Completion> {
-        self.last_batch = BatchReport::default();
-        self.ctrl.scheduler_mut().begin_batch();
-        let mut completions = Vec::new();
-        for idx in 0..self.services.len() {
-            while let Some((id, cmd)) = self.services[idx].queue.pop_front() {
-                let service = self.handle_for(idx);
-                let result = self.execute_validated(idx, cmd);
-                self.last_batch.commands += 1;
-                match &result {
-                    Ok(_) => self.last_batch.succeeded += 1,
-                    Err(_) => self.last_batch.failed += 1,
+    /// The backlogged service the dispatch policy picks next, if any.
+    fn next_dispatch(&self) -> Option<usize> {
+        match self.sched {
+            // Historical order: drain each service to completion before
+            // the next (registration order) — always the lowest
+            // backlogged index.
+            SchedPolicy::ServiceMajor => self.services.iter().position(|s| !s.queue.is_empty()),
+            // Global host submission order across services.
+            SchedPolicy::FifoArrival => self
+                .services
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.queue.front().map(|q| (q.seq, i)))
+                .min()
+                .map(|(_, i)| i),
+            // Least accumulated device time per unit weight; ties to
+            // the lowest index.
+            SchedPolicy::WeightedFair => {
+                let mut best: Option<(f64, usize)> = None;
+                for (i, s) in self.services.iter().enumerate() {
+                    if s.queue.is_empty() {
+                        continue;
+                    }
+                    let key = s.vtime_s / s.qos.weight.max(f64::MIN_POSITIVE);
+                    if best.is_none_or(|(k, _)| key < k) {
+                        best = Some((key, i));
+                    }
                 }
-                completions.push(Completion {
-                    id,
-                    service,
-                    result,
-                });
+                best.map(|(_, i)| i)
+            }
+            // Earliest absolute deadline of the head-of-queue command;
+            // ties to submission order.
+            SchedPolicy::Deadline => {
+                let mut best: Option<(f64, u64, usize)> = None;
+                for (i, s) in self.services.iter().enumerate() {
+                    let Some(front) = s.queue.front() else {
+                        continue;
+                    };
+                    let due = front.arrival_s + s.qos.deadline_s;
+                    if best.is_none_or(|(d, seq, _)| (due, front.seq) < (d, seq)) {
+                        best = Some((due, front.seq, i));
+                    }
+                }
+                best.map(|(_, _, i)| i)
             }
         }
-        // Close the batch's timing window: the channel scheduler has
-        // overlapped the drained operations across channels/dies, and
-        // its makespan is the batch's modeled parallel latency.
+    }
+
+    /// Dispatches every queued command through the controller datapath
+    /// in [`SchedPolicy`] order, turning each into a completion event
+    /// keyed by its merged channel/die issue window. Fills
+    /// [`StorageEngine::last_batch`] (including the flow-latency
+    /// percentiles) for the whole dispatch.
+    fn dispatch_all(&mut self) {
+        self.last_batch = BatchReport::default();
+        self.last_flows.clear();
+        self.ctrl.scheduler_mut().begin_batch();
+        let batch_start_s = self.clock_s;
+        // The completion frontier: a command that touches no device
+        // resource (trim, configure, failed validation) completes here
+        // — never earlier than anything dispatched before it.
+        let mut frontier_s = batch_start_s;
+        let mut dispatch_seq = 0u64;
+        let mut flows: Vec<f64> = Vec::new();
+        while let Some(idx) = self.next_dispatch() {
+            let queued = self.services[idx].queue.pop_front().expect("backlogged");
+            let service = self.handle_for(idx);
+            self.ctrl.scheduler_mut().begin_command(queued.arrival_s);
+            let result = self.execute_validated(idx, queued.cmd);
+            self.last_batch.commands += 1;
+            match &result {
+                Ok(_) => self.last_batch.succeeded += 1,
+                Err(_) => self.last_batch.failed += 1,
+            }
+            let (start_s, end_s) = match self.ctrl.scheduler().command_window() {
+                Some(w) => (w.start_s, w.end_s),
+                None => (frontier_s, frontier_s),
+            };
+            frontier_s = frontier_s.max(end_s);
+            self.services[idx].vtime_s += end_s - start_s;
+            let flow_s = (end_s - queued.arrival_s).max(0.0);
+            flows.push(flow_s);
+            self.last_flows.push((idx as u32, flow_s));
+            if flow_s > self.services[idx].qos.deadline_s {
+                self.last_batch.deadline_misses += 1;
+            }
+            self.events.push(CompletionEvent {
+                end_s,
+                seq: dispatch_seq,
+                completion: Completion {
+                    id: queued.id,
+                    service,
+                    result,
+                    arrival_s: queued.arrival_s,
+                    start_s,
+                    end_s,
+                },
+            });
+            dispatch_seq += 1;
+        }
+        // Close the dispatch's timing window: the channel scheduler has
+        // overlapped the operations across channels/dies, and its
+        // makespan is the modeled parallel latency.
         let scheduler = self.ctrl.scheduler();
         self.last_batch.parallel_latency_s = scheduler.batch_makespan_s();
         self.last_batch.channel_busy_s = scheduler.batch_channel_busy_s();
         self.last_batch.channels = scheduler.topology().channels;
-        completions
+        flows.sort_by(|a, b| a.total_cmp(b));
+        self.last_batch.flow_p50_s = nearest_rank(&flows, 0.50);
+        self.last_batch.flow_p99_s = nearest_rank(&flows, 0.99);
+        self.last_batch.flow_p999_s = nearest_rank(&flows, 0.999);
+    }
+
+    /// Delivers the earliest pending completion event, dispatching
+    /// queued submissions first if none are in flight. Advances the
+    /// virtual clock to the event's end time. `None` when the engine is
+    /// fully idle.
+    fn try_complete_impl(&mut self) -> Option<Completion> {
+        if self.events.is_empty() && self.pending() > 0 {
+            self.dispatch_all();
+        }
+        let event = self.events.pop()?;
+        self.clock_s = self.clock_s.max(event.end_s);
+        Some(event.completion)
+    }
+
+    /// Dispatches all queued work and delivers every pending event, in
+    /// completion order.
+    fn drain_impl(&mut self) -> Vec<Completion> {
+        if self.pending() > 0 {
+            self.dispatch_all();
+        }
+        let mut out = Vec::with_capacity(self.events.len());
+        while let Some(c) = self.try_complete_impl() {
+            out.push(c);
+        }
+        out
     }
 
     /// Validates and executes one command immediately, bypassing the
-    /// queues — the synchronous convenience path (and the substrate of
-    /// the legacy [`ServicedStore`](crate::services::ServicedStore)
-    /// shim). Does not touch [`StorageEngine::last_batch`] accounting.
+    /// queues — the synchronous convenience path (and, with
+    /// [`WearBucketing::PerPage`], the substrate the retired
+    /// `ServicedStore` shim ran on). Does not touch
+    /// [`StorageEngine::last_batch`] accounting.
     ///
     /// # Errors
     ///
@@ -1150,6 +1459,116 @@ impl fmt::Debug for StorageEngine {
     }
 }
 
+/// Nearest-rank percentile of an ascending-sorted slice (`q` in 0..=1).
+/// Zero for an empty slice.
+fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let rank = ((q * n as f64).ceil() as usize).max(1).min(n);
+    sorted[rank - 1]
+}
+
+/// The typed host submission surface of a [`StorageEngine`].
+///
+/// Obtained from [`StorageEngine::sq`]; submissions validate atomically,
+/// respect each service's bounded queue depth
+/// ([`QosSpec::depth`](crate::event::QosSpec::depth) →
+/// [`MlcxError::QueueFull`]) and stamp every command with its arrival
+/// time on the engine's virtual clock.
+#[derive(Debug)]
+pub struct SubmissionQueue<'a> {
+    engine: &'a mut StorageEngine,
+}
+
+impl SubmissionQueue<'_> {
+    /// Enqueues a batch of commands, returning one ticket per command
+    /// (in order). Arrivals are stamped at the engine's current virtual
+    /// time ([`StorageEngine::now_s`]).
+    ///
+    /// Submission is atomic: every command is validated and every
+    /// service's queue depth is checked first; a rejected command
+    /// leaves no part of the batch enqueued.
+    ///
+    /// # Errors
+    ///
+    /// [`MlcxError::UnknownHandle`], [`MlcxError::Service`]
+    /// (out-of-region targets) or [`MlcxError::PageSize`] from
+    /// validation; [`MlcxError::QueueFull`] when a service's bounded
+    /// depth would be crossed (drain completions and resubmit).
+    pub fn submit(&mut self, commands: &[Command]) -> Result<Vec<CmdId>, MlcxError> {
+        let at_s = self.engine.clock_s;
+        self.engine.submit_at_impl(commands.to_vec(), at_s)
+    }
+
+    /// [`SubmissionQueue::submit`], taking ownership of the commands —
+    /// write payloads are moved into the queue instead of cloned.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SubmissionQueue::submit`]; on error the commands are
+    /// dropped without being enqueued.
+    pub fn submit_owned(&mut self, commands: Vec<Command>) -> Result<Vec<CmdId>, MlcxError> {
+        let at_s = self.engine.clock_s;
+        self.engine.submit_at_impl(commands, at_s)
+    }
+
+    /// [`SubmissionQueue::submit_owned`] with an explicit arrival time
+    /// on the virtual clock. Arrivals never move backwards: `at_s`
+    /// earlier than the engine's current virtual time is clamped to
+    /// *now*. A future arrival floors the commands' issue windows — the
+    /// channel scheduler will not start them earlier.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SubmissionQueue::submit_owned`].
+    pub fn submit_at(
+        &mut self,
+        commands: Vec<Command>,
+        at_s: f64,
+    ) -> Result<Vec<CmdId>, MlcxError> {
+        self.engine.submit_at_impl(commands, at_s)
+    }
+
+    /// Commands currently queued across all services (excludes
+    /// completions already in flight).
+    pub fn depth(&self) -> usize {
+        self.engine.pending()
+    }
+}
+
+/// The typed host completion surface of a [`StorageEngine`].
+///
+/// Obtained from [`StorageEngine::cq`]; completions surface in
+/// *completion-time* order on the virtual clock — out of order with
+/// respect to submission whenever dies overlap — and each delivery
+/// advances [`StorageEngine::now_s`] to the completion's end time.
+#[derive(Debug)]
+pub struct CompletionQueue<'a> {
+    engine: &'a mut StorageEngine,
+}
+
+impl CompletionQueue<'_> {
+    /// Delivers the earliest pending completion, dispatching queued
+    /// submissions first if none are in flight. `None` when the engine
+    /// is fully idle (nothing queued, nothing in flight).
+    pub fn try_complete(&mut self) -> Option<Completion> {
+        self.engine.try_complete_impl()
+    }
+
+    /// Dispatches all queued work and delivers every pending
+    /// completion, in completion order.
+    pub fn drain(&mut self) -> Vec<Completion> {
+        self.engine.drain_impl()
+    }
+
+    /// Completion events already scheduled but not yet delivered.
+    pub fn depth(&self) -> usize {
+        self.engine.completions_pending()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1164,7 +1583,7 @@ mod tests {
     }
 
     #[test]
-    fn submit_poll_round_trip_with_accounting() {
+    fn sq_cq_round_trip_with_accounting() {
         let mut e = engine();
         let media = e
             .register_service("media", Objective::MaxReadThroughput, 0..8)
@@ -1178,17 +1597,30 @@ mod tests {
         for p in 0..4 {
             cmds.push(Command::read(media, 0, p));
         }
-        let ids = e.submit(&cmds).unwrap();
+        let ids = e.sq().submit(&cmds).unwrap();
         assert_eq!(ids.len(), 9);
         assert_eq!(e.pending(), 9);
 
-        let completions = e.poll();
+        let completions = e.cq().drain();
         assert_eq!(e.pending(), 0);
         assert_eq!(completions.len(), 9);
         for (c, id) in completions.iter().zip(&ids) {
             assert_eq!(c.id, *id);
             assert!(c.result.is_ok(), "{:?}", c.result);
+            // Event timestamps are coherent on the virtual clock.
+            assert!(c.arrival_s <= c.start_s && c.start_s <= c.end_s);
+            assert!(c.flow_s() >= 0.0);
         }
+        // Single die: completion order is dispatch order, end times are
+        // monotone, and the drain advanced the clock to the last end.
+        assert!(completions.windows(2).all(|w| w[0].end_s <= w[1].end_s));
+        assert!((e.now_s() - completions.last().unwrap().end_s).abs() < 1e-15);
+        // Flow percentiles cover the batch.
+        let b = e.last_batch();
+        assert!(b.flow_p50_s > 0.0);
+        assert!(b.flow_p50_s <= b.flow_p99_s && b.flow_p99_s <= b.flow_p999_s);
+        assert_eq!(b.deadline_misses, 0);
+        assert_eq!(e.last_batch_flows().len(), 9);
         for (p, c) in completions[5..].iter().enumerate() {
             match c.result.as_ref().unwrap() {
                 CommandOutput::Read(r) => {
@@ -1217,13 +1649,14 @@ mod tests {
     }
 
     #[test]
-    fn poll_drains_service_major_in_fifo_order() {
+    fn default_dispatch_is_service_major_in_fifo_order() {
         let mut e = engine();
         let a = e.register_service("a", Objective::Baseline, 0..2).unwrap();
         let b = e.register_service("b", Objective::Baseline, 2..4).unwrap();
         // Host order alternates services; execution groups per service,
         // FIFO within each.
         let ids = e
+            .sq()
             .submit(&[
                 Command::erase(a, 0),
                 Command::erase(b, 2),
@@ -1231,7 +1664,7 @@ mod tests {
                 Command::erase(b, 3),
             ])
             .unwrap();
-        let completions = e.poll();
+        let completions = e.cq().drain();
         let services: Vec<u32> = completions.iter().map(|c| c.service.index()).collect();
         assert_eq!(services, vec![a.index(), a.index(), b.index(), b.index()]);
         let order: Vec<CmdId> = completions.iter().map(|c| c.id).collect();
@@ -1243,6 +1676,7 @@ mod tests {
         let mut e = engine();
         let a = e.register_service("a", Objective::Baseline, 0..2).unwrap();
         let err = e
+            .sq()
             .submit(&[Command::erase(a, 0), Command::erase(a, 99)])
             .unwrap_err();
         assert!(matches!(
@@ -1252,6 +1686,7 @@ mod tests {
         assert_eq!(e.pending(), 0, "no partial batch may be enqueued");
 
         let err = e
+            .sq()
             .submit(&[Command::write(a, 0, 0, vec![0u8; 100])])
             .unwrap_err();
         assert!(matches!(
@@ -1266,7 +1701,7 @@ mod tests {
             engine: u32::MAX,
             index: 42,
         };
-        let err = e.submit(&[Command::erase(foreign, 0)]).unwrap_err();
+        let err = e.sq().submit(&[Command::erase(foreign, 0)]).unwrap_err();
         assert!(matches!(err, MlcxError::UnknownHandle { handle: 42 }));
     }
 
@@ -1275,9 +1710,10 @@ mod tests {
         let mut e = engine();
         let a = e.register_service("a", Objective::Baseline, 0..2).unwrap();
         // Reading an unwritten page fails; the following erase succeeds.
-        e.submit(&[Command::read(a, 0, 0), Command::erase(a, 0)])
+        e.sq()
+            .submit(&[Command::read(a, 0, 0), Command::erase(a, 0)])
             .unwrap();
-        let completions = e.poll();
+        let completions = e.cq().drain();
         assert!(matches!(
             completions[0].result,
             Err(MlcxError::Ctrl(
@@ -1310,16 +1746,17 @@ mod tests {
     fn trim_unmaps_and_configure_rebinds() {
         let mut e = engine();
         let a = e.register_service("a", Objective::Baseline, 0..2).unwrap();
-        e.submit(&[
-            Command::erase(a, 0),
-            Command::write(a, 0, 0, page(1)),
-            Command::trim(a, 0, 0),
-            Command::read(a, 0, 0),
-            Command::trim(a, 0, 0),
-            Command::configure(a, Objective::MinUber),
-        ])
-        .unwrap();
-        let completions = e.poll();
+        e.sq()
+            .submit(&[
+                Command::erase(a, 0),
+                Command::write(a, 0, 0, page(1)),
+                Command::trim(a, 0, 0),
+                Command::read(a, 0, 0),
+                Command::trim(a, 0, 0),
+                Command::configure(a, Objective::MinUber),
+            ])
+            .unwrap();
+        let completions = e.cq().drain();
         assert_eq!(
             completions[2].result.as_ref().unwrap(),
             &CommandOutput::Trim { was_mapped: true }
@@ -1348,9 +1785,10 @@ mod tests {
             .register_service("a", Objective::MaxReadThroughput, 0..2)
             .unwrap();
         e.controller_mut().age_block(0, 1_000_000).unwrap();
-        e.submit(&[Command::erase(a, 0), Command::write(a, 0, 0, page(0))])
+        e.sq()
+            .submit(&[Command::erase(a, 0), Command::write(a, 0, 0, page(0))])
             .unwrap();
-        e.poll();
+        e.cq().drain();
         let relaxed = match e.execute(Command::read(a, 0, 0)).unwrap() {
             CommandOutput::Read(r) => r.t_used,
             _ => unreachable!(),
@@ -1359,13 +1797,14 @@ mod tests {
 
         // Re-bind to min-UBER: new writes must pick up the SV schedule's
         // capability (65 at end of life) instead of the cached t = 14.
-        e.submit(&[
-            Command::configure(a, Objective::MinUber),
-            Command::erase(a, 0),
-            Command::write(a, 0, 0, page(0)),
-        ])
-        .unwrap();
-        let completions = e.poll();
+        e.sq()
+            .submit(&[
+                Command::configure(a, Objective::MinUber),
+                Command::erase(a, 0),
+                Command::write(a, 0, 0, page(0)),
+            ])
+            .unwrap();
+        let completions = e.cq().drain();
         match completions[2].result.as_ref().unwrap() {
             CommandOutput::Write(w) => {
                 assert_eq!(w.algorithm, ProgramAlgorithm::IsppDv);
@@ -1386,8 +1825,8 @@ mod tests {
         for p in 0..4 {
             cmds.push(Command::read(a, 0, p));
         }
-        e.submit(&cmds).unwrap();
-        e.poll();
+        e.sq().submit(&cmds).unwrap();
+        e.cq().drain();
         let batch = *e.last_batch();
         assert_eq!(batch.channels, 1);
         assert!(
@@ -1422,8 +1861,8 @@ mod tests {
                 cmds.push(Command::write(svc, block, p, page(p as u8)));
             }
         }
-        e.submit(&cmds).unwrap();
-        let completions = e.poll();
+        e.sq().submit(&cmds).unwrap();
+        let completions = e.cq().drain();
         assert!(completions.iter().all(|c| c.result.is_ok()));
         let batch = *e.last_batch();
         assert_eq!(batch.channels, 4);
@@ -1448,24 +1887,26 @@ mod tests {
         let a = e.register_service("a", Objective::Baseline, 0..4).unwrap();
         e.controller_mut().age_block(0, 1_000_000).unwrap();
         e.controller_mut().age_block(1, 1_000_000).unwrap();
-        e.submit(&[
-            Command::erase(a, 0),
-            Command::erase(a, 1),
-            Command::write(a, 0, 0, page(0x5A)),
-        ])
-        .unwrap();
-        e.poll();
+        e.sq()
+            .submit(&[
+                Command::erase(a, 0),
+                Command::erase(a, 1),
+                Command::write(a, 0, 0, page(0x5A)),
+            ])
+            .unwrap();
+        e.cq().drain();
         assert_eq!(e.last_batch().scrub_relocations, 0);
         assert_eq!(e.last_batch().scrub_erases, 0);
         assert_eq!(e.last_batch().scrub_latency_s, 0.0);
 
         // Relocate the EOL page to block 1, then scrub-erase block 0.
-        e.submit(&[
-            Command::relocate(a, (0, 0), (1, 0)),
-            Command::scrub_erase(a, 0),
-        ])
-        .unwrap();
-        let completions = e.poll();
+        e.sq()
+            .submit(&[
+                Command::relocate(a, (0, 0), (1, 0)),
+                Command::scrub_erase(a, 0),
+            ])
+            .unwrap();
+        let completions = e.cq().drain();
         match completions[0].result.as_ref().unwrap() {
             CommandOutput::Relocate {
                 corrected_bits,
@@ -1518,14 +1959,15 @@ mod tests {
         // Disabled model: the clock moves, the memo does not.
         let mut e = engine();
         let a = e.register_service("a", Objective::Baseline, 0..2).unwrap();
-        e.submit(&[Command::erase(a, 0), Command::write(a, 0, 0, page(1))])
+        e.sq()
+            .submit(&[Command::erase(a, 0), Command::write(a, 0, 0, page(1))])
             .unwrap();
-        e.poll();
+        e.cq().drain();
         assert_eq!(e.last_batch().op_cache_misses, 1);
         e.advance_hours(10_000.0);
         assert!((e.now_hours() - 10_000.0).abs() < 1e-9);
-        e.submit(&[Command::write(a, 0, 1, page(2))]).unwrap();
-        e.poll();
+        e.sq().submit(&[Command::write(a, 0, 1, page(2))]).unwrap();
+        e.cq().drain();
         assert_eq!(
             (e.last_batch().op_cache_hits, e.last_batch().op_cache_misses),
             (1, 0),
@@ -1539,12 +1981,13 @@ mod tests {
             .build()
             .unwrap();
         let a = e.register_service("a", Objective::Baseline, 0..2).unwrap();
-        e.submit(&[Command::erase(a, 0), Command::write(a, 0, 0, page(1))])
+        e.sq()
+            .submit(&[Command::erase(a, 0), Command::write(a, 0, 0, page(1))])
             .unwrap();
-        e.poll();
+        e.cq().drain();
         e.advance_hours(10_000.0);
-        e.submit(&[Command::write(a, 0, 1, page(2))]).unwrap();
-        e.poll();
+        e.sq().submit(&[Command::write(a, 0, 1, page(2))]).unwrap();
+        e.cq().drain();
         assert_eq!(
             (e.last_batch().op_cache_hits, e.last_batch().op_cache_misses),
             (0, 1),
@@ -1553,8 +1996,8 @@ mod tests {
         // The explicit hook works too (scrub orchestrators call it
         // after read-disturb accumulation).
         e.invalidate_operating_points();
-        e.submit(&[Command::write(a, 0, 2, page(3))]).unwrap();
-        e.poll();
+        e.sq().submit(&[Command::write(a, 0, 2, page(3))]).unwrap();
+        e.cq().drain();
         assert_eq!(e.last_batch().op_cache_misses, 1);
     }
 
@@ -1576,15 +2019,16 @@ mod tests {
             .unwrap();
         let a = e.register_service("a", Objective::Baseline, 0..2).unwrap();
         e.controller_mut().age_block(0, 100_000).unwrap();
-        e.submit(&[Command::erase(a, 0), Command::write(a, 0, 0, page(1))])
+        e.sq()
+            .submit(&[Command::erase(a, 0), Command::write(a, 0, 0, page(1))])
             .unwrap();
-        let t_before = match e.poll()[1].result.as_ref().unwrap() {
+        let t_before = match e.cq().drain()[1].result.as_ref().unwrap() {
             CommandOutput::Write(w) => w.t_used,
             other => panic!("expected write, got {other:?}"),
         };
         e.advance_hours(10_000.0);
-        e.submit(&[Command::write(a, 0, 1, page(2))]).unwrap();
-        let t_after = match e.poll()[0].result.as_ref().unwrap() {
+        e.sq().submit(&[Command::write(a, 0, 1, page(2))]).unwrap();
+        let t_after = match e.cq().drain()[0].result.as_ref().unwrap() {
             CommandOutput::Write(w) => w.t_used,
             other => panic!("expected write, got {other:?}"),
         };
@@ -1646,16 +2090,17 @@ mod tests {
         // Age first: the retention wear term keys off the wear *at
         // program time*.
         e.controller_mut().age_block(0, 100_000).unwrap();
-        e.submit(&[
-            Command::erase(svc, 0),
-            Command::write(svc, 0, 0, data.clone()),
-        ])
-        .unwrap();
-        assert!(e.poll().iter().all(|c| c.result.is_ok()));
+        e.sq()
+            .submit(&[
+                Command::erase(svc, 0),
+                Command::write(svc, 0, 0, data.clone()),
+            ])
+            .unwrap();
+        assert!(e.cq().drain().iter().all(|c| c.result.is_ok()));
         e.advance_hours(20_000.0);
 
-        e.submit(&[Command::read(svc, 0, 0)]).unwrap();
-        let done = e.poll();
+        e.sq().submit(&[Command::read(svc, 0, 0)]).unwrap();
+        let done = e.cq().drain();
         let Ok(CommandOutput::Read(r)) = &done[0].result else {
             panic!("read must complete");
         };
@@ -1678,8 +2123,8 @@ mod tests {
         assert!(eff < nominal, "eff {eff:e} vs nominal {nominal:e}");
 
         // Steady state: same-seed single-sense read, no new counters.
-        e.submit(&[Command::read(svc, 0, 0)]).unwrap();
-        assert!(e.poll().iter().all(|c| c.result.is_ok()));
+        e.sq().submit(&[Command::read(svc, 0, 0)]).unwrap();
+        assert!(e.cq().drain().iter().all(|c| c.result.is_ok()));
         let batch = e.last_batch();
         assert_eq!((batch.retry_reads, batch.retry_senses), (0, 0));
         assert_eq!(batch.retry_latency_s, 0.0);
@@ -1732,12 +2177,13 @@ mod tests {
             for (b, wear) in [(0usize, 600u64), (1, 700), (2, 800)] {
                 engine.controller_mut().age_block(b, wear).unwrap();
                 engine
+                    .sq()
                     .submit(&[Command::erase(h, b), Command::write(h, b, 0, page(7))])
                     .unwrap();
             }
         }
-        let ce: Vec<_> = exact.poll();
-        let cl: Vec<_> = log2.poll();
+        let ce: Vec<_> = exact.cq().drain();
+        let cl: Vec<_> = log2.cq().drain();
         let t_of = |c: &Completion| match c.result.as_ref().unwrap() {
             CommandOutput::Write(w) => w.t_used,
             _ => panic!("expected write"),
@@ -1755,5 +2201,206 @@ mod tests {
         assert_eq!(exact.last_batch().op_cache_misses, 3);
         assert_eq!(log2.last_batch().op_cache_misses, 1);
         assert_eq!(log2.last_batch().op_cache_hits, 2);
+    }
+
+    #[test]
+    fn bounded_depth_pushes_back_atomically() {
+        let mut e = engine();
+        let a = e
+            .register_service_with_qos("a", Objective::Baseline, 0..2, QosSpec::default().depth(3))
+            .unwrap();
+        assert_eq!(e.qos(a).unwrap().depth, 3);
+        e.sq()
+            .submit(&[Command::erase(a, 0), Command::erase(a, 1)])
+            .unwrap();
+        // Two queued + two incoming crosses the depth-3 bound: the whole
+        // batch bounces and nothing extra is enqueued.
+        let err = e
+            .sq()
+            .submit(&[Command::erase(a, 0), Command::erase(a, 1)])
+            .unwrap_err();
+        assert!(
+            matches!(err, MlcxError::QueueFull { ref service, depth: 3 } if service == "a"),
+            "{err:?}"
+        );
+        assert_eq!(e.pending(), 2);
+        // One more still fits exactly.
+        e.sq().submit(&[Command::erase(a, 0)]).unwrap();
+        assert_eq!(e.pending(), 3);
+        // Draining frees the depth again.
+        assert_eq!(e.cq().drain().len(), 3);
+        e.sq()
+            .submit(&[
+                Command::erase(a, 0),
+                Command::erase(a, 1),
+                Command::erase(a, 0),
+            ])
+            .unwrap();
+        assert_eq!(e.cq().drain().len(), 3);
+    }
+
+    #[test]
+    fn try_complete_delivers_events_one_at_a_time() {
+        let mut e = engine();
+        let a = e.register_service("a", Objective::Baseline, 0..2).unwrap();
+        e.sq()
+            .submit(&[Command::erase(a, 0), Command::write(a, 0, 0, page(1))])
+            .unwrap();
+        let first = e.cq().try_complete().expect("first event");
+        assert_eq!(e.completions_pending(), 1);
+        // The clock sits at the delivered event's end time.
+        assert!((e.now_s() - first.end_s).abs() < 1e-15);
+        let second = e.cq().try_complete().expect("second event");
+        assert!(second.end_s >= first.end_s);
+        assert!(e.cq().try_complete().is_none(), "engine is idle");
+        // A later submission arrives at (and completes after) the
+        // advanced clock.
+        e.sq().submit(&[Command::read(a, 0, 0)]).unwrap();
+        let third = e.cq().try_complete().unwrap();
+        assert!((third.arrival_s - second.end_s).abs() < 1e-15);
+        assert!(third.end_s > second.end_s);
+    }
+
+    #[test]
+    fn submit_at_floors_the_issue_window() {
+        let mut e = engine();
+        let a = e.register_service("a", Objective::Baseline, 0..2).unwrap();
+        e.sq().submit(&[Command::erase(a, 0)]).unwrap();
+        e.cq().drain();
+        let now = e.now_s();
+        // A future arrival delays the start; a past one clamps to now.
+        let future = now + 1.0;
+        e.sq()
+            .submit_at(vec![Command::write(a, 0, 0, page(1))], future)
+            .unwrap();
+        e.sq()
+            .submit_at(vec![Command::write(a, 0, 1, page(2))], 0.0)
+            .unwrap();
+        let done = e.cq().drain();
+        // The past-arrival command was dispatched second but could
+        // start at the device frontier; the future-arrival one waited.
+        let by_id: Vec<&Completion> = done.iter().collect();
+        let fut = by_id.iter().find(|c| c.arrival_s == future).unwrap();
+        let past = by_id.iter().find(|c| c.arrival_s == now).unwrap();
+        assert!(fut.start_s >= future);
+        assert!(past.arrival_s == now, "past arrival clamps to the clock");
+    }
+
+    #[test]
+    fn fifo_arrival_interleaves_across_services() {
+        let mut e = EngineBuilder::date2012()
+            .seed(77)
+            .sched_policy(SchedPolicy::FifoArrival)
+            .build()
+            .unwrap();
+        let a = e.register_service("a", Objective::Baseline, 0..2).unwrap();
+        let b = e.register_service("b", Objective::Baseline, 2..4).unwrap();
+        let ids = e
+            .sq()
+            .submit(&[
+                Command::erase(a, 0),
+                Command::erase(b, 2),
+                Command::erase(a, 1),
+                Command::erase(b, 3),
+            ])
+            .unwrap();
+        let order: Vec<CmdId> = e.cq().drain().iter().map(|c| c.id).collect();
+        assert_eq!(order, ids, "FIFO keeps host submission order");
+    }
+
+    #[test]
+    fn weighted_fair_favors_the_heavy_service() {
+        let mut e = EngineBuilder::date2012()
+            .seed(77)
+            .sched_policy(SchedPolicy::WeightedFair)
+            .build()
+            .unwrap();
+        let light = e
+            .register_service_with_qos("light", Objective::Baseline, 0..2, QosSpec::weighted(1.0))
+            .unwrap();
+        let heavy = e
+            .register_service_with_qos("heavy", Objective::Baseline, 2..4, QosSpec::weighted(4.0))
+            .unwrap();
+        // Submit light's work first: under service-major it would all
+        // run before heavy's. Weighted-fair must interleave, giving
+        // heavy ~4 dispatches per light one after the opening round.
+        let mut cmds = Vec::new();
+        for _ in 0..4 {
+            cmds.push(Command::erase(light, 0));
+        }
+        for _ in 0..8 {
+            cmds.push(Command::erase(heavy, 2));
+        }
+        e.sq().submit(&cmds).unwrap();
+        let order: Vec<u32> = e.cq().drain().iter().map(|c| c.service.index()).collect();
+        // Not service-major: heavy work must appear before light's last.
+        let first_heavy = order.iter().position(|&s| s == heavy.index()).unwrap();
+        let last_light = order.iter().rposition(|&s| s == light.index()).unwrap();
+        assert!(
+            first_heavy < last_light,
+            "weighted-fair must interleave: {order:?}"
+        );
+        // In the first 5 dispatches, heavy (weight 4) gets the majority.
+        let heavy_early = order[..5].iter().filter(|&&s| s == heavy.index()).count();
+        assert!(heavy_early >= 3, "heavy must dominate early: {order:?}");
+    }
+
+    #[test]
+    fn deadline_dispatch_runs_the_most_urgent_first() {
+        let mut e = EngineBuilder::date2012()
+            .seed(77)
+            .sched_policy(SchedPolicy::Deadline)
+            .build()
+            .unwrap();
+        let lax = e
+            .register_service_with_qos(
+                "lax",
+                Objective::Baseline,
+                0..2,
+                QosSpec::with_deadline(10.0),
+            )
+            .unwrap();
+        let urgent = e
+            .register_service_with_qos(
+                "urgent",
+                Objective::Baseline,
+                2..4,
+                QosSpec::with_deadline(1e-4),
+            )
+            .unwrap();
+        // Same arrivals: the tighter relative deadline must win even
+        // though lax was submitted first.
+        e.sq()
+            .submit(&[
+                Command::erase(lax, 0),
+                Command::erase(lax, 1),
+                Command::erase(urgent, 2),
+                Command::erase(urgent, 3),
+            ])
+            .unwrap();
+        let order: Vec<u32> = e.cq().drain().iter().map(|c| c.service.index()).collect();
+        assert_eq!(
+            order,
+            vec![urgent.index(), urgent.index(), lax.index(), lax.index()]
+        );
+        // Erases take ~ms; a 100 us deadline is missed, the 10 s one is
+        // not — and the misses are counted.
+        assert_eq!(e.last_batch().deadline_misses, 2);
+    }
+
+    #[test]
+    fn policy_bundle_configures_engine_and_scenario_knobs_alike() {
+        let bundle = PolicyBundle::new()
+            .retry(mlcx_controller::retry::RetryPolicy::date2012())
+            .scrub(mlcx_controller::ScrubPolicy::date2012())
+            .disturb(mlcx_nand::disturb::DisturbModel::date2012())
+            .sched(SchedPolicy::WeightedFair);
+        let e = EngineBuilder::date2012()
+            .policies(bundle.clone())
+            .build()
+            .unwrap();
+        assert!(e.retry_policy().is_enabled());
+        assert!(e.scrub_policy().is_enabled());
+        assert_eq!(e.sched_policy(), SchedPolicy::WeightedFair);
     }
 }

@@ -52,6 +52,16 @@ pub enum MlcxError {
     /// Flash-translation-layer failure (address range, reclaimable
     /// space) from the workload simulator's logical datapath.
     Ftl(FtlError),
+    /// A submission would push a service's queue past its configured
+    /// depth — the backpressure signal of the bounded
+    /// submission-queue API (caught atomically: nothing from the
+    /// batch is enqueued). Hosts should drain completions and resubmit.
+    QueueFull {
+        /// The service whose queue is at capacity.
+        service: String,
+        /// The configured queue depth.
+        depth: usize,
+    },
 }
 
 impl fmt::Display for MlcxError {
@@ -74,6 +84,12 @@ impl fmt::Display for MlcxError {
                 write!(f, "invalid configuration: {reason}")
             }
             MlcxError::Ftl(e) => write!(f, "ftl: {e}"),
+            MlcxError::QueueFull { service, depth } => {
+                write!(
+                    f,
+                    "submission queue of service {service} is at its depth limit {depth}"
+                )
+            }
         }
     }
 }

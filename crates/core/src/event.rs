@@ -1,0 +1,293 @@
+//! The discrete-event vocabulary of the engine core.
+//!
+//! The engine orders execution with events on one *virtual clock* — the
+//! same absolute timeline the controller's
+//! [`ChannelScheduler`](mlcx_controller::channel::ChannelScheduler)
+//! advances its per-die/per-channel busy clocks on. A submitted command
+//! is stamped with its *arrival* time; dispatch (in
+//! [`SchedPolicy`] order) runs it through the functional datapath and
+//! asks the scheduler for the command's merged issue window
+//! ([`ChannelScheduler::command_window`](mlcx_controller::channel::ChannelScheduler::command_window));
+//! the resulting completion event is keyed by `(end time, dispatch
+//! sequence)` in a min-heap, so completions pop in *completion-time*
+//! order — out of order with respect to dispatch whenever dies overlap.
+//!
+//! This module also owns the QoS vocabulary: [`QosSpec`] (per-service
+//! weight, deadline and bounded queue depth) and [`PolicyBundle`], the
+//! shared policy surface [`EngineBuilder`](crate::engine::EngineBuilder)
+//! and [`ScenarioBuilder`](crate::sim::scenario::ScenarioBuilder) both
+//! accept so new knobs are added in one place.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use mlcx_controller::retry::RetryPolicy;
+use mlcx_controller::{CodecKernel, ScrubPolicy};
+use mlcx_nand::disturb::DisturbModel;
+
+use crate::engine::Completion;
+
+/// How the engine orders dispatch across services when draining its
+/// submission queues. Within one service, dispatch is always FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum SchedPolicy {
+    /// Drain each service's queue to completion before the next
+    /// service's begins (registration order). The historical drain
+    /// order — the default, pinned bit-identical by the determinism
+    /// tests.
+    #[default]
+    ServiceMajor,
+    /// Global host submission order across services.
+    FifoArrival,
+    /// Weighted fair queueing: each dispatch picks the backlogged
+    /// service with the least accumulated device time per unit
+    /// [`QosSpec::weight`] (ties resolve to the lowest service index).
+    /// Heavier weights get proportionally more of the device under
+    /// contention.
+    WeightedFair,
+    /// Earliest deadline first: each dispatch picks the backlogged
+    /// service whose head-of-queue command has the earliest
+    /// `arrival + `[`QosSpec::deadline_s`] (ties resolve to submission
+    /// order).
+    Deadline,
+}
+
+/// Per-service quality-of-service contract.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QosSpec {
+    /// Weighted-fair share under [`SchedPolicy::WeightedFair`]
+    /// (default 1.0).
+    pub weight: f64,
+    /// Relative completion deadline, seconds after arrival, under
+    /// [`SchedPolicy::Deadline`] — and the threshold
+    /// [`BatchReport::deadline_misses`](crate::engine::BatchReport::deadline_misses)
+    /// counts against (default infinity: never missed).
+    pub deadline_s: f64,
+    /// Bounded submission-queue depth: a submission that would push
+    /// the service's pending count past this raises
+    /// [`MlcxError::QueueFull`](crate::error::MlcxError::QueueFull)
+    /// (default `usize::MAX`: unbounded).
+    pub depth: usize,
+}
+
+impl Default for QosSpec {
+    fn default() -> Self {
+        QosSpec {
+            weight: 1.0,
+            deadline_s: f64::INFINITY,
+            depth: usize::MAX,
+        }
+    }
+}
+
+impl QosSpec {
+    /// A spec with a weighted-fair share and the remaining fields at
+    /// their defaults.
+    pub fn weighted(weight: f64) -> Self {
+        QosSpec {
+            weight,
+            ..QosSpec::default()
+        }
+    }
+
+    /// A spec with a relative deadline and the remaining fields at
+    /// their defaults.
+    pub fn with_deadline(deadline_s: f64) -> Self {
+        QosSpec {
+            deadline_s,
+            ..QosSpec::default()
+        }
+    }
+
+    /// Returns the spec with a bounded queue depth.
+    pub fn depth(mut self, depth: usize) -> Self {
+        self.depth = depth;
+        self
+    }
+}
+
+/// The shared policy surface of the stack: every cross-cutting knob a
+/// builder accepts, in one struct, so
+/// [`EngineBuilder::policies`](crate::engine::EngineBuilder::policies)
+/// and
+/// [`ScenarioBuilder::policies`](crate::sim::scenario::ScenarioBuilder::policies)
+/// stay in lockstep when knobs are added.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyBundle {
+    /// Read-retry ladder on uncorrectable reads (default disabled).
+    pub retry: RetryPolicy,
+    /// Background scrub / read-reclaim policy (default disabled).
+    pub scrub: ScrubPolicy,
+    /// Read-disturb / retention model (default disabled).
+    pub disturb: DisturbModel,
+    /// BCH codec kernel rung (default [`CodecKernel::Auto`]).
+    pub codec_kernel: CodecKernel,
+    /// Cross-service dispatch order (default
+    /// [`SchedPolicy::ServiceMajor`]).
+    pub sched: SchedPolicy,
+}
+
+impl PolicyBundle {
+    /// A bundle with every policy at its default (retry/scrub/disturb
+    /// disabled, auto codec kernel, service-major dispatch).
+    pub fn new() -> Self {
+        PolicyBundle::default()
+    }
+
+    /// Returns the bundle with a read-retry policy.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Returns the bundle with a scrub policy.
+    pub fn scrub(mut self, scrub: ScrubPolicy) -> Self {
+        self.scrub = scrub;
+        self
+    }
+
+    /// Returns the bundle with a disturb/retention model.
+    pub fn disturb(mut self, disturb: DisturbModel) -> Self {
+        self.disturb = disturb;
+        self
+    }
+
+    /// Returns the bundle with a codec kernel rung.
+    pub fn codec_kernel(mut self, kernel: CodecKernel) -> Self {
+        self.codec_kernel = kernel;
+        self
+    }
+
+    /// Returns the bundle with a dispatch policy.
+    pub fn sched(mut self, sched: SchedPolicy) -> Self {
+        self.sched = sched;
+        self
+    }
+}
+
+/// One completion, scheduled to surface at `end_s` on the virtual
+/// clock.
+#[derive(Debug)]
+pub(crate) struct CompletionEvent {
+    /// Virtual time the command's last device operation drains (its
+    /// dispatch frontier for zero-device commands).
+    pub end_s: f64,
+    /// Dispatch sequence — the deterministic tie-break for events
+    /// sharing an end time.
+    pub seq: u64,
+    /// The completion to deliver.
+    pub completion: Completion,
+}
+
+impl PartialEq for CompletionEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq && self.end_s.total_cmp(&other.end_s) == Ordering::Equal
+    }
+}
+
+impl Eq for CompletionEvent {}
+
+impl PartialOrd for CompletionEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CompletionEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we pop the *earliest*
+        // (end, seq).
+        other
+            .end_s
+            .total_cmp(&self.end_s)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The engine's pending completion events, ordered by completion time.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<CompletionEvent>,
+}
+
+impl EventQueue {
+    pub fn push(&mut self, event: CompletionEvent) {
+        self.heap.push(event);
+    }
+
+    /// The earliest `(end, seq)` event, if any.
+    pub fn pop(&mut self) -> Option<CompletionEvent> {
+        self.heap.pop()
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{CmdId, CommandOutput, Completion};
+
+    fn event(end_s: f64, seq: u64) -> CompletionEvent {
+        CompletionEvent {
+            end_s,
+            seq,
+            completion: Completion {
+                id: CmdId::test_only(seq),
+                service: crate::engine::ServiceHandle::test_only(0, 0),
+                result: Ok(CommandOutput::Trim { was_mapped: false }),
+                arrival_s: 0.0,
+                start_s: end_s,
+                end_s,
+            },
+        }
+    }
+
+    #[test]
+    fn events_pop_in_end_time_order_with_seq_tiebreak() {
+        let mut q = EventQueue::default();
+        q.push(event(3.0, 0));
+        q.push(event(1.0, 2));
+        q.push(event(1.0, 1));
+        q.push(event(2.0, 3));
+        assert_eq!(q.len(), 4);
+        let order: Vec<(f64, u64)> = std::iter::from_fn(|| q.pop())
+            .map(|e| (e.end_s, e.seq))
+            .collect();
+        assert_eq!(order, vec![(1.0, 1), (1.0, 2), (2.0, 3), (3.0, 0)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn qos_spec_defaults_are_neutral() {
+        let q = QosSpec::default();
+        assert_eq!(q.weight, 1.0);
+        assert_eq!(q.deadline_s, f64::INFINITY);
+        assert_eq!(q.depth, usize::MAX);
+        let q = QosSpec::weighted(8.0).depth(4);
+        assert_eq!((q.weight, q.depth), (8.0, 4));
+        assert_eq!(QosSpec::with_deadline(1e-3).deadline_s, 1e-3);
+    }
+
+    #[test]
+    fn policy_bundle_builds_fluently() {
+        let b = PolicyBundle::new()
+            .retry(RetryPolicy::date2012())
+            .scrub(ScrubPolicy::date2012())
+            .disturb(DisturbModel::date2012())
+            .codec_kernel(CodecKernel::Reference)
+            .sched(SchedPolicy::WeightedFair);
+        assert!(b.retry.is_enabled());
+        assert!(b.scrub.is_enabled());
+        assert!(b.disturb.is_enabled());
+        assert_eq!(b.codec_kernel, CodecKernel::Reference);
+        assert_eq!(b.sched, SchedPolicy::WeightedFair);
+    }
+}

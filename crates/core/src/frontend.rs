@@ -1,0 +1,146 @@
+//! Concurrent host frontend: N submitter threads over one engine.
+//!
+//! The offline tree models a multi-tenant host with plain
+//! `std::thread` workers (no async runtime): a [`HostFrontend`] wraps a
+//! [`StorageEngine`] behind a mutex and hands out cloneable
+//! [`Submitter`]s, one per host thread. Each submitter pushes batches
+//! through the engine's typed submission queue; when a service's
+//! bounded depth pushes back ([`MlcxError::QueueFull`]), the submitter
+//! drains completions into the frontend's shared sink and retries —
+//! the same drain-and-resubmit loop a real host driver runs on a full
+//! NVMe submission queue.
+//!
+//! Completions end up in one shared sink regardless of which thread's
+//! submission produced them; [`HostFrontend::into_engine`] tears the
+//! frontend down and hands the engine back for report extraction.
+//!
+//! Determinism note: with several submitters racing, the *interleaving*
+//! of batches (and therefore per-die RNG draws) is scheduling-dependent
+//! — but the *set* of functional outcomes per service is not, which is
+//! what the multi-submitter stress test pins. Single-submitter use is
+//! fully deterministic.
+
+use std::sync::{Arc, Mutex};
+
+use crate::engine::{CmdId, Command, Completion, StorageEngine};
+use crate::error::MlcxError;
+
+struct Shared {
+    engine: Mutex<StorageEngine>,
+    sink: Mutex<Vec<Completion>>,
+}
+
+/// A multi-threaded host frontend over one [`StorageEngine`].
+pub struct HostFrontend {
+    shared: Arc<Shared>,
+}
+
+impl HostFrontend {
+    /// Wraps an engine for concurrent submission.
+    pub fn new(engine: StorageEngine) -> Self {
+        HostFrontend {
+            shared: Arc::new(Shared {
+                engine: Mutex::new(engine),
+                sink: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// A new submitter sharing this frontend's engine. Submitters are
+    /// cheap to clone and `Send` — hand one to each host thread.
+    pub fn submitter(&self) -> Submitter {
+        Submitter {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Drains every queued command and pending completion into the
+    /// shared sink, then returns the sink's contents so far.
+    pub fn drain(&self) -> Vec<Completion> {
+        let mut engine = self.shared.engine.lock().expect("engine lock");
+        let done = engine.cq().drain();
+        drop(engine);
+        let mut sink = self.shared.sink.lock().expect("sink lock");
+        sink.extend(done);
+        std::mem::take(&mut sink)
+    }
+
+    /// Tears the frontend down, returning the engine and any
+    /// completions still in the sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any [`Submitter`] is still alive — join the host
+    /// threads first.
+    pub fn into_engine(self) -> (StorageEngine, Vec<Completion>) {
+        let shared = Arc::try_unwrap(self.shared)
+            .unwrap_or_else(|_| panic!("submitters still alive; join host threads first"));
+        let engine = shared.engine.into_inner().expect("engine lock");
+        let sink = shared.sink.into_inner().expect("sink lock");
+        (engine, sink)
+    }
+}
+
+impl std::fmt::Debug for HostFrontend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HostFrontend")
+            .field("submitters", &(Arc::strong_count(&self.shared) - 1))
+            .finish()
+    }
+}
+
+/// One host thread's handle for pushing work through a
+/// [`HostFrontend`].
+#[derive(Clone)]
+pub struct Submitter {
+    shared: Arc<Shared>,
+}
+
+impl Submitter {
+    /// Submits a batch, transparently absorbing backpressure: on
+    /// [`MlcxError::QueueFull`] the engine's queues are drained into
+    /// the frontend's shared sink and the batch is retried. Any other
+    /// validation error is returned as-is (nothing enqueued).
+    ///
+    /// # Errors
+    ///
+    /// As for
+    /// [`SubmissionQueue::submit_owned`](crate::engine::SubmissionQueue::submit_owned),
+    /// except [`MlcxError::QueueFull`] which is handled internally.
+    pub fn submit(&self, commands: Vec<Command>) -> Result<Vec<CmdId>, MlcxError> {
+        loop {
+            let mut engine = self.shared.engine.lock().expect("engine lock");
+            // Borrowing submit: the batch survives a QueueFull rejection
+            // (submission is atomic — nothing was enqueued) so it can be
+            // retried after reaping.
+            match engine.sq().submit(&commands) {
+                Ok(ids) => return Ok(ids),
+                Err(MlcxError::QueueFull { .. }) => {
+                    // Make room the way a host driver does: reap
+                    // completions into the shared sink, then resubmit.
+                    let done = engine.cq().drain();
+                    drop(engine);
+                    let mut sink = self.shared.sink.lock().expect("sink lock");
+                    sink.extend(done);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Drains every queued command and pending completion into the
+    /// frontend's shared sink.
+    pub fn drain_into_sink(&self) {
+        let mut engine = self.shared.engine.lock().expect("engine lock");
+        let done = engine.cq().drain();
+        drop(engine);
+        let mut sink = self.shared.sink.lock().expect("sink lock");
+        sink.extend(done);
+    }
+}
+
+impl std::fmt::Debug for Submitter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Submitter")
+    }
+}

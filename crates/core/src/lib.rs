@@ -6,10 +6,17 @@
 //! ISPP-DV program-algorithm selection of `mlcx-nand`) and quantifies the
 //! resulting trade-off space:
 //!
-//! * [`engine`] — the host-facing command-queue [`StorageEngine`]:
-//!   batched submit/poll over per-service queues, per-batch
-//!   latency/energy accounting, and memoized cross-layer configuration
-//!   (see [`engine::WearBucketing`]).
+//! * [`engine`] — the event-driven host engine [`StorageEngine`]: typed
+//!   submission/completion queues over one virtual clock, per-service
+//!   QoS (weights, deadlines, bounded depth), per-batch latency/energy
+//!   and tail-latency accounting, and memoized cross-layer
+//!   configuration (see [`engine::WearBucketing`]).
+//! * [`event`] — the discrete-event vocabulary: [`SchedPolicy`],
+//!   [`QosSpec`] and the shared [`PolicyBundle`] both the engine and
+//!   scenario builders accept.
+//! * [`frontend`] — [`HostFrontend`]: N concurrent host submitters
+//!   (plain threads) over one engine, with backpressure-aware
+//!   submission.
 //! * [`uber`] — eq. (1) of the paper: the uncorrectable bit error rate of
 //!   a `t`-error-correcting page code at a given RBER, in log domain, and
 //!   the required-`t` solver that drives every ECC schedule.
@@ -49,7 +56,9 @@ mod error;
 mod model;
 
 pub mod engine;
+pub mod event;
 pub mod experiments;
+pub mod frontend;
 pub mod policy;
 pub mod report;
 pub mod services;
@@ -57,12 +66,14 @@ pub mod sim;
 pub mod uber;
 
 pub use engine::{
-    BatchReport, CmdId, Command, CommandOutput, Completion, EngineBuilder, ServiceHandle,
-    StorageEngine, WearBucketing,
+    BatchReport, CmdId, Command, CommandOutput, Completion, CompletionQueue, EngineBuilder,
+    ServiceHandle, StorageEngine, SubmissionQueue, WearBucketing,
 };
 pub use error::MlcxError;
+pub use event::{PolicyBundle, QosSpec, SchedPolicy};
+pub use frontend::{HostFrontend, Submitter};
 pub use mlcx_controller::CodecKernel;
 pub use model::{Metrics, OperatingPoint, SubsystemModel, SubsystemModelBuilder};
 pub use policy::Objective;
-pub use services::{ServiceError, ServiceRegion, ServiceStats, ServicedStore};
+pub use services::{ServiceError, ServiceRegion, ServiceStats};
 pub use sim::{Scenario, ScenarioReport, TraceGenerator, TraceKind, WorkloadRunner};

@@ -1,22 +1,26 @@
-//! Differentiated storage services — the service directory types and the
-//! legacy per-page facade.
+//! Differentiated storage services — the service-directory vocabulary.
 //!
 //! The conclusions promise to "implement the memory controller taking
 //! advantage of the new trade-offs, thus exposing differentiated storage
-//! services to applications". The batched realization of that promise is
-//! [`StorageEngine`]; this module owns the
-//! service-directory vocabulary it builds on ([`ServiceRegion`],
-//! [`ServiceStats`], [`ServiceError`]) plus [`ServicedStore`], the
-//! original synchronous per-page API, kept as a thin shim over the
-//! engine for existing callers.
+//! services to applications". The realization of that promise is
+//! [`StorageEngine`](crate::engine::StorageEngine); this module owns the
+//! service-directory vocabulary it builds on: [`ServiceRegion`] (a named
+//! block range bound to a cross-layer objective), [`ServiceStats`]
+//! (per-service traffic counters) and [`ServiceError`] (directory
+//! violations).
+//!
+//! The original synchronous per-page facade (`ServicedStore`) has been
+//! retired: drive the engine's typed submission/completion queues
+//! ([`StorageEngine::sq`](crate::engine::StorageEngine::sq) /
+//! [`StorageEngine::cq`](crate::engine::StorageEngine::cq)), or its
+//! synchronous [`execute`](crate::engine::StorageEngine::execute) for
+//! one-off per-page calls. The migration table in `EXPERIMENTS.md` maps
+//! each retired call to its replacement.
 
 use std::ops::Range;
 
-use mlcx_controller::{CtrlError, MemoryController, ReadReport, WriteReport};
+use mlcx_controller::CtrlError;
 
-use crate::engine::{Command, CommandOutput, ServiceHandle, StorageEngine, WearBucketing};
-use crate::error::MlcxError;
-use crate::model::SubsystemModel;
 use crate::policy::Objective;
 
 /// A named region of the device bound to a service objective.
@@ -104,278 +108,32 @@ pub struct ServiceStats {
     pub corrected_bits: u64,
 }
 
-/// Collapses an engine error back onto the legacy [`ServiceError`]
-/// surface (the shim's calls can only produce these shapes).
-fn legacy_error(e: MlcxError) -> ServiceError {
-    match e {
-        MlcxError::Service(s) => s,
-        MlcxError::Ctrl(c) => ServiceError::Ctrl(c),
-        MlcxError::Nand(n) => ServiceError::Ctrl(CtrlError::Nand(n)),
-        MlcxError::Ecc(b) => ServiceError::Ctrl(CtrlError::Ecc(b)),
-        MlcxError::PageSize { expected, actual } => {
-            ServiceError::Ctrl(CtrlError::BufferSize { expected, actual })
-        }
-        // UnknownHandle/InvalidConfig cannot arise from the shim's own
-        // calls (handles are resolved internally, nothing is rebuilt);
-        // surface them as a controller configuration error rather than
-        // inventing a fake service name.
-        other => ServiceError::Ctrl(CtrlError::InvalidConfig {
-            reason: other.to_string(),
-        }),
-    }
-}
-
-/// A memory controller fronted by a service directory — the original
-/// synchronous, one-call-per-page API.
-///
-/// **Deprecated (legacy shim).** New code should drive
-/// [`StorageEngine`] directly: it batches, reports per-batch
-/// accounting, and memoizes operating-point derivation — and the
-/// workload simulator ([`crate::sim`]) only speaks the engine API. The
-/// shim is kept (not attribute-deprecated, to keep the workspace
-/// warning-free) for existing callers and as the sequential baseline
-/// the `engine_batch` bench measures against; it deliberately runs the
-/// engine in [`WearBucketing::PerPage`] mode so it keeps the original
-/// semantics — the cross-layer configuration is re-derived from the
-/// region's wear on *every* write. Expect removal once nothing measures
-/// against it.
-///
-/// # Example
-///
-/// ```
-/// use mlcx_controller::{ControllerConfig, MemoryController};
-/// use mlcx_core::services::ServicedStore;
-/// use mlcx_core::{Objective, SubsystemModel};
-///
-/// let ctrl = MemoryController::new(ControllerConfig::date2012(), 9)?;
-/// let mut store = ServicedStore::new(ctrl, SubsystemModel::date2012());
-/// store.add_region("payments", Objective::MinUber, 0..4)?;
-/// store.add_region("media", Objective::MaxReadThroughput, 4..16)?;
-/// store.erase("media", 4)?;
-/// store.write("media", 4, 0, &vec![0u8; 4096])?;
-/// let read = store.read("media", 4, 0)?;
-/// assert!(read.outcome.is_success());
-/// # Ok::<(), Box<dyn std::error::Error>>(())
-/// ```
-#[derive(Debug)]
-pub struct ServicedStore {
-    engine: StorageEngine,
-}
-
-impl ServicedStore {
-    /// Wraps a controller with an empty service directory.
-    pub fn new(ctrl: MemoryController, model: SubsystemModel) -> Self {
-        ServicedStore {
-            engine: StorageEngine::with_bucketing(ctrl, model, WearBucketing::PerPage),
-        }
-    }
-
-    /// Registers a service region.
-    ///
-    /// # Errors
-    ///
-    /// [`ServiceError::Overlap`] when the block range collides with an
-    /// existing region.
-    pub fn add_region(
-        &mut self,
-        name: &str,
-        objective: Objective,
-        blocks: Range<usize>,
-    ) -> Result<(), ServiceError> {
-        self.engine
-            .register_service(name, objective, blocks)
-            .map_err(legacy_error)?;
-        Ok(())
-    }
-
-    /// The registered regions (live view from the backing engine, in
-    /// registration order).
-    pub fn regions(&self) -> Vec<ServiceRegion> {
-        self.engine.regions().cloned().collect()
-    }
-
-    /// Traffic counters for a service.
-    pub fn stats(&self, name: &str) -> Option<ServiceStats> {
-        let handle = self.engine.service(name)?;
-        self.engine.stats(handle).ok()
-    }
-
-    /// The wrapped controller (wear inspection etc.).
-    pub fn controller(&self) -> &MemoryController {
-        self.engine.controller()
-    }
-
-    /// Mutable controller access (aging blocks in experiments).
-    pub fn controller_mut(&mut self) -> &mut MemoryController {
-        self.engine.controller_mut()
-    }
-
-    /// The backing engine — migration escape hatch for callers moving to
-    /// the batched API.
-    pub fn engine_mut(&mut self) -> &mut StorageEngine {
-        &mut self.engine
-    }
-
-    fn handle(&self, name: &str) -> Result<ServiceHandle, ServiceError> {
-        self.engine
-            .service(name)
-            .ok_or_else(|| ServiceError::UnknownService {
-                name: name.to_string(),
-            })
-    }
-
-    /// Erases a block belonging to a service.
-    ///
-    /// # Errors
-    ///
-    /// Region-membership and controller errors.
-    pub fn erase(&mut self, name: &str, block: usize) -> Result<(), ServiceError> {
-        let handle = self.handle(name)?;
-        self.engine
-            .execute(Command::erase(handle, block))
-            .map_err(legacy_error)?;
-        Ok(())
-    }
-
-    /// Writes a page through a service: the cross-layer configuration is
-    /// re-derived from the region's objective and the block's current
-    /// wear, then applied before the write.
-    ///
-    /// # Errors
-    ///
-    /// Region-membership and controller errors.
-    pub fn write(
-        &mut self,
-        name: &str,
-        block: usize,
-        page: usize,
-        data: &[u8],
-    ) -> Result<WriteReport, ServiceError> {
-        let handle = self.handle(name)?;
-        match self
-            .engine
-            .execute(Command::write(handle, block, page, data.to_vec()))
-            .map_err(legacy_error)?
-        {
-            CommandOutput::Write(report) => Ok(report),
-            other => unreachable!("write command produced {other:?}"),
-        }
-    }
-
-    /// Reads a page through a service.
-    ///
-    /// # Errors
-    ///
-    /// Region-membership and controller errors.
-    pub fn read(
-        &mut self,
-        name: &str,
-        block: usize,
-        page: usize,
-    ) -> Result<ReadReport, ServiceError> {
-        let handle = self.handle(name)?;
-        match self
-            .engine
-            .execute(Command::read(handle, block, page))
-            .map_err(legacy_error)?
-        {
-            CommandOutput::Read(report) => Ok(report),
-            other => unreachable!("read command produced {other:?}"),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mlcx_controller::ControllerConfig;
-    use mlcx_nand::ProgramAlgorithm;
 
-    fn store() -> ServicedStore {
-        let ctrl = MemoryController::new(ControllerConfig::date2012(), 77).unwrap();
-        ServicedStore::new(ctrl, SubsystemModel::date2012())
+    #[test]
+    fn display_names_the_offending_region() {
+        let e = ServiceError::Overlap {
+            existing: "a".into(),
+            incoming: "b".into(),
+        };
+        assert_eq!(e.to_string(), "region b overlaps existing region a");
+        let e = ServiceError::OutOfRegion {
+            name: "media".into(),
+            block: 9,
+        };
+        assert_eq!(e.to_string(), "block 9 outside region media");
     }
 
     #[test]
-    fn overlapping_regions_rejected() {
-        let mut s = store();
-        s.add_region("a", Objective::Baseline, 0..8).unwrap();
-        let err = s.add_region("b", Objective::MinUber, 7..12).unwrap_err();
-        assert!(matches!(err, ServiceError::Overlap { .. }));
-        // Adjacent is fine.
-        s.add_region("c", Objective::MinUber, 8..12).unwrap();
-    }
-
-    #[test]
-    fn unknown_service_and_out_of_region() {
-        let mut s = store();
-        s.add_region("a", Objective::Baseline, 0..2).unwrap();
-        assert!(matches!(
-            s.erase("nope", 0),
-            Err(ServiceError::UnknownService { .. })
-        ));
-        assert!(matches!(
-            s.erase("a", 5),
-            Err(ServiceError::OutOfRegion { .. })
-        ));
-    }
-
-    #[test]
-    fn services_apply_their_objectives() {
-        let mut s = store();
-        s.add_region("payments", Objective::MinUber, 0..2).unwrap();
-        s.add_region("media", Objective::MaxReadThroughput, 2..4)
-            .unwrap();
-        // Age the media region to end of life so the objectives diverge.
-        s.controller_mut().age_block(2, 1_000_000).unwrap();
-        s.erase("payments", 0).unwrap();
-        s.erase("media", 2).unwrap();
-
-        let data = vec![0x5Au8; 4096];
-        let w_pay = s.write("payments", 0, 0, &data).unwrap();
-        let w_med = s.write("media", 2, 0, &data).unwrap();
-        // Both services run ISPP-DV, but at very different capabilities:
-        // payments at the fresh SV schedule (t = 3), media at the DV
-        // end-of-life schedule (t = 14).
-        assert_eq!(w_pay.algorithm, ProgramAlgorithm::IsppDv);
-        assert_eq!(w_med.algorithm, ProgramAlgorithm::IsppDv);
-        assert_eq!(w_pay.t_used, 3);
-        assert_eq!(w_med.t_used, 14);
-
-        let r = s.read("media", 2, 0).unwrap();
-        assert!(r.outcome.is_success());
-        assert_eq!(r.data, data);
-
-        let stats = s.stats("media").unwrap();
-        assert_eq!(stats.pages_written, 1);
-        assert_eq!(stats.pages_read, 1);
-    }
-
-    #[test]
-    fn stats_isolated_per_service() {
-        let mut s = store();
-        s.add_region("a", Objective::Baseline, 0..2).unwrap();
-        s.add_region("b", Objective::Baseline, 2..4).unwrap();
-        s.erase("a", 0).unwrap();
-        let data = vec![0u8; 4096];
-        s.write("a", 0, 0, &data).unwrap();
-        assert_eq!(s.stats("a").unwrap().pages_written, 1);
-        assert_eq!(s.stats("b").unwrap().pages_written, 0);
-        assert!(s.stats("zzz").is_none());
-    }
-
-    #[test]
-    fn wrong_page_size_surfaces_as_buffer_error() {
-        let mut s = store();
-        s.add_region("a", Objective::Baseline, 0..2).unwrap();
-        s.erase("a", 0).unwrap();
-        let err = s.write("a", 0, 0, &[0u8; 64]).unwrap_err();
-        assert!(matches!(
-            err,
-            ServiceError::Ctrl(CtrlError::BufferSize {
-                expected: 4096,
-                actual: 64
-            })
-        ));
+    fn nand_errors_wrap_through_ctrl() {
+        use std::error::Error;
+        let e = ServiceError::from(mlcx_nand::NandError::BlockOutOfRange {
+            block: 3,
+            blocks: 2,
+        });
+        assert!(matches!(e, ServiceError::Ctrl(CtrlError::Nand(_))));
+        assert!(e.source().is_some());
     }
 }

@@ -14,8 +14,9 @@
 //!   seed)` triple always replays the same stream.
 //! * [`WorkloadRunner`] — compiles trace operations into
 //!   [`Command`](crate::engine::Command) batches per service and drives
-//!   them through [`StorageEngine::submit`](crate::engine::StorageEngine::submit)
-//!   / [`poll`](crate::engine::StorageEngine::poll). Logical addresses
+//!   them through the engine's typed submission/completion queues
+//!   ([`StorageEngine::sq`](crate::engine::StorageEngine::sq) /
+//!   [`cq`](crate::engine::StorageEngine::cq)). Logical addresses
 //!   route through a per-service
 //!   [`LogicalMap`](mlcx_controller::ftl::LogicalMap) (the FTL planning
 //!   core), so overwrites, garbage collection and write amplification
@@ -46,7 +47,11 @@
 //!   to quantify the UBER recovered and the device time paid; and the
 //!   scrub-vs-retry preset that runs the same seeded retention-failure
 //!   workload under every [`presets::MitigationMode`], pricing scrub's
-//!   write amplification against retry's extra senses.
+//!   write amplification against retry's extra senses; and the
+//!   tenant-storm preset ([`presets::tenant_storm`]) that packs
+//!   hundreds of QoS-classed tenants onto one bank under
+//!   weighted-fair dispatch and reads the per-tenant flow-time tail
+//!   (p99/p99.9) out of the report.
 //!
 //! Time is a first-class axis: phases can advance the device wall
 //! clock (`ScenarioBuilder::phase_with_elapsed` →

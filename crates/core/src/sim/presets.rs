@@ -19,6 +19,7 @@ use mlcx_nand::disturb::DisturbModel;
 use mlcx_nand::{DeviceGeometry, Topology};
 
 use crate::engine::EngineBuilder;
+use crate::event::{QosSpec, SchedPolicy};
 use crate::policy::Objective;
 use crate::sim::{Scenario, TraceKind};
 
@@ -166,6 +167,61 @@ pub fn read_reclaim(seed: u64, scrub: bool) -> Scenario {
         });
     }
     builder.build().expect("read-reclaim preset must validate")
+}
+
+/// Multi-tenant QoS storm: `n_tenants` read-mostly tenants (at least
+/// one; hundreds are the point) packed onto **one bank** — a single
+/// die, two 8-page blocks per tenant — under
+/// [`SchedPolicy::WeightedFair`] dispatch. Tenants cycle through three
+/// QoS classes by index: `gold` (weight 8), `silver` (weight 2) and
+/// `bronze` (weight 1). Every tenant prefills its working set, then the
+/// serve phase round-robins trace traffic across all of them, so every
+/// batch is a many-way contention for the same die and the dispatch
+/// order *is* the latency story: each tenant's observed queueing +
+/// device flow time lands in its
+/// [`ServicePhaseReport::flow_latency`](crate::sim::ServicePhaseReport::flow_latency)
+/// percentiles (p50/p99/p99.9) per phase.
+///
+/// The storm is deliberately single-die: with no channel overlap
+/// available, weighted-fair dispatch is the only mechanism that can
+/// shape the tail, which makes its effect on the favored class's
+/// p99/p99.9 directly measurable against
+/// [`SchedPolicy::FifoArrival`] (the `qos_tail` bench does exactly
+/// that comparison).
+pub fn tenant_storm(seed: u64, n_tenants: usize) -> Scenario {
+    let n_tenants = n_tenants.max(1);
+    let blocks_per_tenant = 2;
+    let mut builder = Scenario::builder()
+        .engine(engine_with(
+            n_tenants * blocks_per_tenant,
+            Topology::single(),
+        ))
+        .sched_policy(SchedPolicy::WeightedFair)
+        .seed(seed)
+        .batch_size(64)
+        // A tiny per-tenant working set keeps the prefill proportional
+        // to the tenant count, not dominated by it.
+        .utilization(0.25)
+        .prefill(true);
+    for i in 0..n_tenants {
+        let (class, weight) = match i % 3 {
+            0 => ("gold", 8.0),
+            1 => ("silver", 2.0),
+            _ => ("bronze", 1.0),
+        };
+        let lo = i * blocks_per_tenant;
+        builder = builder.service_with_qos(
+            &format!("{class}-{i:04}"),
+            Objective::Baseline,
+            lo..lo + blocks_per_tenant,
+            TraceKind::read_mostly(),
+            QosSpec::weighted(weight),
+        );
+    }
+    builder
+        .phase("storm", 4, 0)
+        .build()
+        .expect("tenant-storm preset must validate")
 }
 
 /// Which reliability mitigations a [`scrub_vs_retry`] arm enables.
@@ -392,6 +448,35 @@ mod tests {
         );
         assert!(s_on.model_log10_uber_disturbed < s_off.model_log10_uber_disturbed);
         assert_eq!(on, read_reclaim(31, true).run().unwrap());
+    }
+
+    #[test]
+    fn tenant_storm_serves_256_tenants_on_one_bank_with_flow_tails() {
+        let report = tenant_storm(7, 256).run().expect("storm must run");
+        assert_eq!(report.integrity_violations, 0);
+        assert_eq!(report.read_failures, 0);
+        let storm = phase(&report, "storm");
+        assert_eq!(storm.services.len(), 256);
+        // One bank: no channel overlap to hide behind.
+        assert!((report.achieved_parallelism() - 1.0).abs() < 1e-9);
+        // Every tenant that saw traffic reports a full flow-time tail.
+        let mut classes_seen = [false; 3];
+        for s in &storm.services {
+            let flows = s.flow_latency;
+            assert!(flows.count > 0, "tenant {} saw no traffic", s.service);
+            assert!(flows.p50_s > 0.0);
+            assert!(flows.p999_s >= flows.p99_s && flows.p99_s >= flows.p50_s);
+            match s.service.split('-').next().unwrap() {
+                "gold" => classes_seen[0] = true,
+                "silver" => classes_seen[1] = true,
+                "bronze" => classes_seen[2] = true,
+                other => panic!("unexpected class {other}"),
+            }
+        }
+        assert_eq!(classes_seen, [true; 3]);
+        // Determinism: the storm is a fixed function of its seed.
+        let again = tenant_storm(7, 256).run().unwrap();
+        assert_eq!(report, again);
     }
 
     #[test]

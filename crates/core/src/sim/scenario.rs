@@ -10,6 +10,7 @@ use crate::engine::{
     Command, CommandOutput, Completion, EngineBuilder, ServiceHandle, StorageEngine, WearBucketing,
 };
 use crate::error::MlcxError;
+use crate::event::{PolicyBundle, QosSpec, SchedPolicy};
 use crate::policy::Objective;
 use crate::report::{fixed2, sci, Table};
 use crate::sim::trace::{TraceGenerator, TraceKind, TraceOp};
@@ -27,6 +28,9 @@ pub struct ServiceSpec {
     pub blocks: Range<usize>,
     /// The access pattern driving the service.
     pub trace: TraceKind,
+    /// The service's QoS contract (weight/deadline/queue depth) under
+    /// the engine's dispatch policy.
+    pub qos: QosSpec,
 }
 
 /// One phase of a scenario: a slice of trace traffic followed by an
@@ -66,6 +70,9 @@ pub struct LatencyStats {
     pub p95_s: f64,
     /// 99th percentile, seconds.
     pub p99_s: f64,
+    /// 99.9th percentile, seconds — the tail the QoS scheduler trades
+    /// between tenants.
+    pub p999_s: f64,
     /// Worst observed sample, seconds.
     pub max_s: f64,
 }
@@ -84,6 +91,7 @@ impl LatencyStats {
             p50_s: rank(0.50),
             p95_s: rank(0.95),
             p99_s: rank(0.99),
+            p999_s: rank(0.999),
             max_s: samples[n - 1],
         }
     }
@@ -122,6 +130,12 @@ pub struct ServicePhaseReport {
     pub read_latency: LatencyStats,
     /// Host write latency percentiles.
     pub write_latency: LatencyStats,
+    /// Host flow-time percentiles (completion minus arrival on the
+    /// engine's virtual clock, over every host command of the service):
+    /// queueing delay *plus* device time — the latency a tenant
+    /// actually observes, and the one the dispatch policy
+    /// redistributes.
+    pub flow_latency: LatencyStats,
     /// Modeled energy over all the service's operations (incl. GC),
     /// joules.
     pub energy_j: f64,
@@ -336,10 +350,10 @@ impl ScenarioReport {
 ///
 /// Built with [`Scenario::builder`]; executed with [`Scenario::run`],
 /// which constructs a fresh engine, formats the service regions, drives
-/// every phase's trace traffic through `StorageEngine::submit`/`poll`
-/// (logical addresses routed through a per-service
-/// [`LogicalMap`]), applies the
-/// lifetime fast-forwards, and closes with a full verification sweep.
+/// every phase's trace traffic through the engine's typed
+/// submission/completion queues (logical addresses routed through a
+/// per-service [`LogicalMap`]), applies the lifetime fast-forwards, and
+/// closes with a full verification sweep.
 ///
 /// # Example
 ///
@@ -454,8 +468,8 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Commands accumulated before a `submit`/`poll` round trip
-    /// (default 64).
+    /// Commands accumulated before a submit/drain round trip through
+    /// the engine's queues (default 64).
     pub fn batch_size(mut self, batch_size: usize) -> Self {
         self.batch_size = batch_size.max(1);
         self
@@ -482,19 +496,34 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Adds a service.
+    /// Adds a service with the default (neutral) QoS contract.
     pub fn service(
+        self,
+        name: &str,
+        objective: Objective,
+        blocks: Range<usize>,
+        trace: TraceKind,
+    ) -> Self {
+        self.service_with_qos(name, objective, blocks, trace, QosSpec::default())
+    }
+
+    /// Adds a service with an explicit QoS contract — weighted-fair
+    /// share, deadline and bounded queue depth under the scenario's
+    /// dispatch policy (see [`ScenarioBuilder::sched_policy`]).
+    pub fn service_with_qos(
         mut self,
         name: &str,
         objective: Objective,
         blocks: Range<usize>,
         trace: TraceKind,
+        qos: QosSpec,
     ) -> Self {
         self.services.push(ServiceSpec {
             name: name.to_string(),
             objective,
             blocks,
             trace,
+            qos,
         });
         self
     }
@@ -604,6 +633,28 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Selects the engine's cross-service dispatch policy (default
+    /// [`SchedPolicy::ServiceMajor`], the bit-identical historical
+    /// order). As with [`ScenarioBuilder::disturb_model`], call this
+    /// *after* [`ScenarioBuilder::engine`]: replacing the engine builder
+    /// replaces this knob too.
+    pub fn sched_policy(mut self, sched: SchedPolicy) -> Self {
+        self.engine = self.engine.sched_policy(sched);
+        self
+    }
+
+    /// Installs a whole [`PolicyBundle`] (retry, scrub, disturb, codec
+    /// kernel, dispatch policy) in one call — the same bundle
+    /// [`EngineBuilder::policies`] accepts, so an experiment configures
+    /// its engine and its scenario from one value. As with
+    /// [`ScenarioBuilder::disturb_model`], call this *after*
+    /// [`ScenarioBuilder::engine`]: replacing the engine builder
+    /// replaces these knobs too.
+    pub fn policies(mut self, bundle: PolicyBundle) -> Self {
+        self.engine = self.engine.policies(bundle);
+        self
+    }
+
     /// Validates and produces the scenario.
     ///
     /// # Errors
@@ -683,6 +734,7 @@ struct Acc {
     integrity_violations: u64,
     read_lat: Vec<f64>,
     write_lat: Vec<f64>,
+    flow_lat: Vec<f64>,
     energy_j: f64,
     corrected_bits: u64,
     codeword_bits_read: u64,
@@ -707,9 +759,9 @@ struct SimService {
 }
 
 /// Compiles trace streams into engine command batches and drives them
-/// through `submit`/`poll`, routing logical addresses through a
-/// per-service [`LogicalMap`] so garbage collection and write
-/// amplification are exercised on the real datapath.
+/// through the engine's submission/completion queues, routing logical
+/// addresses through a per-service [`LogicalMap`] so garbage collection
+/// and write amplification are exercised on the real datapath.
 ///
 /// Most callers want [`Scenario::run`]; the runner is public so
 /// experiment harnesses can inspect the [`StorageEngine`] mid-run.
@@ -777,8 +829,12 @@ impl WorkloadRunner {
                     ),
                 });
             }
-            let handle =
-                engine.register_service(&spec.name, spec.objective, spec.blocks.clone())?;
+            let handle = engine.register_service_with_qos(
+                &spec.name,
+                spec.objective,
+                spec.blocks.clone(),
+                spec.qos,
+            )?;
             for block in spec.blocks.clone() {
                 engine.controller_mut().erase_block(block)?;
             }
@@ -1151,11 +1207,11 @@ impl WorkloadRunner {
 
     fn submit_batch(&mut self, batch: Vec<(Command, CmdMeta)>) -> Result<(), MlcxError> {
         let (commands, metas): (Vec<_>, Vec<_>) = batch.into_iter().unzip();
-        let ids = self.engine.submit_owned(commands)?;
+        let ids = self.engine.sq().submit_owned(commands)?;
         for (id, meta) in ids.into_iter().zip(metas) {
             self.meta.insert(id.raw(), meta);
         }
-        let completions = self.engine.poll();
+        let completions = self.engine.cq().drain();
         let batch = self.engine.last_batch();
         self.phase_commands += batch.commands;
         self.phase_device_time_s += batch.device_latency_s;
@@ -1164,6 +1220,12 @@ impl WorkloadRunner {
         self.phase_op_cache_hits += batch.op_cache_hits;
         self.phase_op_cache_misses += batch.op_cache_misses;
         self.phase_knob_writes += batch.knob_writes;
+        // Flow times (completion minus arrival on the virtual clock)
+        // book against the issuing service — GC and scrub traffic
+        // included, since a tenant's maintenance rides its own queue.
+        for &(svc, flow_s) in self.engine.last_batch_flows() {
+            self.services[svc as usize].acc.flow_lat.push(flow_s);
+        }
         self.process(completions)
     }
 
@@ -1350,6 +1412,7 @@ impl WorkloadRunner {
                 integrity_violations: acc.integrity_violations,
                 read_latency: LatencyStats::from_samples(acc.read_lat),
                 write_latency: LatencyStats::from_samples(acc.write_lat),
+                flow_latency: LatencyStats::from_samples(acc.flow_lat),
                 energy_j: acc.energy_j,
                 corrected_bits: acc.corrected_bits,
                 measured_rber,

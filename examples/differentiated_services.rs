@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let frame = vec![0x21u8; 4096];
     let misc = vec![0x07u8; 4096];
 
-    engine.submit(&[
+    engine.sq().submit(&[
         Command::erase(payments, 0),
         Command::erase(media, 8),
         Command::erase(general, 40),
@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Command::read(payments, 0, 0),
         Command::read(media, 8, 0),
     ])?;
-    let completions = engine.poll();
+    let completions = engine.cq().drain();
     let output = |c: &Completion| c.result.clone().expect("command must succeed");
 
     println!("\nper-service write configurations (derived automatically):");

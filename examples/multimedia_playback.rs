@@ -59,10 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|(p, frame)| Command::write(stream, 0, p, frame.clone())),
     );
     batch.extend((0..32).map(|p| Command::read(stream, 0, p)));
-    engine.submit_owned(batch)?;
+    engine.sq().submit_owned(batch)?;
 
     let mut frame_idx = 0usize;
-    for completion in engine.poll() {
+    for completion in engine.cq().drain() {
         match completion.result.expect("stream batch must succeed") {
             CommandOutput::Write(w) => assert_eq!(w.algorithm, ProgramAlgorithm::IsppDv),
             CommandOutput::Read(r) => {

@@ -15,12 +15,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A batch: erase, write, read — queued, then executed in one drain.
     let data: Vec<u8> = (0..4096).map(|i| (i % 251) as u8).collect();
-    engine.submit(&[
+    engine.sq().submit(&[
         Command::erase(general, 0),
         Command::write(general, 0, 0, data.clone()),
         Command::read(general, 0, 0),
     ])?;
-    let completions = engine.poll();
+    let completions = engine.cq().drain();
     for completion in &completions {
         match completion.result.as_ref().expect("batch must succeed") {
             CommandOutput::Write(w) => println!(
@@ -62,13 +62,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // max-read-throughput objective — the engine switches the device to
     // the double-verify algorithm and relaxes the ECC on the next write
     // (the operating point of the paper's Section 6.3.2).
-    engine.submit(&[
+    engine.sq().submit(&[
         Command::configure(general, Objective::MaxReadThroughput),
         Command::erase(general, 1),
         Command::write(general, 1, 0, data.clone()),
         Command::read(general, 1, 0),
     ])?;
-    let completions = engine.poll();
+    let completions = engine.cq().drain();
     let (mut w_us, mut w_alg) = (0.0, String::new());
     for completion in &completions {
         match completion.result.as_ref().expect("batch must succeed") {

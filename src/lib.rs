@@ -5,8 +5,10 @@
 //! DATE 2012*: an adaptive BCH memory controller co-configured with
 //! runtime-selectable ISPP program algorithms, on top of complete
 //! simulation substrates for every subsystem the paper models — fronted
-//! by a batched, command-queue [`StorageEngine`] exposing the paper's
-//! "differentiated storage services" to applications.
+//! by an event-driven [`StorageEngine`] whose typed submission and
+//! completion queues expose the paper's "differentiated storage
+//! services" to applications, with per-service QoS (weighted-fair or
+//! deadline dispatch, bounded queue depth) on one virtual clock.
 //!
 //! ## Layout
 //!
@@ -33,7 +35,7 @@
 //!
 //! let record = vec![0xEEu8; 4096];
 //! let frame = vec![0x21u8; 4096];
-//! engine.submit(&[
+//! engine.sq().submit(&[
 //!     Command::erase(payments, 0),
 //!     Command::erase(media, 8),
 //!     Command::write(payments, 0, 0, record.clone()),
@@ -41,8 +43,10 @@
 //!     Command::read(payments, 0, 0),
 //!     Command::read(media, 8, 0),
 //! ])?;
-//! let completions = engine.poll();
+//! let completions = engine.cq().drain();
 //! assert!(completions.iter().all(|c| c.result.is_ok()));
+//! // Completions carry arrival/start/end stamps on the virtual clock.
+//! assert!(completions.iter().all(|c| c.arrival_s <= c.start_s));
 //!
 //! // Per-batch accounting comes straight from the calibrated models.
 //! let batch = engine.last_batch();
@@ -66,8 +70,9 @@
 //!
 //! Run `cargo run --example reproduce_figures` to regenerate every table
 //! and figure of the paper's evaluation; see `EXPERIMENTS.md` for the
-//! paper-vs-measured record and the `ServicedStore` → [`StorageEngine`]
-//! migration notes.
+//! paper-vs-measured record and the legacy-API (`ServicedStore`,
+//! `submit`/`poll`) → [`StorageEngine::sq`]/[`StorageEngine::cq`]
+//! migration table.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -89,10 +94,11 @@ pub use mlcx_controller::{Ftl, FtlError, FtlOp, FtlStats, LogicalMap};
 pub use mlcx_controller::{ReadOffsetTable, RetryPolicy, RetryStats};
 pub use mlcx_controller::{ScrubPolicy, ScrubStats, Scrubber};
 pub use mlcx_core::{
-    BatchReport, CmdId, Command, CommandOutput, Completion, EngineBuilder, Metrics, MlcxError,
-    Objective, OperatingPoint, Scenario, ScenarioReport, ServiceError, ServiceHandle,
-    ServiceRegion, ServiceStats, ServicedStore, StorageEngine, SubsystemModel,
-    SubsystemModelBuilder, TraceGenerator, TraceKind, WearBucketing, WorkloadRunner,
+    BatchReport, CmdId, Command, CommandOutput, Completion, CompletionQueue, EngineBuilder,
+    HostFrontend, Metrics, MlcxError, Objective, OperatingPoint, PolicyBundle, QosSpec, Scenario,
+    ScenarioReport, SchedPolicy, ServiceError, ServiceHandle, ServiceRegion, ServiceStats,
+    StorageEngine, SubmissionQueue, Submitter, SubsystemModel, SubsystemModelBuilder,
+    TraceGenerator, TraceKind, WearBucketing, WorkloadRunner,
 };
 pub use mlcx_gf2::MulKernel;
 pub use mlcx_nand::{AgingModel, DeviceGeometry, MlcLevel, NandDevice, ProgramAlgorithm, Topology};

@@ -1,6 +1,7 @@
-//! Integration coverage of the command-queue `StorageEngine` API through
-//! the `mlcx` facade: batched round-trips across every objective and
-//! wear regime, error paths, accounting, and the unified error type.
+//! Integration coverage of the event-driven `StorageEngine` API through
+//! the `mlcx` facade: submission/completion-queue round-trips across
+//! every objective and wear regime, error paths, accounting, and the
+//! unified error type.
 
 use mlcx::{
     Command, CommandOutput, CtrlError, EngineBuilder, MlcxError, Objective, ServiceError,
@@ -38,9 +39,9 @@ fn batch_round_trip_across_objectives_and_wear() {
                     .map(|(p, d)| Command::write(svc, block, p, d.clone())),
             );
             cmds.extend((0..pages).map(|p| Command::read(svc, block, p)));
-            e.submit_owned(cmds).unwrap();
+            e.sq().submit_owned(cmds).unwrap();
 
-            let completions = e.poll();
+            let completions = e.cq().drain();
             assert_eq!(completions.len(), 2 * pages + 1);
             let mut reads = 0usize;
             for c in &completions {
@@ -100,12 +101,12 @@ fn error_paths_surface_typed_errors() {
         .register_service("a", Objective::Baseline, 0..1)
         .unwrap();
     assert_eq!(foreign.index(), 0, "in-range index on purpose");
-    let err = e.submit(&[Command::read(foreign, 0, 0)]).unwrap_err();
+    let err = e.sq().submit(&[Command::read(foreign, 0, 0)]).unwrap_err();
     assert!(matches!(err, MlcxError::UnknownHandle { handle: 0 }));
     assert_eq!(e.pending(), 0);
 
     // Out-of-region block: rejected at submission with the service name.
-    let err = e.submit(&[Command::erase(svc, 4)]).unwrap_err();
+    let err = e.sq().submit(&[Command::erase(svc, 4)]).unwrap_err();
     match err {
         MlcxError::Service(ServiceError::OutOfRegion { name, block }) => {
             assert_eq!(name, "svc");
@@ -115,13 +116,14 @@ fn error_paths_surface_typed_errors() {
     }
 
     // Write to an unerased page: executes, completes with a device error.
-    e.submit(&[
-        Command::erase(svc, 0),
-        Command::write(svc, 0, 0, vec![1u8; 4096]),
-        Command::write(svc, 0, 0, vec![2u8; 4096]), // overwrite, no erase
-    ])
-    .unwrap();
-    let completions = e.poll();
+    e.sq()
+        .submit(&[
+            Command::erase(svc, 0),
+            Command::write(svc, 0, 0, vec![1u8; 4096]),
+            Command::write(svc, 0, 0, vec![2u8; 4096]), // overwrite, no erase
+        ])
+        .unwrap();
+    let completions = e.cq().drain();
     assert!(completions[1].result.is_ok());
     match &completions[2].result {
         Err(MlcxError::Ctrl(CtrlError::Nand(_))) => {}
@@ -130,8 +132,8 @@ fn error_paths_surface_typed_errors() {
     assert_eq!(e.last_batch().failed, 1);
 
     // Read of a never-written page: unknown page configuration.
-    e.submit(&[Command::read(svc, 0, 3)]).unwrap();
-    let completions = e.poll();
+    e.sq().submit(&[Command::read(svc, 0, 3)]).unwrap();
+    let completions = e.cq().drain();
     assert!(matches!(
         completions[0].result,
         Err(MlcxError::Ctrl(CtrlError::UnknownPageConfig { .. }))
@@ -148,13 +150,14 @@ fn unified_error_chain_reaches_the_device_layer() {
     let svc = e
         .register_service("svc", Objective::Baseline, 0..2)
         .unwrap();
-    e.submit(&[
-        Command::erase(svc, 0),
-        Command::write(svc, 0, 0, vec![1u8; 4096]),
-        Command::write(svc, 0, 0, vec![2u8; 4096]),
-    ])
-    .unwrap();
-    let completions = e.poll();
+    e.sq()
+        .submit(&[
+            Command::erase(svc, 0),
+            Command::write(svc, 0, 0, vec![1u8; 4096]),
+            Command::write(svc, 0, 0, vec![2u8; 4096]),
+        ])
+        .unwrap();
+    let completions = e.cq().drain();
     let err = completions[2].result.as_ref().unwrap_err();
     // MlcxError -> CtrlError -> NandError: two hops of source().
     let ctrl = err.source().expect("controller layer");
@@ -176,16 +179,17 @@ fn services_stay_isolated_within_one_batch() {
         .unwrap();
     e.controller_mut().age_block(4, 1_000_000).unwrap();
 
-    e.submit(&[
-        Command::erase(pay, 0),
-        Command::erase(media, 4),
-        Command::write(pay, 0, 0, patterned_page(0)),
-        Command::write(media, 4, 0, patterned_page(1)),
-        Command::read(pay, 0, 0),
-        Command::read(media, 4, 0),
-    ])
-    .unwrap();
-    let completions = e.poll();
+    e.sq()
+        .submit(&[
+            Command::erase(pay, 0),
+            Command::erase(media, 4),
+            Command::write(pay, 0, 0, patterned_page(0)),
+            Command::write(media, 4, 0, patterned_page(1)),
+            Command::read(pay, 0, 0),
+            Command::read(media, 4, 0),
+        ])
+        .unwrap();
+    let completions = e.cq().drain();
 
     let mut t_used = Vec::new();
     for c in &completions {
@@ -213,8 +217,16 @@ fn facade_reexports_are_the_same_types() {
     let h: mlcx::ServiceHandle = e
         .register_service("svc", mlcx::Objective::Baseline, 0..2)
         .unwrap();
-    let ids: Vec<mlcx::CmdId> = e.submit(&[mlcx::Command::erase(h, 0)]).unwrap();
-    let completions: Vec<mlcx::Completion> = e.poll();
+    let ids: Vec<mlcx::CmdId> = e.sq().submit(&[mlcx::Command::erase(h, 0)]).unwrap();
+    let completions: Vec<mlcx::Completion> = e.cq().drain();
     assert_eq!(completions[0].id, ids[0]);
     let _report: &mlcx::BatchReport = e.last_batch();
+    // The QoS/event vocabulary is re-exported too.
+    let _q: mlcx::QosSpec = mlcx::QosSpec::weighted(2.0).depth(16);
+    let _p: mlcx::PolicyBundle = mlcx::PolicyBundle::new().sched(mlcx::SchedPolicy::FifoArrival);
+    let mut sq: mlcx::SubmissionQueue<'_> = e.sq();
+    assert_eq!(sq.depth(), 0);
+    sq.submit(&[mlcx::Command::erase(h, 1)]).unwrap();
+    let mut cq: mlcx::CompletionQueue<'_> = e.cq();
+    assert!(cq.try_complete().is_some());
 }

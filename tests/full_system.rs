@@ -42,8 +42,8 @@ fn serviced_device_with_disturb_survives_mixed_workload() {
         cmds.push(Command::write(payments, 0, page, record.clone()));
         cmds.push(Command::write(media, 4, page, clip.clone()));
     }
-    engine.submit_owned(cmds).unwrap();
-    for c in engine.poll() {
+    engine.sq().submit_owned(cmds).unwrap();
+    for c in engine.cq().drain() {
         assert!(c.result.is_ok(), "{:?}", c.result);
     }
 
@@ -58,8 +58,8 @@ fn serviced_device_with_disturb_survives_mixed_workload() {
             reads.push(Command::read(payments, 0, page));
             reads.push(Command::read(media, 4, page));
         }
-        engine.submit_owned(reads).unwrap();
-        for c in engine.poll() {
+        engine.sq().submit_owned(reads).unwrap();
+        for c in engine.cq().drain() {
             match c.result.unwrap() {
                 CommandOutput::Read(r) => {
                     assert!(r.outcome.is_success());
@@ -83,9 +83,10 @@ fn serviced_device_with_disturb_survives_mixed_workload() {
     // Page 0 is already written: an overwrite without erase must be
     // rejected end-to-end, as a completion-level device error.
     engine
+        .sq()
         .submit(&[Command::write(payments, 0, 0, record.clone())])
         .unwrap();
-    let completions = engine.poll();
+    let completions = engine.cq().drain();
     assert!(
         completions[0].result.is_err(),
         "overwrite must be rejected end-to-end"

@@ -53,8 +53,8 @@ fn run_seeded(
     for (i, &(block, page)) in ops.iter().enumerate() {
         cmds.push(Command::write(svc, block, page, payload(i)));
     }
-    engine.submit_owned(cmds).expect("write batch submits");
-    let mut completions = engine.poll();
+    engine.sq().submit_owned(cmds).expect("write batch submits");
+    let mut completions = engine.cq().drain();
 
     engine.advance_hours(hours);
 
@@ -62,8 +62,8 @@ fn run_seeded(
         .iter()
         .map(|&(block, page)| Command::read(svc, block, page))
         .collect();
-    engine.submit_owned(reads).expect("read batch submits");
-    completions.extend(engine.poll());
+    engine.sq().submit_owned(reads).expect("read batch submits");
+    completions.extend(engine.cq().drain());
     let batch = *engine.last_batch();
     (completions, batch, engine)
 }
@@ -182,16 +182,16 @@ fn learned_offsets_cut_mean_senses_per_read_after_warm_up() {
             ));
         }
     }
-    engine.submit_owned(cmds).expect("prefill submits");
-    assert!(engine.poll().iter().all(|c| c.result.is_ok()));
+    engine.sq().submit_owned(cmds).expect("prefill submits");
+    assert!(engine.cq().drain().iter().all(|c| c.result.is_ok()));
     engine.advance_hours(20_000.0);
 
     let pass = |engine: &mut StorageEngine| {
         let reads: Vec<Command> = (0..HOT)
             .flat_map(|b| (0..PAGES).map(move |p| Command::read(svc, b, p)))
             .collect();
-        engine.submit_owned(reads).expect("read pass submits");
-        for c in engine.poll() {
+        engine.sq().submit_owned(reads).expect("read pass submits");
+        for c in engine.cq().drain() {
             match c.result.expect("reads complete") {
                 mlcx::CommandOutput::Read(r) => assert!(r.outcome.is_success()),
                 other => panic!("read produced {other:?}"),

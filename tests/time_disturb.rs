@@ -42,14 +42,15 @@ fn advance_hours_surfaces_retention_rber_in_measured_reads() {
     for p in 0..8 {
         cmds.push(Command::write(svc, 0, p, vec![p as u8; 4096]));
     }
-    engine.submit_owned(cmds).unwrap();
-    assert!(engine.poll().iter().all(|c| c.result.is_ok()));
+    engine.sq().submit_owned(cmds).unwrap();
+    assert!(engine.cq().drain().iter().all(|c| c.result.is_ok()));
 
     let sweep = |engine: &mut mlcx::StorageEngine| -> u64 {
         let reads: Vec<Command> = (0..8).map(|p| Command::read(svc, 0, p)).collect();
-        engine.submit(&reads).unwrap();
+        engine.sq().submit(&reads).unwrap();
         engine
-            .poll()
+            .cq()
+            .drain()
             .iter()
             .map(|c| corrected_of(c.result.as_ref().unwrap()))
             .sum()
@@ -89,24 +90,25 @@ fn erase_resets_the_read_disturb_accumulator_through_the_engine() {
         .register_service("hot", Objective::Baseline, 0..2)
         .unwrap();
     engine
+        .sq()
         .submit(&[
             Command::erase(svc, 0),
             Command::write(svc, 0, 0, vec![0x5A; 4096]),
         ])
         .unwrap();
-    assert!(engine.poll().iter().all(|c| c.result.is_ok()));
+    assert!(engine.cq().drain().iter().all(|c| c.result.is_ok()));
     for _ in 0..10 {
         let reads: Vec<Command> = (0..20).map(|_| Command::read(svc, 0, 0)).collect();
-        engine.submit(&reads).unwrap();
-        assert!(engine.poll().iter().all(|c| c.result.is_ok()));
+        engine.sq().submit(&reads).unwrap();
+        assert!(engine.cq().drain().iter().all(|c| c.result.is_ok()));
     }
     let device = engine.controller().device();
     assert_eq!(device.block_reads_since_erase(0).unwrap(), 200);
     assert!(device.block_disturb_rber(0).unwrap() >= 200.0 * 1e-6 - 1e-12);
 
     // A host erase through the command queue resets both views.
-    engine.submit(&[Command::erase(svc, 0)]).unwrap();
-    assert!(engine.poll()[0].result.is_ok());
+    engine.sq().submit(&[Command::erase(svc, 0)]).unwrap();
+    assert!(engine.cq().drain()[0].result.is_ok());
     let device = engine.controller().device();
     assert_eq!(device.block_reads_since_erase(0).unwrap(), 0);
     assert_eq!(device.block_disturb_rber(0).unwrap(), 0.0);

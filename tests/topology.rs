@@ -115,8 +115,8 @@ fn aging_a_subset_of_dies_skews_wear_unevenly() {
         cmds.push(Command::write(svc, block, 0, vec![0x5A; 4096]));
         cmds.push(Command::write(svc, block, 1, vec![0xA5; 4096]));
     }
-    engine.submit(&cmds).unwrap();
-    let completions = engine.poll();
+    engine.sq().submit(&cmds).unwrap();
+    let completions = engine.cq().drain();
     assert!(completions.iter().all(|c| c.result.is_ok()));
     assert_eq!(engine.last_batch().op_cache_misses, 4);
     assert_eq!(engine.last_batch().op_cache_hits, 4);
