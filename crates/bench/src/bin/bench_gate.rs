@@ -91,6 +91,7 @@ fn compare(baseline: &BenchResult, result: &BenchResult) -> Result<Vec<Check>, S
         let actual = lookup(&result.modeled, key)
             .ok_or_else(|| format!("result is missing modeled metric {key:?}"))?;
         let band = baseline.modeled_tolerance_pct / 100.0;
+        // mlcx-lint: allow(float-eq, reason = "exact zero sentinel guards the division below; any nonzero baseline takes the relative branch")
         let ok = if expect == 0.0 {
             actual.abs() <= band
         } else {
@@ -136,6 +137,7 @@ fn render_diff_table(bench: &str, failed: &[&Check]) -> String {
     );
     for c in failed {
         let delta = c.actual - c.baseline;
+        // mlcx-lint: allow(float-eq, reason = "exact zero sentinel guards the relative-delta division below")
         let rel = if c.baseline == 0.0 {
             "n/a".to_string()
         } else {
@@ -189,7 +191,10 @@ fn run(update: bool, strict_wall: bool) -> Result<bool, String> {
         covered.push(baseline.bench.clone());
         let result = load(&result_path)?;
         if update {
-            std::fs::copy(&result_path, baseline_path)
+            // Re-serialize through the shared `mlcx_bench::json` writer
+            // (rather than copying bytes) so refreshed baselines always
+            // carry the canonical dialect, whatever wrote the record.
+            std::fs::write(baseline_path, result.to_json())
                 .map_err(|e| format!("update {}: {e}", baseline_path.display()))?;
             println!(
                 "refreshed {} from {}",
@@ -250,7 +255,7 @@ fn run(update: bool, strict_wall: bool) -> Result<bool, String> {
         }
         if update {
             let baseline_path = baselines.join(format!("{}.json", result.bench));
-            std::fs::copy(&result_path, &baseline_path)
+            std::fs::write(&baseline_path, result.to_json())
                 .map_err(|e| format!("create {}: {e}", baseline_path.display()))?;
             println!(
                 "adopted new baseline {} from {}",

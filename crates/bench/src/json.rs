@@ -55,6 +55,75 @@ impl Json {
             .find(|(k, _)| k == key)
             .map(|(_, v)| v)
     }
+
+    /// Serializes compactly (no whitespace). The single JSON writer for
+    /// the workspace: `BenchResult::to_json`, the bench-gate `--update`
+    /// path and the `mlcx-lint --update-baseline` path all render
+    /// through here, so baseline files can never drift in dialect.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes human-readably: two-space indentation, one entry per
+    /// line — the format the committed baseline files use.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, Some(2), 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (open_sep, close_sep, item_sep): (String, String, &str) = match indent {
+            Some(width) => (
+                format!("\n{}", " ".repeat(width * (depth + 1))),
+                format!("\n{}", " ".repeat(width * depth)),
+                ": ",
+            ),
+            None => (String::new(), String::new(), ":"),
+        };
+        match self {
+            Json::Object(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&open_sep);
+                    out.push_str(&quote(key));
+                    out.push_str(item_sep);
+                    value.render_into(out, indent, depth + 1);
+                }
+                out.push_str(&close_sep);
+                out.push('}');
+            }
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&open_sep);
+                    item.render_into(out, indent, depth + 1);
+                }
+                out.push_str(&close_sep);
+                out.push(']');
+            }
+            Json::String(s) => out.push_str(&quote(s)),
+            Json::Number(n) => out.push_str(&number(*n)),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Null => out.push_str("null"),
+        }
+    }
 }
 
 /// Serializes a string with JSON escaping.
@@ -302,6 +371,35 @@ mod tests {
         assert!(parse("[1, 2").is_err());
         assert!(parse("{}extra").is_err());
         assert!(parse("{\"a\": 1e}").is_err());
+    }
+
+    #[test]
+    fn render_round_trips_and_pretty_matches_compact() {
+        let value = Json::Object(vec![
+            (
+                "exact".into(),
+                Json::Object(vec![
+                    ("total_commands".into(), Json::Number(1217.0)),
+                    ("violations".into(), Json::Number(0.0)),
+                ]),
+            ),
+            ("empty".into(), Json::Object(vec![])),
+            (
+                "list".into(),
+                Json::Array(vec![Json::Number(1.0), Json::Bool(false), Json::Null]),
+            ),
+            ("note".into(), Json::String("a \"quoted\" note".into())),
+        ]);
+        assert_eq!(parse(&value.render()).unwrap(), value);
+        assert_eq!(parse(&value.render_pretty()).unwrap(), value);
+        assert_eq!(
+            value.render(),
+            "{\"exact\":{\"total_commands\":1217,\"violations\":0},\"empty\":{},\
+             \"list\":[1,false,null],\"note\":\"a \\\"quoted\\\" note\"}"
+        );
+        let pretty = value.render_pretty();
+        assert!(pretty.contains("{\n  \"exact\": {\n    \"total_commands\": 1217,"));
+        assert!(pretty.contains("\"empty\": {}"));
     }
 
     #[test]

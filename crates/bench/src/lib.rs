@@ -9,6 +9,8 @@
 //! `crates/bench/baselines/` — the CI regression gate (see
 //! EXPERIMENTS.md for the refresh procedure).
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 
 use mlcx_core::SubsystemModel;
@@ -95,28 +97,38 @@ impl BenchResult {
         }
     }
 
-    /// Serializes the record as the gate's JSON schema.
+    /// Serializes the record as the gate's JSON schema, through the
+    /// shared [`json::Json::render_pretty`] writer (the same serializer
+    /// the `mlcx-lint` ratchet baseline uses).
     pub fn to_json(&self) -> String {
+        use json::Json;
         let section = |pairs: &[(String, f64)]| {
-            let body: Vec<String> = pairs
-                .iter()
-                .map(|(k, v)| format!("    {}: {}", json::quote(k), json::number(*v)))
-                .collect();
-            format!("{{\n{}\n  }}", body.join(",\n"))
+            Json::Object(
+                pairs
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Number(*v)))
+                    .collect(),
+            )
         };
-        format!(
-            "{{\n  \"bench\": {},\n  \"mode\": {},\n  \"recorded\": {},\n  \
-             \"modeled_tolerance_pct\": {},\n  \"wall_tolerance_pct\": {},\n  \
-             \"exact\": {},\n  \"modeled\": {},\n  \"wall\": {}\n}}\n",
-            json::quote(&self.bench),
-            json::quote(&self.mode),
-            json::quote(&self.recorded),
-            json::number(self.modeled_tolerance_pct),
-            json::number(self.wall_tolerance_pct),
-            section(&self.exact),
-            section(&self.modeled),
-            section(&self.wall),
-        )
+        let obj = Json::Object(vec![
+            ("bench".into(), Json::String(self.bench.clone())),
+            ("mode".into(), Json::String(self.mode.clone())),
+            ("recorded".into(), Json::String(self.recorded.clone())),
+            (
+                "modeled_tolerance_pct".into(),
+                Json::Number(self.modeled_tolerance_pct),
+            ),
+            (
+                "wall_tolerance_pct".into(),
+                Json::Number(self.wall_tolerance_pct),
+            ),
+            ("exact".into(), section(&self.exact)),
+            ("modeled".into(), section(&self.modeled)),
+            ("wall".into(), section(&self.wall)),
+        ]);
+        let mut text = obj.render_pretty();
+        text.push('\n');
+        text
     }
 
     /// Writes the record to [`results_dir`] (and prints it once, so the

@@ -1,6 +1,6 @@
 //! The core controller FSM: full write and read datapaths.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use mlcx_bch::hardware::{EccHardware, EccPowerModel};
@@ -284,7 +284,7 @@ pub struct MemoryController {
     load_strategy: LoadStrategy,
     /// ECC capability each written page used (the controller's page
     /// metadata table).
-    page_ecc: HashMap<(usize, usize), u32>,
+    page_ecc: BTreeMap<(usize, usize), u32>,
     /// Multi-channel/multi-die busy-time model: every datapath
     /// operation registers its bus/cell occupancy here, so batch layers
     /// can read the modeled parallel makespan.
@@ -344,7 +344,7 @@ impl MemoryController {
             buffer,
             regs: RegisterFile::default(),
             load_strategy: LoadStrategy::OneRound,
-            page_ecc: HashMap::new(),
+            page_ecc: BTreeMap::new(),
             scheduler,
             retry,
             offsets: ReadOffsetTable::new(),

@@ -34,7 +34,7 @@
 //!   `OutOfSpace` when every block held a mix of live and stale pages
 //!   and no fully-erased block was left to relocate into).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::ops::Range;
 
 use crate::controller::MemoryController;
@@ -213,7 +213,7 @@ pub struct LogicalMap {
     /// map ignores dies — the historical single-die behaviour).
     blocks_per_die: usize,
     /// lpn -> (block, page), absolute block ids.
-    map: HashMap<usize, (usize, usize)>,
+    map: BTreeMap<usize, (usize, usize)>,
     /// Physical page states, `[block - blocks.start][page]`.
     states: Vec<Vec<PageState>>,
     /// Currently open block and its next free page, if any.
@@ -270,7 +270,7 @@ impl LogicalMap {
             blocks,
             pages_per_block,
             blocks_per_die,
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             open: None,
             die_stamp: vec![0; last_die - first_die + 1],
             alloc_counter: 0,
@@ -304,11 +304,9 @@ impl LogicalMap {
     }
 
     /// Every mapped logical page, sorted (deterministic iteration for
-    /// verification sweeps).
+    /// verification sweeps — free with the ordered map).
     pub fn mapped_lpns(&self) -> Vec<usize> {
-        let mut lpns: Vec<usize> = self.map.keys().copied().collect();
-        lpns.sort_unstable();
-        lpns
+        self.map.keys().copied().collect()
     }
 
     /// Currently writable physical slots (erased pages).

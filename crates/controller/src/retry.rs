@@ -20,7 +20,7 @@
 //! `EngineBuilder::retry_policy` a layer up), and the learned table
 //! lives inside `MemoryController`, reset per block on erase.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Stepped read-reference retry policy for uncorrectable reads.
 ///
@@ -127,7 +127,7 @@ pub struct RetryStats {
 /// forgets its entry on erase.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ReadOffsetTable {
-    offsets: HashMap<usize, i32>,
+    offsets: BTreeMap<usize, i32>,
 }
 
 impl ReadOffsetTable {

@@ -925,7 +925,7 @@ impl StorageEngine {
     /// Panics on negative `hours` (time flows forward).
     pub fn advance_hours(&mut self, hours: f64) {
         self.ctrl.device_mut().advance_time_hours(hours);
-        if hours > 0.0 && self.ctrl.device().disturb_model().retention_scale != 0.0 {
+        if hours > 0.0 && self.ctrl.device().disturb_model().retention_enabled() {
             self.invalidate_operating_points();
         }
     }
@@ -1192,7 +1192,13 @@ impl StorageEngine {
         let mut dispatch_seq = 0u64;
         let mut flows: Vec<f64> = Vec::new();
         while let Some(idx) = self.next_dispatch() {
-            let queued = self.services[idx].queue.pop_front().expect("backlogged");
+            // `next_dispatch` only returns backlogged services; an empty
+            // queue here would be a scheduler bookkeeping bug. Stop
+            // dispatching rather than panic mid-batch.
+            let Some(queued) = self.services[idx].queue.pop_front() else {
+                debug_assert!(false, "next_dispatch returned an empty service");
+                break;
+            };
             let service = self.handle_for(idx);
             self.ctrl.scheduler_mut().begin_command(queued.arrival_s);
             let result = self.execute_validated(idx, queued.cmd);

@@ -62,6 +62,14 @@ pub enum MlcxError {
         /// The configured queue depth.
         depth: usize,
     },
+    /// An internal invariant failed (a scheduler bookkeeping mismatch,
+    /// a poisoned frontend lock). Formerly a `panic!`/`expect` on the
+    /// datapath; surfaced as a typed error so hosts can fail one run
+    /// instead of the whole process.
+    Internal {
+        /// What broke, for the log.
+        reason: String,
+    },
 }
 
 impl fmt::Display for MlcxError {
@@ -89,6 +97,9 @@ impl fmt::Display for MlcxError {
                     f,
                     "submission queue of service {service} is at its depth limit {depth}"
                 )
+            }
+            MlcxError::Internal { reason } => {
+                write!(f, "internal invariant violated: {reason}")
             }
         }
     }

@@ -14,13 +14,18 @@
 //! submission produced them; [`HostFrontend::into_engine`] tears the
 //! frontend down and hands the engine back for report extraction.
 //!
+//! Lock poisoning (a submitter thread panicking while holding the
+//! engine or sink mutex) surfaces as [`MlcxError::Internal`] on every
+//! path rather than a cascading panic: one poisoned run fails loudly,
+//! the host process survives.
+//!
 //! Determinism note: with several submitters racing, the *interleaving*
 //! of batches (and therefore per-die RNG draws) is scheduling-dependent
 //! — but the *set* of functional outcomes per service is not, which is
 //! what the multi-submitter stress test pins. Single-submitter use is
 //! fully deterministic.
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::engine::{CmdId, Command, Completion, StorageEngine};
 use crate::error::MlcxError;
@@ -28,6 +33,13 @@ use crate::error::MlcxError;
 struct Shared {
     engine: Mutex<StorageEngine>,
     sink: Mutex<Vec<Completion>>,
+}
+
+/// Locks a frontend mutex, mapping poisoning to a typed error.
+fn lock<'a, T>(mutex: &'a Mutex<T>, what: &str) -> Result<MutexGuard<'a, T>, MlcxError> {
+    mutex.lock().map_err(|_| MlcxError::Internal {
+        reason: format!("frontend {what} lock poisoned by a panicked submitter thread"),
+    })
 }
 
 /// A multi-threaded host frontend over one [`StorageEngine`].
@@ -56,28 +68,41 @@ impl HostFrontend {
 
     /// Drains every queued command and pending completion into the
     /// shared sink, then returns the sink's contents so far.
-    pub fn drain(&self) -> Vec<Completion> {
-        let mut engine = self.shared.engine.lock().expect("engine lock");
+    ///
+    /// # Errors
+    ///
+    /// [`MlcxError::Internal`] when a submitter thread panicked while
+    /// holding a frontend lock.
+    pub fn drain(&self) -> Result<Vec<Completion>, MlcxError> {
+        let mut engine = lock(&self.shared.engine, "engine")?;
         let done = engine.cq().drain();
         drop(engine);
-        let mut sink = self.shared.sink.lock().expect("sink lock");
+        let mut sink = lock(&self.shared.sink, "sink")?;
         sink.extend(done);
-        std::mem::take(&mut sink)
+        Ok(std::mem::take(&mut sink))
     }
 
     /// Tears the frontend down, returning the engine and any
     /// completions still in the sink.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any [`Submitter`] is still alive — join the host
-    /// threads first.
-    pub fn into_engine(self) -> (StorageEngine, Vec<Completion>) {
-        let shared = Arc::try_unwrap(self.shared)
-            .unwrap_or_else(|_| panic!("submitters still alive; join host threads first"));
-        let engine = shared.engine.into_inner().expect("engine lock");
-        let sink = shared.sink.into_inner().expect("sink lock");
-        (engine, sink)
+    /// [`MlcxError::Internal`] when a [`Submitter`] is still alive
+    /// (join the host threads first) or a frontend lock was poisoned.
+    pub fn into_engine(self) -> Result<(StorageEngine, Vec<Completion>), MlcxError> {
+        let shared = Arc::try_unwrap(self.shared).map_err(|_| MlcxError::Internal {
+            reason: "submitters still alive; join host threads before into_engine".to_string(),
+        })?;
+        let engine = shared
+            .engine
+            .into_inner()
+            .map_err(|_| MlcxError::Internal {
+                reason: "frontend engine lock poisoned by a panicked submitter thread".to_string(),
+            })?;
+        let sink = shared.sink.into_inner().map_err(|_| MlcxError::Internal {
+            reason: "frontend sink lock poisoned by a panicked submitter thread".to_string(),
+        })?;
+        Ok((engine, sink))
     }
 }
 
@@ -106,10 +131,11 @@ impl Submitter {
     ///
     /// As for
     /// [`SubmissionQueue::submit_owned`](crate::engine::SubmissionQueue::submit_owned),
-    /// except [`MlcxError::QueueFull`] which is handled internally.
+    /// except [`MlcxError::QueueFull`] which is handled internally;
+    /// plus [`MlcxError::Internal`] on a poisoned frontend lock.
     pub fn submit(&self, commands: Vec<Command>) -> Result<Vec<CmdId>, MlcxError> {
         loop {
-            let mut engine = self.shared.engine.lock().expect("engine lock");
+            let mut engine = lock(&self.shared.engine, "engine")?;
             // Borrowing submit: the batch survives a QueueFull rejection
             // (submission is atomic — nothing was enqueued) so it can be
             // retried after reaping.
@@ -120,7 +146,7 @@ impl Submitter {
                     // completions into the shared sink, then resubmit.
                     let done = engine.cq().drain();
                     drop(engine);
-                    let mut sink = self.shared.sink.lock().expect("sink lock");
+                    let mut sink = lock(&self.shared.sink, "sink")?;
                     sink.extend(done);
                 }
                 Err(e) => return Err(e),
@@ -130,12 +156,18 @@ impl Submitter {
 
     /// Drains every queued command and pending completion into the
     /// frontend's shared sink.
-    pub fn drain_into_sink(&self) {
-        let mut engine = self.shared.engine.lock().expect("engine lock");
+    ///
+    /// # Errors
+    ///
+    /// [`MlcxError::Internal`] when a submitter thread panicked while
+    /// holding a frontend lock.
+    pub fn drain_into_sink(&self) -> Result<(), MlcxError> {
+        let mut engine = lock(&self.shared.engine, "engine")?;
         let done = engine.cq().drain();
         drop(engine);
-        let mut sink = self.shared.sink.lock().expect("sink lock");
+        let mut sink = lock(&self.shared.sink, "sink")?;
         sink.extend(done);
+        Ok(())
     }
 }
 

@@ -1,6 +1,6 @@
 //! Multi-service scenarios, the workload runner and the report types.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::ops::Range;
 
 use mlcx_controller::ftl::{FtlOp, FtlStats, LogicalMap};
@@ -753,7 +753,7 @@ struct SimService {
     map: LogicalMap,
     gen: TraceGenerator,
     /// lpn -> version of the latest accepted write (payload derivation).
-    versions: HashMap<usize, u64>,
+    versions: BTreeMap<usize, u64>,
     ftl_at_phase_start: FtlStats,
     acc: Acc,
 }
@@ -780,7 +780,7 @@ pub struct WorkloadRunner {
     /// Commands staged for the next submit, with their accounting tags.
     pending: Vec<(Command, CmdMeta)>,
     /// CmdId -> accounting tag for everything submitted and unpolled.
-    meta: HashMap<u64, CmdMeta>,
+    meta: BTreeMap<u64, CmdMeta>,
     /// Relocation read payloads, indexed by the batch slot.
     gc_data: Vec<Option<Vec<u8>>>,
     phase_commands: usize,
@@ -851,7 +851,8 @@ impl WorkloadRunner {
                 .wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
             let trace_space =
                 (((map.capacity_pages() as f64) * scenario.utilization) as usize).max(1);
-            let gen = TraceGenerator::new(spec.trace, trace_space, trace_seed);
+            let gen = TraceGenerator::new(spec.trace, trace_space, trace_seed)
+                .map_err(|reason| MlcxError::InvalidConfig { reason })?;
             services.push(SimService {
                 name: spec.name.clone(),
                 objective: spec.objective,
@@ -859,7 +860,7 @@ impl WorkloadRunner {
                 handle,
                 map,
                 gen,
-                versions: HashMap::new(),
+                versions: BTreeMap::new(),
                 ftl_at_phase_start: FtlStats::default(),
                 acc: Acc::default(),
             });
@@ -882,7 +883,7 @@ impl WorkloadRunner {
             k_bits,
             ecc_m,
             pending: Vec::new(),
-            meta: HashMap::new(),
+            meta: BTreeMap::new(),
             gc_data: Vec::new(),
             phase_commands: 0,
             phase_device_time_s: 0.0,
@@ -1188,7 +1189,9 @@ impl WorkloadRunner {
             };
             let data = self.gc_data[slot]
                 .take()
-                .expect("relocation read must have stashed its payload");
+                .ok_or_else(|| MlcxError::Internal {
+                    reason: format!("relocation read for slot {slot} never stashed its payload"),
+                })?;
             self.pending.push((
                 Command::write(handle, to.0, to.1, data),
                 CmdMeta::GcWrite { svc },
@@ -1242,7 +1245,12 @@ impl WorkloadRunner {
             let meta = self
                 .meta
                 .remove(&c.id.raw())
-                .expect("completion for a command the runner never submitted");
+                .ok_or_else(|| MlcxError::Internal {
+                    reason: format!(
+                        "completion for command #{} the runner never submitted",
+                        c.id.raw()
+                    ),
+                })?;
             match meta {
                 CmdMeta::HostRead { svc, lpn, version } => {
                     let codeword_extra = self.ecc_m as usize;

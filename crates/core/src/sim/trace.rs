@@ -134,8 +134,8 @@ impl TraceKind {
 /// ```
 /// use mlcx_core::sim::{TraceGenerator, TraceKind, TraceOp};
 ///
-/// let mut a = TraceGenerator::new(TraceKind::zipfian(), 1024, 7);
-/// let mut b = TraceGenerator::new(TraceKind::zipfian(), 1024, 7);
+/// let mut a = TraceGenerator::new(TraceKind::zipfian(), 1024, 7).unwrap();
+/// let mut b = TraceGenerator::new(TraceKind::zipfian(), 1024, 7).unwrap();
 /// let ops_a: Vec<TraceOp> = (&mut a).take(100).collect();
 /// let ops_b: Vec<TraceOp> = (&mut b).take(100).collect();
 /// assert_eq!(ops_a, ops_b); // same seed, same stream
@@ -155,23 +155,22 @@ pub struct TraceGenerator {
 impl TraceGenerator {
     /// A generator over `capacity` logical pages.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `capacity` is zero or [`TraceKind::validate`]
-    /// rejects the pattern parameters (pre-validate with it to get a
-    /// `Result` instead — [`Scenario`](crate::sim::Scenario) does).
-    pub fn new(kind: TraceKind, capacity: usize, seed: u64) -> Self {
-        assert!(capacity > 0, "trace needs a non-empty address space");
-        if let Err(reason) = kind.validate() {
-            panic!("invalid trace parameters: {reason}");
+    /// A human-readable reason when `capacity` is zero or
+    /// [`TraceKind::validate`] rejects the pattern parameters.
+    pub fn new(kind: TraceKind, capacity: usize, seed: u64) -> Result<Self, String> {
+        if capacity == 0 {
+            return Err("trace needs a non-empty address space".to_string());
         }
-        TraceGenerator {
+        kind.validate()?;
+        Ok(TraceGenerator {
             kind,
             capacity,
             rng: StdRng::seed_from_u64(seed),
             cursor: 0,
             burst_remaining: 0,
-        }
+        })
     }
 
     /// The pattern family this generator replays.
@@ -268,8 +267,14 @@ mod tests {
     #[test]
     fn every_kind_is_deterministic_under_a_fixed_seed() {
         for kind in KINDS {
-            let a: Vec<TraceOp> = TraceGenerator::new(kind, 500, 42).take(1000).collect();
-            let b: Vec<TraceOp> = TraceGenerator::new(kind, 500, 42).take(1000).collect();
+            let a: Vec<TraceOp> = TraceGenerator::new(kind, 500, 42)
+                .unwrap()
+                .take(1000)
+                .collect();
+            let b: Vec<TraceOp> = TraceGenerator::new(kind, 500, 42)
+                .unwrap()
+                .take(1000)
+                .collect();
             assert_eq!(a, b, "{} must replay under the same seed", kind.label());
         }
     }
@@ -280,8 +285,14 @@ mod tests {
             if kind == TraceKind::Sequential {
                 continue; // seed-independent by design
             }
-            let a: Vec<TraceOp> = TraceGenerator::new(kind, 500, 1).take(200).collect();
-            let b: Vec<TraceOp> = TraceGenerator::new(kind, 500, 2).take(200).collect();
+            let a: Vec<TraceOp> = TraceGenerator::new(kind, 500, 1)
+                .unwrap()
+                .take(200)
+                .collect();
+            let b: Vec<TraceOp> = TraceGenerator::new(kind, 500, 2)
+                .unwrap()
+                .take(200)
+                .collect();
             assert_ne!(a, b, "{} must vary with the seed", kind.label());
         }
     }
@@ -290,7 +301,7 @@ mod tests {
     fn addresses_stay_in_bounds() {
         for kind in KINDS {
             for capacity in [1usize, 3, 97, 1024] {
-                let mut g = TraceGenerator::new(kind, capacity, 9);
+                let mut g = TraceGenerator::new(kind, capacity, 9).unwrap();
                 for _ in 0..2000 {
                     let op = g.next_op();
                     assert!(op.lpn() < capacity, "{}: {op:?}", kind.label());
@@ -311,7 +322,7 @@ mod tests {
             TraceKind::Sequential,
         ] {
             assert!(kind.validate().is_ok(), "{kind:?}");
-            let mut g = TraceGenerator::new(kind, 16, 1);
+            let mut g = TraceGenerator::new(kind, 16, 1).unwrap();
             for _ in 0..100 {
                 assert!(g.next_op().lpn() < 16);
             }
@@ -337,6 +348,7 @@ mod tests {
     #[test]
     fn sequential_is_a_circular_log() {
         let ops: Vec<TraceOp> = TraceGenerator::new(TraceKind::Sequential, 4, 0)
+            .unwrap()
             .take(10)
             .collect();
         let expected: Vec<TraceOp> = [0, 1, 2, 3, 0, 1, 2, 3, 0, 1]
@@ -349,7 +361,7 @@ mod tests {
     #[test]
     fn zipfian_skews_onto_the_hot_set() {
         let capacity = 1000;
-        let mut g = TraceGenerator::new(TraceKind::zipfian(), capacity, 77);
+        let mut g = TraceGenerator::new(TraceKind::zipfian(), capacity, 77).unwrap();
         let n = 20_000;
         let hot_pages = capacity / 10;
         let hot = (0..n).filter(|_| g.next_op().lpn() < hot_pages).count() as f64;
@@ -362,7 +374,7 @@ mod tests {
 
     #[test]
     fn read_mostly_hits_its_mix() {
-        let mut g = TraceGenerator::new(TraceKind::read_mostly(), 256, 5);
+        let mut g = TraceGenerator::new(TraceKind::read_mostly(), 256, 5).unwrap();
         let n = 20_000;
         let writes = (0..n).filter(|_| g.next_op().is_write()).count() as f64;
         let ratio = writes / n as f64;
@@ -374,7 +386,7 @@ mod tests {
 
     #[test]
     fn write_burst_runs_sequentially_between_reads() {
-        let mut g = TraceGenerator::new(TraceKind::WriteBurst { burst_len: 8 }, 128, 3);
+        let mut g = TraceGenerator::new(TraceKind::WriteBurst { burst_len: 8 }, 128, 3).unwrap();
         let ops: Vec<TraceOp> = (&mut g).take(64).collect();
         let writes = ops.iter().filter(|o| o.is_write()).count();
         assert!(writes >= 48, "bursts must dominate: {writes}/64 writes");

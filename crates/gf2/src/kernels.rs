@@ -174,10 +174,12 @@ mod clmul {
     pub(super) fn mul(a: &[Block], b: &[Block]) -> Vec<Block> {
         debug_assert!(available());
         // SAFETY: `available()` verified the CPU executes pclmulqdq/sse2.
+        // mlcx-lint: allow(unsafe-scope, reason = "the sanctioned CLMUL call site; guarded by the runtime feature check above")
         unsafe { mul_impl(a, b) }
     }
 
     #[target_feature(enable = "pclmulqdq", enable = "sse2", enable = "sse4.1")]
+    // mlcx-lint: allow(unsafe-scope, reason = "target_feature intrinsics require an unsafe fn; sole caller re-checks availability")
     unsafe fn mul_impl(a: &[Block], b: &[Block]) -> Vec<Block> {
         use std::arch::x86_64::{_mm_clmulepi64_si128, _mm_cvtsi64_si128, _mm_extract_epi64};
         let mut acc = vec![0u64; product_len(a, b)];

@@ -1,0 +1,642 @@
+//! A hand-rolled Rust lexer for the lint engine.
+//!
+//! The rules only need a *token* view of a source file — identifiers,
+//! punctuation, literals and comments with accurate line/column
+//! positions — not a syntax tree. What they absolutely cannot tolerate
+//! is a false positive from text inside a string, a raw string, a char
+//! literal or a (possibly nested) block comment: a determinism gate
+//! that cries wolf gets allowed-away until it is useless. So this
+//! module lexes the full token-level grammar:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`, `/** */`, `/*! */`), kept as [`TokenKind::Comment`]
+//!   tokens so the comment-driven rules (`todo-marker`, the
+//!   `mlcx-lint: allow(...)` directives) can see them;
+//! * string literals with escapes, byte strings, and raw (byte) strings
+//!   with any number of `#` guards (`r"…"`, `r#"…"#`, `br##"…"##`);
+//! * char literals vs. lifetimes (`'a'` vs. `'a`), including escaped
+//!   chars (`'\n'`, `'\u{2192}'`);
+//! * raw identifiers (`r#type`);
+//! * numeric literals, with enough shape analysis to know whether a
+//!   literal is a *float* (fraction, exponent, or `f32`/`f64` suffix;
+//!   hex/octal/binary literals are never floats) for the `float-eq`
+//!   rule;
+//! * multi-char operators the rules match on (`==`, `!=`, `::`) merged
+//!   into single tokens; everything else is single-char punctuation.
+//!
+//! The lexer is *lossy by design* — whitespace is dropped, and it never
+//! fails: any byte it does not understand becomes single-char
+//! punctuation. Lexing garbage produces garbage tokens, not a crash,
+//! which is the right failure mode for a linter that walks every file
+//! in the tree.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (including raw identifiers, with the
+    /// `r#` prefix stripped).
+    Ident,
+    /// A lifetime (`'a`), label included. The text keeps the quote.
+    Lifetime,
+    /// A numeric literal; `float` is true for fraction/exponent/float
+    /// suffix shapes.
+    Num {
+        /// Whether the literal lexes as a floating-point number.
+        float: bool,
+    },
+    /// A string / byte-string literal (escaped or raw). The text is the
+    /// raw source slice including quotes and guards.
+    Str,
+    /// A char / byte-char literal.
+    Char,
+    /// Punctuation: one character, except the merged `==`, `!=`, `::`.
+    Punct,
+    /// A comment. `block` distinguishes `/* */` from `//`; `doc` marks
+    /// `///`, `//!`, `/** */`, `/*! */`.
+    Comment {
+        /// Block (`/* */`) rather than line (`//`) comment.
+        block: bool,
+        /// Rustdoc comment (`///`, `//!`, `/** */`, `/*! */`).
+        doc: bool,
+    },
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification (see [`TokenKind`]).
+    pub kind: TokenKind,
+    /// The source text of the token. For comments this includes the
+    /// comment markers; for strings, the quotes and raw-string guards.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether this token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Whether this token is punctuation with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+
+    /// Whether this token is a comment (of any flavor).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::Comment { .. })
+    }
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes a whole source file into tokens (comments included, whitespace
+/// dropped). Never fails; see the module docs for the grammar covered.
+pub fn lex(source: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut tokens = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let token = if c == '/' && cur.peek(1) == Some('/') {
+            lex_line_comment(&mut cur)
+        } else if c == '/' && cur.peek(1) == Some('*') {
+            lex_block_comment(&mut cur)
+        } else if let Some(tok) = try_lex_string_like(&mut cur) {
+            tok
+        } else if c == '\'' {
+            lex_quote(&mut cur)
+        } else if c.is_ascii_digit() {
+            lex_number(&mut cur)
+        } else if is_ident_start(c) {
+            lex_ident(&mut cur)
+        } else {
+            lex_punct(&mut cur)
+        };
+        tokens.push(Token { line, col, ..token });
+    }
+    tokens
+}
+
+fn lex_line_comment(cur: &mut Cursor) -> Token {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    // `///` and `//!` are doc comments; `////...` (a rule of slashes)
+    // is not, matching rustc.
+    let doc = (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!");
+    Token {
+        kind: TokenKind::Comment { block: false, doc },
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+fn lex_block_comment(cur: &mut Cursor) -> Token {
+    let mut text = String::new();
+    let mut depth = 0usize;
+    while let Some(c) = cur.peek(0) {
+        if c == '/' && cur.peek(1) == Some('*') {
+            depth += 1;
+            text.push('/');
+            text.push('*');
+            cur.bump();
+            cur.bump();
+        } else if c == '*' && cur.peek(1) == Some('/') {
+            depth -= 1;
+            text.push('*');
+            text.push('/');
+            cur.bump();
+            cur.bump();
+            if depth == 0 {
+                break;
+            }
+        } else {
+            text.push(c);
+            cur.bump();
+        }
+    }
+    let doc = (text.starts_with("/**") && !text.starts_with("/***") && text.len() > 4)
+        || text.starts_with("/*!");
+    Token {
+        kind: TokenKind::Comment { block: true, doc },
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+/// Lexes `"…"`, `b"…"`, `r"…"`, `r#"…"#`, `br##"…"##`, `b'…'` and raw
+/// identifiers (`r#ident`) — everything that starts with a quote or an
+/// `r`/`b` prefix that *turns into* a quote. Returns `None` when the
+/// upcoming text is none of these (a plain identifier starting with
+/// `r`/`b`, say).
+fn try_lex_string_like(cur: &mut Cursor) -> Option<Token> {
+    let c = cur.peek(0)?;
+    if c == '"' {
+        return Some(lex_escaped_string(cur, 0));
+    }
+    if c != 'r' && c != 'b' {
+        return None;
+    }
+    // Possible prefixes: r" r#" r#ident  b" b' br" br#"
+    let mut ahead = 1;
+    if c == 'b' && cur.peek(1) == Some('r') {
+        ahead = 2;
+    }
+    if c == 'b' && cur.peek(1) == Some('\'') {
+        // Byte char: consume b, then the quote path.
+        cur.bump();
+        let mut tok = lex_quote(cur);
+        tok.text.insert(0, 'b');
+        return Some(tok);
+    }
+    let mut hashes = 0;
+    while cur.peek(ahead + hashes) == Some('#') {
+        hashes += 1;
+    }
+    match cur.peek(ahead + hashes) {
+        Some('"') if ahead == 2 || c == 'r' || hashes == 0 => {
+            if c == 'b' && ahead == 1 {
+                // b"…": an escaped byte string, not a raw one.
+                if hashes != 0 {
+                    return None;
+                }
+                cur.bump();
+                let mut tok = lex_escaped_string(cur, 0);
+                tok.text.insert(0, 'b');
+                return Some(tok);
+            }
+            // r"…" / r#"…"# / br#"…"#: raw — no escapes at all.
+            let mut text = String::new();
+            for _ in 0..ahead + hashes + 1 {
+                text.push(cur.bump().expect("peeked above"));
+            }
+            while let Some(ch) = cur.bump() {
+                text.push(ch);
+                if ch == '"' {
+                    let mut matched = 0;
+                    while matched < hashes && cur.peek(0) == Some('#') {
+                        text.push(cur.bump().expect("peeked above"));
+                        matched += 1;
+                    }
+                    if matched == hashes {
+                        break;
+                    }
+                }
+            }
+            Some(Token {
+                kind: TokenKind::Str,
+                text,
+                line: 0,
+                col: 0,
+            })
+        }
+        // r#ident — a raw identifier: hand back as Ident without `r#`.
+        Some(ch) if c == 'r' && hashes == 1 && is_ident_start(ch) => {
+            cur.bump();
+            cur.bump();
+            let mut tok = lex_ident(cur);
+            tok.kind = TokenKind::Ident;
+            Some(tok)
+        }
+        _ => None,
+    }
+}
+
+fn lex_escaped_string(cur: &mut Cursor, _hashes: usize) -> Token {
+    let mut text = String::new();
+    text.push(cur.bump().expect("opening quote"));
+    while let Some(ch) = cur.bump() {
+        text.push(ch);
+        if ch == '\\' {
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+        } else if ch == '"' {
+            break;
+        }
+    }
+    Token {
+        kind: TokenKind::Str,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+/// A single quote: a char literal (`'a'`, `'\n'`) or a lifetime (`'a`).
+fn lex_quote(cur: &mut Cursor) -> Token {
+    let mut text = String::new();
+    text.push(cur.bump().expect("opening quote"));
+    match cur.peek(0) {
+        Some('\\') => {
+            // Escaped char literal: consume escape then scan to the
+            // closing quote (covers '\u{…}').
+            while let Some(ch) = cur.bump() {
+                text.push(ch);
+                if ch == '\\' {
+                    if let Some(esc) = cur.bump() {
+                        text.push(esc);
+                    }
+                } else if ch == '\'' {
+                    break;
+                }
+            }
+            Token {
+                kind: TokenKind::Char,
+                text,
+                line: 0,
+                col: 0,
+            }
+        }
+        Some(ch) if cur.peek(1) == Some('\'') => {
+            // 'x' — a one-char literal.
+            text.push(ch);
+            cur.bump();
+            text.push(cur.bump().expect("closing quote"));
+            Token {
+                kind: TokenKind::Char,
+                text,
+                line: 0,
+                col: 0,
+            }
+        }
+        Some(ch) if is_ident_start(ch) => {
+            // 'lifetime
+            while let Some(c) = cur.peek(0) {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+            Token {
+                kind: TokenKind::Lifetime,
+                text,
+                line: 0,
+                col: 0,
+            }
+        }
+        _ => Token {
+            kind: TokenKind::Punct,
+            text,
+            line: 0,
+            col: 0,
+        },
+    }
+}
+
+fn lex_number(cur: &mut Cursor) -> Token {
+    let mut text = String::new();
+    let radix_prefixed =
+        cur.peek(0) == Some('0') && matches!(cur.peek(1), Some('x' | 'o' | 'b' | 'X' | 'O' | 'B'));
+    let digits = |c: char| c.is_ascii_hexdigit() || c == '_';
+    if radix_prefixed {
+        text.push(cur.bump().expect("digit"));
+        text.push(cur.bump().expect("radix"));
+        while let Some(c) = cur.peek(0) {
+            if !digits(c) {
+                break;
+            }
+            text.push(c);
+            cur.bump();
+        }
+        // Integer suffix if any (0xFFu32).
+        consume_suffix(cur, &mut text);
+        return Token {
+            kind: TokenKind::Num { float: false },
+            text,
+            line: 0,
+            col: 0,
+        };
+    }
+    let mut float = false;
+    while let Some(c) = cur.peek(0) {
+        if !(c.is_ascii_digit() || c == '_') {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    // Fraction: a `.` NOT followed by another `.` (range) or an
+    // identifier start (method call / field like `1.max(2)`).
+    if cur.peek(0) == Some('.') {
+        let next = cur.peek(1);
+        let is_fraction = match next {
+            Some(c) => c.is_ascii_digit() || !(c == '.' || is_ident_start(c)),
+            None => true,
+        };
+        if is_fraction {
+            float = true;
+            text.push(cur.bump().expect("dot"));
+            while let Some(c) = cur.peek(0) {
+                if !(c.is_ascii_digit() || c == '_') {
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+        }
+    }
+    // Exponent: e/E, optional sign, at least one digit.
+    if matches!(cur.peek(0), Some('e' | 'E')) {
+        let (sign, first_digit) = match cur.peek(1) {
+            Some('+' | '-') => (1, cur.peek(2)),
+            other => (0, other),
+        };
+        if first_digit.is_some_and(|c| c.is_ascii_digit()) {
+            float = true;
+            for _ in 0..sign + 1 {
+                text.push(cur.bump().expect("exponent"));
+            }
+            while let Some(c) = cur.peek(0) {
+                if !(c.is_ascii_digit() || c == '_') {
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+        }
+    }
+    let suffix = consume_suffix(cur, &mut text);
+    if suffix.starts_with("f32") || suffix.starts_with("f64") {
+        float = true;
+    }
+    Token {
+        kind: TokenKind::Num { float },
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+fn consume_suffix(cur: &mut Cursor, text: &mut String) -> String {
+    let mut suffix = String::new();
+    if cur.peek(0).is_some_and(is_ident_start) {
+        while let Some(c) = cur.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            suffix.push(c);
+            text.push(c);
+            cur.bump();
+        }
+    }
+    suffix
+}
+
+fn lex_ident(cur: &mut Cursor) -> Token {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if !is_ident_continue(c) {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    Token {
+        kind: TokenKind::Ident,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+fn lex_punct(cur: &mut Cursor) -> Token {
+    let c = cur.bump().expect("peeked by caller");
+    let mut text = String::from(c);
+    // The only multi-char operators the rules care about. `=>`/`<=`/
+    // `>=` and friends stay as single chars — no rule matches them, and
+    // keeping the merge set minimal keeps the lexer honest.
+    let merged = matches!(
+        (c, cur.peek(0)),
+        ('=', Some('=')) | ('!', Some('=')) | (':', Some(':'))
+    );
+    if merged {
+        text.push(cur.bump().expect("peeked above"));
+    }
+    Token {
+        kind: TokenKind::Punct,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_merged_puncts() {
+        let toks = kinds("let x == 1.5e3 != 0x1E :: y");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "let".into()),
+                (TokenKind::Ident, "x".into()),
+                (TokenKind::Punct, "==".into()),
+                (TokenKind::Num { float: true }, "1.5e3".into()),
+                (TokenKind::Punct, "!=".into()),
+                (TokenKind::Num { float: false }, "0x1E".into()),
+                (TokenKind::Punct, "::".into()),
+                (TokenKind::Ident, "y".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn float_shapes() {
+        let is_float = |src: &str| matches!(lex(src)[0].kind, TokenKind::Num { float: true });
+        assert!(is_float("1.0"));
+        assert!(is_float("1."));
+        assert!(is_float("2e9"));
+        assert!(is_float("2E-9"));
+        assert!(is_float("3f64"));
+        assert!(is_float("1_000.5"));
+        assert!(!is_float("1"));
+        assert!(!is_float("0x1E"));
+        assert!(!is_float("1u64"));
+        // `1.max(2)` is an integer method call, not a float.
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0], (TokenKind::Num { float: false }, "1".into()));
+        assert_eq!(toks[1], (TokenKind::Punct, ".".into()));
+        // `0..4` is a range of integers.
+        let toks = kinds("0..4");
+        assert_eq!(toks[0], (TokenKind::Num { float: false }, "0".into()));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // Nothing inside a string may surface as an ident/punct token.
+        for src in [
+            r#"let s = "HashMap == unwrap()";"#,
+            r##"let s = r#"Instant::now() /* unsafe */"#;"##,
+            r#"let s = b"panic!";"#,
+            r##"let s = br#"SystemTime"#;"##,
+        ] {
+            let toks = lex(src);
+            assert!(
+                toks.iter().all(|t| !t.is_ident("HashMap")
+                    && !t.is_ident("Instant")
+                    && !t.is_ident("unwrap")
+                    && !t.is_ident("panic")
+                    && !t.is_ident("SystemTime")
+                    && !t.is_ident("unsafe")),
+                "leaked tokens from {src}: {toks:?}"
+            );
+            assert!(toks.iter().any(|t| t.kind == TokenKind::Str));
+        }
+    }
+
+    #[test]
+    fn raw_string_guards_respect_hash_count() {
+        // The inner `"#` does not close a `##`-guarded raw string.
+        let src = r###"r##"one "# two"## trailing"###;
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[0].1, r###"r##"one "# two"##"###);
+        assert_eq!(toks[1], (TokenKind::Ident, "trailing".into()));
+    }
+
+    #[test]
+    fn nested_block_comments_and_doc_flavors() {
+        let toks = lex("/* a /* nested unwrap() */ b */ code");
+        assert_eq!(toks.len(), 2);
+        assert!(toks[0].is_comment());
+        assert!(toks[1].is_ident("code"));
+
+        let doc = |src: &str| match lex(src)[0].kind {
+            TokenKind::Comment { doc, .. } => doc,
+            _ => panic!("not a comment"),
+        };
+        assert!(doc("/// docs"));
+        assert!(doc("//! docs"));
+        assert!(doc("/** docs */"));
+        assert!(doc("/*! docs */"));
+        assert!(!doc("// plain"));
+        assert!(!doc("//// rule of slashes"));
+        assert!(!doc("/* plain */"));
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let toks = kinds("'a' 'x 'static '\\n' '\\u{2192}' b'z'");
+        assert_eq!(toks[0], (TokenKind::Char, "'a'".into()));
+        assert_eq!(toks[1], (TokenKind::Lifetime, "'x".into()));
+        assert_eq!(toks[2], (TokenKind::Lifetime, "'static".into()));
+        assert_eq!(toks[3], (TokenKind::Char, "'\\n'".into()));
+        assert_eq!(toks[4], (TokenKind::Char, "'\\u{2192}'".into()));
+        assert_eq!(toks[5], (TokenKind::Char, "b'z'".into()));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let toks = kinds("r#type r#unwrap");
+        assert_eq!(toks[0], (TokenKind::Ident, "type".into()));
+        assert_eq!(toks[1], (TokenKind::Ident, "unwrap".into()));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("ab\n  cd == ef");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        assert_eq!((toks[2].line, toks[2].col), (2, 6));
+        assert_eq!((toks[3].line, toks[3].col), (2, 9));
+    }
+}

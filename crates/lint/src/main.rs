@@ -1,0 +1,124 @@
+//! `mlcx-lint` CLI.
+//!
+//! * `cargo run -p mlcx-lint -- --check` (default): lint the workspace,
+//!   fail on any unallowed hard finding or ratchet regression.
+//! * `cargo run -p mlcx-lint -- --update-baseline`: lock the current
+//!   counted-rule tallies into `crates/lint/baseline.json` (mirrors the
+//!   bench-gate `--update` flow; hard findings still fail).
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+use mlcx_lint::{
+    baseline_path, check_ratchet, lint_workspace, parse_baseline, render_baseline, workspace_root,
+    LintReport, RatchetCounts, RatchetStatus,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let update = match args.iter().map(String::as_str).collect::<Vec<_>>()[..] {
+        [] | ["--check"] => false,
+        ["--update-baseline"] => true,
+        _ => {
+            eprintln!("usage: mlcx-lint [--check | --update-baseline]");
+            return ExitCode::from(2);
+        }
+    };
+    match run(update) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("mlcx-lint: error: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Maps a workspace-relative path back to its crate, for regression
+/// reporting.
+fn crate_of(path: &str) -> String {
+    path.strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .map(|dir| format!("mlcx-{dir}"))
+        .unwrap_or_else(|| "mlcx".to_string())
+}
+
+fn run(update: bool) -> Result<bool, String> {
+    let root = workspace_root();
+    let report: LintReport = lint_workspace(&root)?;
+    let mut clean = true;
+
+    for diag in &report.diagnostics {
+        eprintln!("{diag}");
+        clean = false;
+    }
+
+    let path = baseline_path(&root);
+    if update {
+        std::fs::write(&path, render_baseline(&report.counts))
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        println!(
+            "mlcx-lint: wrote {} ({} counted rules)",
+            path.display(),
+            report.counts.len()
+        );
+    } else {
+        let text = std::fs::read_to_string(&path).map_err(|e| {
+            format!(
+                "read {}: {e}; run `cargo run -p mlcx-lint -- --update-baseline` \
+                 to create the ratchet baseline",
+                path.display()
+            )
+        })?;
+        let baseline: RatchetCounts =
+            parse_baseline(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
+        for check in check_ratchet(&baseline, &report.counts) {
+            match check.status {
+                RatchetStatus::Held => {}
+                RatchetStatus::Improved => {
+                    eprintln!(
+                        "mlcx-lint: note: {} in {} improved {} -> {}; lock it in with \
+                         `cargo run -p mlcx-lint -- --update-baseline`",
+                        check.rule, check.crate_name, check.baseline, check.actual
+                    );
+                }
+                RatchetStatus::Regressed => {
+                    clean = false;
+                    eprintln!(
+                        "mlcx-lint: ratchet regression: {} in {} rose {} -> {} \
+                         (counts may only decrease)",
+                        check.rule, check.crate_name, check.baseline, check.actual
+                    );
+                    if let Some(sites) = report.counted_sites.get(&check.rule) {
+                        for site in sites
+                            .iter()
+                            .filter(|s| crate_of(&s.file) == check.crate_name)
+                        {
+                            eprintln!("  {site}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let counted_total: usize = report
+        .counts
+        .values()
+        .flat_map(|m| m.values())
+        .sum::<usize>();
+    println!(
+        "mlcx-lint: {} files, {} hard finding(s), {} counted site(s) — {}",
+        report.files,
+        report.diagnostics.len(),
+        counted_total,
+        if clean { "clean" } else { "FAILED" }
+    );
+    Ok(clean)
+}

@@ -1,0 +1,9 @@
+// Fixture: allow-directive bookkeeping — missing reason, empty
+// reason, bad syntax, and a stale (unused) allow.
+// mlcx-lint: allow(wall-clock)
+// mlcx-lint: allow(wall-clock, reason = "")
+// mlcx-lint: allow(wall-clock reason = "missing comma")
+// mlcx-lint: allow(float-eq, reason = "stale: nothing on this line or the next")
+pub fn f() -> u32 {
+    7
+}

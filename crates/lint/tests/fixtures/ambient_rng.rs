@@ -1,0 +1,16 @@
+// Fixture: ambient-rng — unseeded entropy sources fire everywhere,
+// test code included; seeded construction is fine.
+pub fn bad() {
+    let _rng = rand::thread_rng();
+}
+
+pub fn seeded() {
+    let _rng = rand::rngs::StdRng::seed_from_u64(42);
+}
+
+#[cfg(test)]
+mod tests {
+    fn gated_is_still_flagged() {
+        let _rng = rand::rngs::StdRng::from_entropy();
+    }
+}

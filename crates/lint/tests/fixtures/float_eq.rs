@@ -1,0 +1,25 @@
+// Fixture: float-eq — comparisons against float literals fire in
+// non-test code; integers, tolerances and test code do not.
+pub fn bad(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn also_bad(x: f32) -> bool {
+    1.5 != x
+}
+
+pub fn sentinel(x: f64) -> bool {
+    // mlcx-lint: allow(float-eq, reason = "fixture: exact sentinel check")
+    x == -1.0
+}
+
+pub fn fine(x: f64, n: u32) -> bool {
+    (x - 0.5).abs() < 1e-9 && n == 3
+}
+
+#[cfg(test)]
+mod tests {
+    fn gated(x: f64) -> bool {
+        x == 0.25
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: hash-order-iter — hash containers in non-test code fire,
+// test-gated usage does not.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn live(m: HashMap<u32, u32>, s: HashSet<u32>) -> usize {
+    m.len() + s.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    fn gated(m: HashMap<u32, u32>) -> usize {
+        m.len()
+    }
+}

@@ -1,0 +1,13 @@
+// Fixture: todo-marker — markers in comments count (test code too);
+// markers in string literals do not.
+// TODO: a stale line-comment marker
+pub fn f() -> &'static str {
+    "a TODO in a string is not a finding"
+}
+
+/* FIXME: a stale block-comment marker */
+#[cfg(test)]
+mod tests {
+    // TODO: markers in test code still count
+    fn t() {}
+}

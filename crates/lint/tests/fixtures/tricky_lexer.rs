@@ -1,0 +1,35 @@
+// Fixture: lexer stress — every rule trigger below sits inside a
+// string, raw string, char or comment and must NOT fire; the single
+// real finding is the HashMap ident at the end.
+pub fn strings() -> Vec<String> {
+    vec![
+        "HashMap::new() == 0.0 unsafe".to_string(),
+        r#"Instant::now() and thread_rng() in a raw string"#.to_string(),
+        r##"nested "r#" guard: SystemTime::now() .unwrap() panic!"##.to_string(),
+        String::from_utf8_lossy(b"HashSet in a byte string").into_owned(),
+    ]
+}
+
+/* nested /* block comment: Instant::now() thread_rng() */ still a comment:
+   x == 0.0 and .unwrap() here are commented out */
+pub fn chars(r: char) -> bool {
+    // 'a' below is a char literal, not a lifetime; r#type is a raw ident.
+    let r#type = r == '\'' || r == '"';
+    r#type
+}
+
+pub fn lifetimes<'a>(x: &'a u32) -> &'a u32 {
+    x
+}
+
+pub fn numbers() -> f64 {
+    // 0x1f is an int (hex never floats); 1e3 and 2.5f64 are floats,
+    // but no comparison touches them.
+    let a = 0x1f as f64;
+    a + 1e3 + 2.5f64
+}
+
+pub fn real_finding() -> usize {
+    let m: std::collections::HashMap<u8, u8> = Default::default();
+    m.len()
+}

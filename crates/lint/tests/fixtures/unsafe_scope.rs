@@ -1,0 +1,5 @@
+// Fixture: unsafe-scope — parsed as a crate root *without* the
+// forbid/deny(unsafe_code) gate, plus one raw unsafe keyword.
+pub fn deref(p: *const u8) -> u8 {
+    unsafe { *p }
+}

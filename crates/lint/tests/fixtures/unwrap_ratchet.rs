@@ -1,0 +1,25 @@
+// Fixture: datapath-unwrap — the three counted shapes in non-test
+// code, plus shapes that must NOT count: unwrap_or, test code, an
+// allowed expect.
+pub fn three(o: Option<u8>) -> u8 {
+    if o.is_none() {
+        panic!("no value");
+    }
+    o.unwrap() + Some(1).expect("one")
+}
+
+pub fn not_counted(o: Option<u8>) -> u8 {
+    o.unwrap_or(7)
+}
+
+pub fn allowed(o: Option<u8>) -> u8 {
+    // mlcx-lint: allow(datapath-unwrap, reason = "fixture: documented invariant")
+    o.expect("documented invariant")
+}
+
+#[cfg(test)]
+mod tests {
+    fn gated(o: Option<u8>) {
+        o.unwrap();
+    }
+}

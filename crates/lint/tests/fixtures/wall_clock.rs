@@ -1,0 +1,18 @@
+// Fixture: wall-clock — ambient clocks fire; a reasoned allow
+// suppresses; mentions inside strings and comments do not fire.
+use std::time::Instant;
+
+pub fn bad() -> Instant {
+    Instant::now()
+}
+
+pub fn calibrated() -> u64 {
+    // mlcx-lint: allow(wall-clock, reason = "fixture: sanctioned calibration site")
+    let _t = std::time::SystemTime::now();
+    0
+}
+
+pub fn fine() -> &'static str {
+    // A comment saying Instant::now() is not a finding.
+    "neither is SystemTime in a string"
+}

@@ -1,0 +1,37 @@
+//! The workspace self-check: `mlcx-lint --check` must be clean on HEAD.
+//!
+//! Stricter than the CLI in one way: the counted-rule tallies must
+//! equal the committed baseline *exactly* — an improvement the CLI only
+//! notes is a hard failure here, so `crates/lint/baseline.json` can
+//! never drift from reality in either direction. After an intentional
+//! burn-down, refresh with `cargo run -p mlcx-lint -- --update-baseline`
+//! (see EXPERIMENTS.md).
+
+use mlcx_lint::{baseline_path, lint_workspace, parse_baseline, workspace_root};
+
+#[test]
+fn workspace_is_lint_clean_and_baseline_is_current() {
+    let root = workspace_root();
+    let report = lint_workspace(&root).expect("workspace must lint");
+    assert!(
+        report.files > 100,
+        "walk looks truncated: {} files",
+        report.files
+    );
+
+    let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert!(
+        rendered.is_empty(),
+        "HEAD has unallowed lint findings:\n{}",
+        rendered.join("\n")
+    );
+
+    let text = std::fs::read_to_string(baseline_path(&root))
+        .expect("crates/lint/baseline.json must be committed");
+    let baseline = parse_baseline(&text).expect("baseline must parse");
+    assert_eq!(
+        report.counts, baseline,
+        "counted-rule tallies drifted from crates/lint/baseline.json; \
+         if intentional, run `cargo run -p mlcx-lint -- --update-baseline`"
+    );
+}

@@ -632,9 +632,12 @@ impl NandDevice {
         }
         let prior_reads = self.blocks[block].reads_since_erase;
         self.blocks[block].reads_since_erase = prior_reads + 1;
-        let stored = self.blocks[block].pages[page]
-            .as_ref()
-            .expect("checked programmed above");
+        // Checked programmed above (before the disturb bump — a blank
+        // page must not accrue read disturb); re-checked here so the
+        // borrow carries a typed error instead of a panic path.
+        let Some(stored) = self.blocks[block].pages[page].as_ref() else {
+            return Err(NandError::PageNotProgrammed { block, page });
+        };
         let mut data = stored.data.clone();
         let mut spare = stored.spare.clone();
         let endurance = self

@@ -128,7 +128,15 @@ impl DisturbModel {
 
     /// Whether either mechanism can contribute RBER.
     pub fn is_enabled(&self) -> bool {
-        self.read_disturb_per_read != 0.0 || self.retention_scale != 0.0
+        // mlcx-lint: allow(float-eq, reason = "exact disabled-sentinel check; 0.0 is an assigned constant, never computed")
+        self.read_disturb_per_read != 0.0 || self.retention_enabled()
+    }
+
+    /// Whether the retention mechanism is active (a zero scale is the
+    /// disabled sentinel [`DisturbModel::disabled`] assigns).
+    pub fn retention_enabled(&self) -> bool {
+        // mlcx-lint: allow(float-eq, reason = "exact disabled-sentinel check; 0.0 is an assigned constant, never computed")
+        self.retention_scale != 0.0
     }
 
     /// RBER contribution after `reads` block reads since the last erase.
@@ -138,7 +146,7 @@ impl DisturbModel {
 
     /// RBER contribution after `hours` of retention at a given wear.
     pub fn retention_rber(&self, hours: f64, cycles: u64) -> f64 {
-        if hours <= 0.0 || self.retention_scale == 0.0 {
+        if hours <= 0.0 || !self.retention_enabled() {
             return 0.0;
         }
         let wear =
@@ -184,6 +192,7 @@ impl DisturbModel {
         }
         let shift = self.vth_shift_steps(reads, hours, cycles);
         let off = offset as f64;
+        // mlcx-lint: allow(float-eq, reason = "additional_rber returns exactly 0.0 when both mechanisms are off; guards the division by shift below")
         if shift == 0.0 {
             return nominal + self.offset_misread_rber * off * off;
         }

@@ -245,8 +245,10 @@ fn run_stress(threads: usize) -> Vec<Fingerprint> {
         }
     }
 
-    let mut completions = frontend.drain();
-    let (engine, leftover) = frontend.into_engine();
+    let mut completions = frontend.drain().expect("no submitter panicked");
+    let (engine, leftover) = frontend
+        .into_engine()
+        .expect("all submitters joined; teardown must succeed");
     completions.extend(leftover);
     assert_eq!(engine.pending(), 0);
     assert_eq!(engine.completions_pending(), 0);
