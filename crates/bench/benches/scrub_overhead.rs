@@ -106,6 +106,7 @@ fn run_workload(engine: &mut StorageEngine, scrub: bool) -> ArmResult {
     let scrubber = Scrubber::new(ScrubPolicy {
         read_threshold: READ_THRESHOLD,
         retention_age_hours: f64::INFINITY,
+        interference_rber_threshold: f64::INFINITY,
         max_blocks_per_pass: 1,
     });
 

@@ -224,6 +224,10 @@ pub struct WriteReport {
     pub t_used: u32,
     /// Program algorithm used.
     pub algorithm: ProgramAlgorithm,
+    /// Whether this program consumed a pending partial-program arm
+    /// (power-loss fault injection): the page was left mid-staircase
+    /// and reads back corrupt until its block is erased.
+    pub injected_partial: bool,
 }
 
 /// Result and breakdown of one page read.
@@ -254,6 +258,11 @@ pub struct ReadReport {
     /// Latency of the retry senses alone (already included in
     /// `latency_s`); 0.0 when the first sense decoded.
     pub retry_latency_s: f64,
+    /// Program-interference RBER the page carried into this read
+    /// (neighbor coupling + die program disturb + partial-program
+    /// corruption, per the device's [`DisturbModel`]). Exactly 0.0
+    /// under a model with the interference terms disabled.
+    pub interference_rber: f64,
 }
 
 /// The memory controller of the paper's Fig. 1.
@@ -617,6 +626,9 @@ impl MemoryController {
             r_bits,
             0.0, // program time filled from the device report below
         );
+        // A pending partial-program arm (fault injection) is consumed by
+        // this program; report it so batch layers can count injections.
+        let injected_partial = self.device.partial_program_armed();
         let dev_report = self.device.program_page(block, page, data, &parity)?;
         self.page_ecc.insert((block, page), t);
         // Channel model: buffer load + encode + data-in occupy the
@@ -640,6 +652,7 @@ impl MemoryController {
             program_s: dev_report.duration_s,
             t_used: t,
             algorithm: self.device.algorithm(),
+            injected_partial,
         })
     }
 
@@ -725,6 +738,7 @@ impl MemoryController {
             .get(&(block, page))
             .ok_or(CtrlError::UnknownPageConfig { block, page })?;
 
+        let interference_rber = self.device.page_interference_rber(block, page)?;
         let (mut data, mut spare, dev_report) = self.device.read_page_at(block, page, offset)?;
 
         // Decode at the page's write-time capability, restoring the host
@@ -768,6 +782,7 @@ impl MemoryController {
             senses: 1,
             reference_offset: offset,
             retry_latency_s: 0.0,
+            interference_rber,
         })
     }
 }
@@ -811,10 +826,10 @@ mod tests {
         ctrl.erase_block(0).unwrap();
         ctrl.apply(ConfigCommand::SetCorrection(10)).unwrap();
         let data = vec![0x77u8; 4096];
-        ctrl.write_page(0, 1, &data).unwrap();
+        ctrl.write_page(0, 0, &data).unwrap();
         // Re-configure before reading: the read must still use t = 10.
         ctrl.apply(ConfigCommand::SetCorrection(65)).unwrap();
-        let r = ctrl.read_page(0, 1).unwrap();
+        let r = ctrl.read_page(0, 0).unwrap();
         assert_eq!(r.t_used, 10);
         assert_eq!(r.data, data);
     }

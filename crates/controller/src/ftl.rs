@@ -113,6 +113,11 @@ pub struct FtlStats {
     /// [`FtlStats::physical_writes`], so write amplification stays
     /// honest about maintenance traffic).
     pub scrub_relocated_pages: u64,
+    /// Scrub reclaims whose victim qualified on program-interference
+    /// RBER (neighbor coupling, die program disturb, or a partially
+    /// programmed page) — a subset of [`FtlStats::scrub_runs`]
+    /// attributing maintenance traffic to program-side corruption.
+    pub interference_reclaims: u64,
 }
 
 impl FtlStats {
@@ -143,6 +148,9 @@ impl FtlStats {
             scrub_relocated_pages: self
                 .scrub_relocated_pages
                 .saturating_sub(earlier.scrub_relocated_pages),
+            interference_reclaims: self
+                .interference_reclaims
+                .saturating_sub(earlier.interference_reclaims),
         }
     }
 }
@@ -296,6 +304,15 @@ impl LogicalMap {
     /// Traffic counters.
     pub fn stats(&self) -> FtlStats {
         self.stats
+    }
+
+    /// Attributes the most recent scrub reclaim to program-interference
+    /// pressure (bumps [`FtlStats::interference_reclaims`]). The
+    /// scrubber calls this when the victim block qualified on the
+    /// interference-RBER threshold; the map itself cannot see why a
+    /// reclaim was planned.
+    pub fn note_interference_reclaim(&mut self) {
+        self.stats.interference_reclaims += 1;
     }
 
     /// The physical location of a logical page, if it was ever written.

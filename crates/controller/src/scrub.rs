@@ -57,6 +57,13 @@ pub struct ScrubPolicy {
     /// (`f64::INFINITY` never triggers; only blocks actually holding
     /// data are considered).
     pub retention_age_hours: f64,
+    /// Worst per-page program-interference RBER
+    /// ([`mlcx_nand::NandDevice::block_interference_rber`]) at which a
+    /// block qualifies (`f64::INFINITY` never triggers). A partially
+    /// programmed page or a neighbor-hammered wordline crosses this long
+    /// before the read/age clocks do — it is the scrub path's view of
+    /// the program-side failure mechanisms.
+    pub interference_rber_threshold: f64,
     /// Blocks reclaimed per scrub pass, bounding how much maintenance
     /// traffic a single pass may inject ahead of host commands (0
     /// disables scrubbing outright).
@@ -71,6 +78,7 @@ impl ScrubPolicy {
         ScrubPolicy {
             read_threshold: DisturbModel::SCRUB_READ_THRESHOLD,
             retention_age_hours: 8760.0,
+            interference_rber_threshold: 1e-4,
             max_blocks_per_pass: 1,
         }
     }
@@ -81,6 +89,7 @@ impl ScrubPolicy {
         ScrubPolicy {
             read_threshold: u64::MAX,
             retention_age_hours: f64::INFINITY,
+            interference_rber_threshold: f64::INFINITY,
             max_blocks_per_pass: 0,
         }
     }
@@ -88,7 +97,9 @@ impl ScrubPolicy {
     /// Whether this policy can ever emit reclaim work.
     pub fn is_enabled(&self) -> bool {
         self.max_blocks_per_pass > 0
-            && (self.read_threshold < u64::MAX || self.retention_age_hours.is_finite())
+            && (self.read_threshold < u64::MAX
+                || self.retention_age_hours.is_finite()
+                || self.interference_rber_threshold.is_finite())
     }
 }
 
@@ -162,13 +173,25 @@ impl Scrubber {
     }
 
     /// Blocks of `blocks` whose disturb state crossed a policy
-    /// threshold, most-pressed first (pressure = reads and age, each
-    /// normalized to its threshold). Out-of-range blocks are ignored.
+    /// threshold, most-pressed first (pressure = reads, age and
+    /// program-interference RBER, each normalized to its threshold).
+    /// Out-of-range blocks are ignored.
     pub fn candidates(&self, device: &NandDevice, blocks: Range<usize>) -> Vec<usize> {
+        self.pressed(device, blocks)
+            .into_iter()
+            .map(|(_, _, b)| b)
+            .collect()
+    }
+
+    /// Qualifying blocks as `(pressure, interference_qualified, block)`
+    /// triples, most-pressed first — `interference_qualified` marks a
+    /// block the interference threshold alone would have reclaimed (the
+    /// attribution the FTL's `interference_reclaims` counter records).
+    fn pressed(&self, device: &NandDevice, blocks: Range<usize>) -> Vec<(f64, bool, usize)> {
         if !self.policy.is_enabled() {
             return Vec::new();
         }
-        let mut pressed: Vec<(f64, usize)> = Vec::new();
+        let mut pressed: Vec<(f64, bool, usize)> = Vec::new();
         for block in blocks {
             let Ok(reads) = device.block_reads_since_erase(block) else {
                 continue;
@@ -194,13 +217,29 @@ impl Scrubber {
             } else {
                 0.0
             };
-            if read_pressure >= 1.0 || age_pressure >= 1.0 {
-                pressed.push((read_pressure.max(age_pressure), block));
+            let interference_pressure = if self.policy.interference_rber_threshold.is_finite() {
+                let rber = device.block_interference_rber(block).unwrap_or(0.0);
+                // Same blank-guard shape as the age clock: only a block
+                // actually carrying interference can trip a degenerate
+                // zero threshold.
+                if rber > 0.0 && self.policy.interference_rber_threshold <= 0.0 {
+                    1.0
+                } else if self.policy.interference_rber_threshold > 0.0 {
+                    rber / self.policy.interference_rber_threshold
+                } else {
+                    0.0
+                }
+            } else {
+                0.0
+            };
+            if read_pressure >= 1.0 || age_pressure >= 1.0 || interference_pressure >= 1.0 {
+                let pressure = read_pressure.max(age_pressure).max(interference_pressure);
+                pressed.push((pressure, interference_pressure >= 1.0, block));
             }
         }
         // Most-pressed first; ties broken by block id for determinism.
-        pressed.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-        pressed.into_iter().map(|(_, b)| b).collect()
+        pressed.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.2.cmp(&b.2)));
+        pressed
     }
 
     /// One scrub pass over a map: plans read-reclaim for up to
@@ -216,7 +255,7 @@ impl Scrubber {
         self.stats.passes += 1;
         let mut ops = Vec::new();
         let mut reclaimed = 0;
-        for block in self.candidates(device, map.blocks()) {
+        for (_, interference_qualified, block) in self.pressed(device, map.blocks()) {
             if reclaimed >= self.policy.max_blocks_per_pass {
                 break;
             }
@@ -226,6 +265,9 @@ impl Scrubber {
                 Ok(plan) => {
                     reclaimed += 1;
                     self.stats.blocks_reclaimed += 1;
+                    if interference_qualified {
+                        map.note_interference_reclaim();
+                    }
                     for op in &plan {
                         match op {
                             FtlOp::Relocate { .. } => self.stats.relocated_pages += 1,
@@ -314,11 +356,39 @@ mod tests {
         let scrubber = Scrubber::new(ScrubPolicy {
             read_threshold: u64::MAX,
             retention_age_hours: 400.0,
+            interference_rber_threshold: f64::INFINITY,
             max_blocks_per_pass: 1,
         });
         // Only the block holding 500-hour-old data qualifies; the blank
         // blocks share the device clock but store nothing.
         assert_eq!(scrubber.candidates(ctrl.device(), 0..6), vec![2]);
+    }
+
+    #[test]
+    fn interference_pressed_blocks_qualify_and_reclaims_are_attributed() {
+        let mut ctrl = pressed_controller();
+        let mut map = LogicalMap::new(0..6, 4);
+        let mut wear = |_b: usize| 0u64;
+        let plan = map.plan_write(0, &mut wear).unwrap();
+        let [FtlOp::Write { to, .. }] = plan[..] else {
+            panic!("fresh map must plan a bare write");
+        };
+        // Interrupt the program: the page's partial-program RBER dwarfs
+        // the interference threshold while the read/age clocks are cold.
+        ctrl.device_mut().arm_partial_program(0.3);
+        ctrl.write_page(to.0, to.1, &vec![0u8; 4096]).unwrap();
+        let mut scrubber = Scrubber::new(ScrubPolicy {
+            read_threshold: u64::MAX,
+            retention_age_hours: f64::INFINITY,
+            interference_rber_threshold: 1e-3,
+            max_blocks_per_pass: 1,
+        });
+        assert_eq!(scrubber.candidates(ctrl.device(), 0..6), vec![to.0]);
+        let plan = scrubber.plan_pass(ctrl.device(), &mut map);
+        assert!(matches!(plan.last(), Some(FtlOp::Erase { .. })));
+        // The reclaim is attributed to interference pressure.
+        assert_eq!(map.stats().interference_reclaims, 1);
+        assert_eq!(map.stats().scrub_runs, 1);
     }
 
     #[test]
@@ -343,6 +413,7 @@ mod tests {
         let mut scrubber = Scrubber::new(ScrubPolicy {
             read_threshold: 40,
             retention_age_hours: f64::INFINITY,
+            interference_rber_threshold: f64::INFINITY,
             max_blocks_per_pass: 1,
         });
         let plan = scrubber.plan_pass(ctrl.device(), &mut map);

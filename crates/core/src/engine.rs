@@ -61,6 +61,7 @@ use mlcx_controller::{ControllerConfig, MemoryController, ReadReport, ScrubPolic
 
 use crate::error::MlcxError;
 use crate::event::{CompletionEvent, EventQueue, PolicyBundle, QosSpec, SchedPolicy};
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::model::{OperatingPoint, SubsystemModel};
 use crate::policy::Objective;
 use crate::services::{ServiceError, ServiceRegion, ServiceStats};
@@ -398,6 +399,13 @@ pub struct BatchReport {
     /// [`QosSpec::deadline_s`] (0 with every deadline at the default
     /// infinity).
     pub deadline_misses: u64,
+    /// Programs the [`crate::FaultPlan`] interrupted mid-staircase this
+    /// batch (0 with injection disabled).
+    pub injected_partial_programs: u64,
+    /// Reads whose page carried a nonzero program-interference RBER
+    /// term (neighbor coupling, die-level program disturb, or a
+    /// partially programmed page) at sense time.
+    pub interference_reads: u64,
 }
 
 impl BatchReport {
@@ -543,6 +551,7 @@ pub struct EngineBuilder {
     bucketing: WearBucketing,
     scrub: ScrubPolicy,
     sched: SchedPolicy,
+    fault: FaultPlan,
 }
 
 impl EngineBuilder {
@@ -555,6 +564,7 @@ impl EngineBuilder {
             bucketing: WearBucketing::default(),
             scrub: ScrubPolicy::disabled(),
             sched: SchedPolicy::default(),
+            fault: FaultPlan::disabled(),
         }
     }
 
@@ -634,6 +644,19 @@ impl EngineBuilder {
         self
     }
 
+    /// Installs a program-fault injection schedule (default
+    /// [`FaultPlan::disabled`] — zero injections, zero RNG draws, and a
+    /// datapath bit-identical to an engine without the knob). The plan's
+    /// own seed drives a dedicated stream, so the same workload replays
+    /// under different fault schedules without perturbing the device's
+    /// error injection. Only *host* writes roll the schedule —
+    /// maintenance relocations do not, so the k-th host program sees
+    /// the same fate under every mitigation arm.
+    pub fn fault_plan(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
+        self
+    }
+
     /// Overrides the cross-layer subsystem model.
     pub fn model(mut self, model: SubsystemModel) -> Self {
         self.model = model;
@@ -691,6 +714,7 @@ impl EngineBuilder {
         let mut engine = StorageEngine::with_bucketing(ctrl, self.model, self.bucketing);
         engine.scrub = self.scrub;
         engine.sched = self.sched;
+        engine.fault = FaultInjector::new(self.fault);
         Ok(engine)
     }
 }
@@ -729,6 +753,10 @@ pub struct StorageEngine {
     /// recent dispatch — the per-tenant sample stream behind the
     /// aggregate [`BatchReport`] flow percentiles.
     last_flows: Vec<(u32, f64)>,
+    /// Executor of the builder's [`FaultPlan`] — rolls its own seeded
+    /// stream once per *host* write (never for maintenance relocations,
+    /// and never at all when the plan is disabled).
+    fault: FaultInjector,
 }
 
 /// Source of per-instance engine ids (handle provenance checks).
@@ -768,6 +796,7 @@ impl StorageEngine {
             submit_seq: 0,
             events: EventQueue::default(),
             last_flows: Vec::new(),
+            fault: FaultInjector::new(FaultPlan::disabled()),
         }
     }
 
@@ -893,6 +922,18 @@ impl StorageEngine {
     /// The scrub/read-reclaim policy the engine was built with.
     pub fn scrub_policy(&self) -> &ScrubPolicy {
         &self.scrub
+    }
+
+    /// The fault-injection schedule the engine rolls per host write.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        self.fault.plan()
+    }
+
+    /// Lifetime count of programs the [`FaultPlan`] has interrupted
+    /// (across every batch, unlike the per-drain
+    /// [`BatchReport::injected_partial_programs`]).
+    pub fn injected_faults(&self) -> u64 {
+        self.fault.injected()
     }
 
     /// The read-retry policy the controller applies on uncorrectable
@@ -1353,7 +1394,13 @@ impl StorageEngine {
                 let before = self.ctrl.regs().commands_applied();
                 self.ctrl.apply_point(op.algorithm, op.correction)?;
                 self.last_batch.knob_writes += self.ctrl.regs().commands_applied() - before;
+                if let Some(fraction) = self.fault.next_program() {
+                    self.ctrl.device_mut().arm_partial_program(fraction);
+                }
                 let report = self.ctrl.write_page(block, page, &data)?;
+                if report.injected_partial {
+                    self.last_batch.injected_partial_programs += 1;
+                }
                 self.last_batch.absorb(report.latency_s, report.energy_j);
                 self.last_batch.write_latency_s += report.latency_s;
                 self.last_batch.bytes_written += data.len();
@@ -1372,6 +1419,9 @@ impl StorageEngine {
                     if !report.outcome.is_success() {
                         self.last_batch.retry_exhausted += 1;
                     }
+                }
+                if report.interference_rber > 0.0 {
+                    self.last_batch.interference_reads += 1;
                 }
                 let corrected = report.outcome.corrected_bits() as u64;
                 self.last_batch.corrected_bits += corrected;
@@ -2408,5 +2458,61 @@ mod tests {
         assert!(e.retry_policy().is_enabled());
         assert!(e.scrub_policy().is_enabled());
         assert_eq!(e.sched_policy(), SchedPolicy::WeightedFair);
+    }
+
+    #[test]
+    fn fault_plan_interrupts_host_programs_and_surfaces_in_batch_counters() {
+        let build = |rate: f64| {
+            EngineBuilder::date2012()
+                .seed(77)
+                .disturb_model(mlcx_nand::disturb::DisturbModel::date2012())
+                .fault_plan(FaultPlan {
+                    partial_program_rate: rate,
+                    partial_program_fraction: 0.5,
+                    seed: 11,
+                })
+                .build()
+                .unwrap()
+        };
+        let run = |e: &mut StorageEngine| -> (BatchReport, BatchReport) {
+            let svc = e
+                .register_service("svc", Objective::Baseline, 0..8)
+                .unwrap();
+            let mut cmds = vec![Command::erase(svc, 0)];
+            for p in 0..4 {
+                cmds.push(Command::write(svc, 0, p, page(p as u8)));
+            }
+            e.sq().submit(&cmds).unwrap();
+            e.cq().drain();
+            let writes = *e.last_batch();
+            let reads: Vec<Command> = (0..4).map(|p| Command::read(svc, 0, p)).collect();
+            e.sq().submit(&reads).unwrap();
+            e.cq().drain();
+            (writes, *e.last_batch())
+        };
+
+        // Disabled plan: zero injections — but the neighbor-coupling
+        // counter still sees the date2012 interference model (each
+        // in-order program couples one event onto its lower neighbor,
+        // so the last-written page alone reads interference-free).
+        let mut quiet = build(0.0);
+        let (w, r) = run(&mut quiet);
+        assert_eq!(w.injected_partial_programs, 0);
+        assert_eq!(quiet.injected_faults(), 0);
+        assert!(!quiet.fault_plan().is_enabled());
+        assert_eq!(r.interference_reads, 3);
+
+        // Unit-rate plan: every host program is interrupted halfway, so
+        // every page reads back with a partial-program RBER term.
+        let mut noisy = build(1.0);
+        let (w, r) = run(&mut noisy);
+        assert_eq!(w.injected_partial_programs, 4);
+        assert_eq!(noisy.injected_faults(), 4);
+        assert_eq!(r.interference_reads, 4);
+
+        // The schedule is a pure function of the plan's seed.
+        let mut again = build(1.0);
+        let reports = run(&mut again);
+        assert_eq!(reports, (w, r));
     }
 }

@@ -14,6 +14,9 @@
 //! * [`event`] — the discrete-event vocabulary: [`SchedPolicy`],
 //!   [`QosSpec`] and the shared [`PolicyBundle`] both the engine and
 //!   scenario builders accept.
+//! * [`fault`] — deterministic fault injection: [`FaultPlan`] schedules
+//!   partial-program (power-loss) interruptions over the engine's
+//!   program stream from its own seeded RNG.
 //! * [`frontend`] — [`HostFrontend`]: N concurrent host submitters
 //!   (plain threads) over one engine, with backpressure-aware
 //!   submission.
@@ -58,6 +61,7 @@ mod model;
 pub mod engine;
 pub mod event;
 pub mod experiments;
+pub mod fault;
 pub mod frontend;
 pub mod policy;
 pub mod report;
@@ -71,6 +75,7 @@ pub use engine::{
 };
 pub use error::MlcxError;
 pub use event::{PolicyBundle, QosSpec, SchedPolicy};
+pub use fault::{FaultInjector, FaultPlan};
 pub use frontend::{HostFrontend, Submitter};
 pub use mlcx_controller::CodecKernel;
 pub use model::{Metrics, OperatingPoint, SubsystemModel, SubsystemModelBuilder};

@@ -51,7 +51,13 @@
 //!   tenant-storm preset ([`presets::tenant_storm`]) that packs
 //!   hundreds of QoS-classed tenants onto one bank under
 //!   weighted-fair dispatch and reads the per-tenant flow-time tail
-//!   (p99/p99.9) out of the report.
+//!   (p99/p99.9) out of the report; and the program-interference pair
+//!   ([`presets::program_interference`], [`presets::write_hammer`])
+//!   that turns neighbour coupling, die-level program disturb and
+//!   power-loss fault injection into counted, mitigable damage — the
+//!   latter an adversarial tenant hammering a victim's parked data
+//!   across the shared die, run under every
+//!   [`presets::MitigationMode`].
 //!
 //! Time is a first-class axis: phases can advance the device wall
 //! clock (`ScenarioBuilder::phase_with_elapsed` →

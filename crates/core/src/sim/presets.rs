@@ -20,6 +20,7 @@ use mlcx_nand::{DeviceGeometry, Topology};
 
 use crate::engine::EngineBuilder;
 use crate::event::{QosSpec, SchedPolicy};
+use crate::fault::FaultPlan;
 use crate::policy::Objective;
 use crate::sim::{Scenario, TraceKind};
 
@@ -119,6 +120,7 @@ pub fn retention_stress(seed: u64, scrub: bool) -> Scenario {
         builder = builder.scrub_policy(ScrubPolicy {
             read_threshold: u64::MAX,
             retention_age_hours: 5_000.0,
+            interference_rber_threshold: f64::INFINITY,
             max_blocks_per_pass: 2,
         });
     }
@@ -163,6 +165,7 @@ pub fn read_reclaim(seed: u64, scrub: bool) -> Scenario {
         builder = builder.scrub_policy(ScrubPolicy {
             read_threshold: 40,
             retention_age_hours: f64::INFINITY,
+            interference_rber_threshold: f64::INFINITY,
             max_blocks_per_pass: 2,
         });
     }
@@ -311,6 +314,7 @@ pub fn scrub_vs_retry(seed: u64, mode: MitigationMode) -> Scenario {
         builder = builder.scrub_policy(ScrubPolicy {
             read_threshold: u64::MAX,
             retention_age_hours: 5_000.0,
+            interference_rber_threshold: f64::INFINITY,
             max_blocks_per_pass: 2,
         });
     }
@@ -320,6 +324,132 @@ pub fn scrub_vs_retry(seed: u64, mode: MitigationMode) -> Scenario {
     builder
         .build()
         .expect("scrub-vs-retry preset must validate")
+}
+
+/// Program-interference preset: one zipfian key-value tenant whose own
+/// overwrite churn is the aggressor. Every program couples RBER onto
+/// its programmed wordline neighbours (demo-scaled cell-to-cell
+/// interference), and a deterministic fault schedule interrupts 2 % of
+/// programs mid-staircase — the power-loss mode, whose pages read back
+/// corrupt until erased. The interference-pressure scrubber
+/// (`interference_rber_threshold`) is the mitigation: a partially
+/// programmed page alone presses its block far past the threshold, so
+/// the scrubber reclaims exactly the damaged blocks, attributed in
+/// [`FtlStats::interference_reclaims`](mlcx_controller::ftl::FtlStats::interference_reclaims).
+///
+/// Power loss without end-to-end write protection *is* data loss: the
+/// interrupted pages fail ECC (surfacing as `read_failures`), and a GC
+/// or scrub relocation that copies such a page forward preserves the
+/// corruption — so unlike the other presets, a run is *expected* to
+/// report failures. The preset exists to count them deterministically.
+pub fn program_interference(seed: u64) -> Scenario {
+    Scenario::builder()
+        .engine(engine_with(16, Topology::single()))
+        .disturb_model(DisturbModel {
+            // Demo-scaled: the date2012 coupling constant needs ~200
+            // neighbour events per page to matter; 1e-4 per event shows
+            // up within a preset-sized trace. Partial-program corruption
+            // keeps its real (catastrophic) severity.
+            program_coupling_rber: 1e-4,
+            partial_program_rber: 5e-2,
+            ..DisturbModel::disabled()
+        })
+        .fault_plan(FaultPlan {
+            partial_program_rate: 0.02,
+            partial_program_fraction: 0.5,
+            seed: seed ^ 0xFA17,
+        })
+        .scrub_policy(ScrubPolicy {
+            read_threshold: u64::MAX,
+            retention_age_hours: f64::INFINITY,
+            interference_rber_threshold: 2e-3,
+            max_blocks_per_pass: 2,
+        })
+        .seed(seed)
+        .batch_size(24)
+        .utilization(0.5)
+        .prefill(true)
+        .service("kv", Objective::Baseline, 0..16, TraceKind::zipfian())
+        .phase("churn", 240, 0)
+        .build()
+        // mlcx-lint: allow(datapath-unwrap, reason = "preset constructor; invalid preset is a programming error")
+        .expect("program-interference preset must validate")
+}
+
+/// Write-hammer preset: the adversarial twin of
+/// [`program_interference`]. An `attacker` tenant floods its own block
+/// range with write bursts while a `victim` tenant's prefilled data
+/// sits parked on the *same die*, read-only. Every attacker program
+/// stresses the die's inhibited bitlines (demo-scaled die-level program
+/// disturb), so the victim's parked blocks accumulate interference RBER
+/// they did nothing to earn — the program-side analogue of a
+/// read-disturb neighbourhood attack, with the FTL's block-range
+/// isolation bypassed entirely by the shared die.
+///
+/// Run under each [`MitigationMode`] with the same seed:
+///
+/// * [`MitigationMode::None`] — victim reads start failing once the
+///   accumulated shift outruns the fresh-wear ECC schedule.
+/// * [`MitigationMode::ScrubOnly`] — the interference-pressure scrubber
+///   relocates the victim's pressed blocks (rewriting them resets their
+///   exposure snapshot), paid in relocations/erases.
+/// * [`MitigationMode::RetryOnly`] — the stepped ladder tracks the
+///   interference Vth shift (~2-3 reference steps at the demo scale)
+///   and the learned per-block offsets make steady state single-sense,
+///   paid in extra read latency.
+/// * [`MitigationMode::Both`] — retry absorbs the shift between scrub
+///   passes.
+pub fn write_hammer(seed: u64, mode: MitigationMode) -> Scenario {
+    let mut builder = Scenario::builder()
+        .engine(engine_with(16, Topology::single()))
+        .disturb_model(DisturbModel {
+            // Demo-scaled: the date2012 per-program constant needs ~100k
+            // programs on the die to matter; 4e-6 reaches a schedule-
+            // breaking victim RBER within the few hundred programs a
+            // preset-sized burst trace issues. The step size puts the
+            // end-of-run shift almost exactly two reference rungs out —
+            // squarely on the date2012 ladder — and the residual keeps
+            // the tracked optimum clean.
+            program_disturb_per_program: 4e-6,
+            program_coupling_rber: 1e-5,
+            rber_per_step: 5e-4,
+            offset_residual_fraction: 0.01,
+            ..DisturbModel::disabled()
+        })
+        .seed(seed)
+        .batch_size(24)
+        // Small working sets: the victim's parked data packs into a few
+        // blocks and the attacker's churn stays GC-light.
+        .utilization(0.25)
+        .prefill(true)
+        .service(
+            "attacker",
+            Objective::Baseline,
+            0..8,
+            TraceKind::WriteBurst { burst_len: 8 },
+        )
+        .service(
+            "victim",
+            Objective::Baseline,
+            8..16,
+            TraceKind::ReadMostly { read_ratio: 1.0 },
+        )
+        .phase("hammer", 280, 0);
+    if mode.scrub() {
+        builder = builder.scrub_policy(ScrubPolicy {
+            read_threshold: u64::MAX,
+            retention_age_hours: f64::INFINITY,
+            interference_rber_threshold: 7.5e-4,
+            max_blocks_per_pass: 2,
+        });
+    }
+    if mode.retry() {
+        builder = builder.retry_policy(RetryPolicy::date2012());
+    }
+    builder
+        .build()
+        // mlcx-lint: allow(datapath-unwrap, reason = "preset constructor; invalid preset is a programming error")
+        .expect("write-hammer preset must validate")
 }
 
 #[cfg(test)]
@@ -547,6 +677,101 @@ mod tests {
         assert_eq!(
             retry,
             scrub_vs_retry(7, MitigationMode::RetryOnly).run().unwrap()
+        );
+    }
+
+    #[test]
+    fn program_interference_counts_coupling_faults_and_reclaims() {
+        let report = program_interference(7).run().expect("preset must run");
+        // The fault schedule fired, the coupled/corrupt pages were seen
+        // at read time, and the interference-pressure scrubber reclaimed
+        // the damaged blocks with explicit attribution.
+        assert!(
+            report.total_injected_partial_programs > 0,
+            "the 2% schedule must interrupt some of the preset's programs"
+        );
+        assert!(report.total_interference_reads > 0);
+        let interference_reclaims: u64 = report
+            .service_reports()
+            .map(|s| s.ftl.interference_reclaims)
+            .sum();
+        assert!(
+            interference_reclaims > 0,
+            "partially-programmed pages must press blocks past the scrub threshold"
+        );
+        assert!(report.total_scrub_relocations + report.total_scrub_erases > 0);
+        // Power loss without end-to-end protection is data loss: the
+        // interrupted pages fail ECC deterministically.
+        assert!(report.read_failures > 0);
+        let churn = &phase(&report, "churn").services[0];
+        assert!(churn.model_interference_rber > 0.0);
+        assert!(churn.injected_partial_programs > 0);
+        // Determinism: the preset is a fixed function of its seed.
+        assert_eq!(report, program_interference(7).run().unwrap());
+    }
+
+    #[test]
+    fn write_hammer_attacker_damage_is_recovered_by_scrub_or_retry() {
+        let none = write_hammer(7, MitigationMode::None).run().unwrap();
+        let scrub = write_hammer(7, MitigationMode::ScrubOnly).run().unwrap();
+        let retry = write_hammer(7, MitigationMode::RetryOnly).run().unwrap();
+
+        let victim = |r: &crate::sim::ScenarioReport, ph: &str| {
+            phase(r, ph)
+                .services
+                .iter()
+                .find(|s| s.service == "victim")
+                .expect("victim service")
+                .clone()
+        };
+
+        // Unmitigated, the attacker's programs press the victim's
+        // parked blocks across the shared die until its reads fail.
+        let v_none = victim(&none, "hammer");
+        assert!(
+            v_none.model_interference_rber > 1e-3,
+            "attacker must press the victim: {:e}",
+            v_none.model_interference_rber
+        );
+        assert!(v_none.interference_reads > 0);
+        assert!(v_none.read_failures > 0, "victim reads must start failing");
+        assert_eq!(v_none.writes, 0, "the victim is read-only by design");
+        assert!(none.total_injected_partial_programs == 0);
+
+        // The damage in UBER terms, measured at the closing sweep: the
+        // victim loses more than a decade, and either mitigation alone
+        // recovers at least one decade of it.
+        let vv_none = victim(&none, "verify");
+        assert!(vv_none.model_log10_uber_disturbed > vv_none.model_log10_uber + 1.0);
+        for (arm, report) in [("scrub", &scrub), ("retry", &retry)] {
+            let vv = victim(report, "verify");
+            let recovered = vv_none.model_log10_uber_disturbed - vv.model_log10_uber_disturbed;
+            assert!(
+                recovered >= 1.0,
+                "{arm} must recover >= 1 decade of victim UBER, got {recovered:.2} \
+                 (none {:.2}, {arm} {:.2})",
+                vv_none.model_log10_uber_disturbed,
+                vv.model_log10_uber_disturbed
+            );
+        }
+
+        // Each mitigation pays in its own currency.
+        assert!(scrub.total_scrub_relocations > 0, "scrubber must have run");
+        assert_eq!(scrub.total_retried_reads, 0);
+        assert!(retry.total_retried_reads > 0, "the ladder must have walked");
+        assert_eq!(retry.total_scrub_relocations + retry.total_scrub_erases, 0);
+        assert!(
+            retry.read_failures < none.read_failures,
+            "retry must recover failing victim reads: {} vs {}",
+            retry.read_failures,
+            none.read_failures
+        );
+
+        // Determinism: every arm is a fixed function of the seed.
+        assert_eq!(none, write_hammer(7, MitigationMode::None).run().unwrap());
+        assert_eq!(
+            scrub,
+            write_hammer(7, MitigationMode::ScrubOnly).run().unwrap()
         );
     }
 }

@@ -171,6 +171,18 @@ pub struct ServicePhaseReport {
     /// Extra device time the retry senses cost this phase, seconds
     /// (already included in the read latencies).
     pub retry_latency_s: f64,
+    /// Reads (host or GC) whose page carried a nonzero
+    /// program-interference RBER term — neighbor coupling, die-level
+    /// program disturb, or a partially programmed page — at sense time.
+    /// 0 under the default disabled interference model.
+    pub interference_reads: u64,
+    /// Programs of this service the engine's fault-injection schedule
+    /// interrupted mid-staircase this phase (0 with injection disabled).
+    pub injected_partial_programs: u64,
+    /// Worst program-interference RBER across the service's blocks at
+    /// phase end — the pressure the scrub candidate scan sees; 0 under
+    /// the default disabled interference model.
+    pub model_interference_rber: f64,
     /// Highest P/E cycle count across the service's blocks at phase
     /// end (before the phase's fast-forward).
     pub max_wear: u64,
@@ -218,6 +230,12 @@ pub struct PhaseReport {
     pub retried_reads: u64,
     /// Extra read-retry senses across every service this phase.
     pub retry_senses: u64,
+    /// Reads that carried a nonzero interference RBER term across every
+    /// service this phase.
+    pub interference_reads: u64,
+    /// Programs the fault-injection schedule interrupted across every
+    /// service this phase.
+    pub injected_partial_programs: u64,
 }
 
 impl PhaseReport {
@@ -261,6 +279,12 @@ pub struct ScenarioReport {
     /// price of recovery, where scrub's is
     /// [`ScenarioReport::total_scrub_relocations`]).
     pub total_retry_senses: u64,
+    /// Reads that carried a nonzero interference RBER term across the
+    /// whole run (0 under the default disabled interference model).
+    pub total_interference_reads: u64,
+    /// Programs the fault-injection schedule interrupted across the
+    /// whole run (0 with injection disabled).
+    pub total_injected_partial_programs: u64,
 }
 
 impl ScenarioReport {
@@ -300,6 +324,8 @@ impl ScenarioReport {
             "lg-uber+d",
             "scrub",
             "retry",
+            "i-rber",
+            "interf",
             "wear",
         ]);
         for phase in &self.phases {
@@ -323,13 +349,15 @@ impl ScenarioReport {
                     fixed2(s.model_log10_uber_disturbed),
                     format!("{}r/{}e", s.scrub_relocations, s.scrub_erases),
                     format!("{}r/{}s", s.retried_reads, s.retry_senses),
+                    sci(s.model_interference_rber),
+                    format!("{}r/{}i", s.interference_reads, s.injected_partial_programs),
                     s.max_wear.to_string(),
                 ]);
             }
         }
         let mut out = t.render();
         out.push_str(&format!(
-            "total: {} commands, {:.3} ms device time ({:.3} ms overlapped, {:.2}x parallel), {:.3} mJ, {} pages verified, {} integrity violations, {} scrub relocations, {} scrub erases, {} retried reads, {} retry senses\n",
+            "total: {} commands, {:.3} ms device time ({:.3} ms overlapped, {:.2}x parallel), {:.3} mJ, {} pages verified, {} integrity violations, {} scrub relocations, {} scrub erases, {} retried reads, {} retry senses, {} interference reads, {} injected partial programs\n",
             self.total_commands,
             self.total_device_time_s * 1e3,
             self.total_parallel_time_s * 1e3,
@@ -341,6 +369,8 @@ impl ScenarioReport {
             self.total_scrub_erases,
             self.total_retried_reads,
             self.total_retry_senses,
+            self.total_interference_reads,
+            self.total_injected_partial_programs,
         ));
         out
     }
@@ -596,6 +626,16 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Installs a program-fault injection schedule (default
+    /// [`crate::FaultPlan::disabled`] — zero injections, zero RNG draws,
+    /// bit-identical reports). The knob lives on the inner engine
+    /// builder, so call this *after* [`ScenarioBuilder::engine`], which
+    /// replaces that builder — and this knob with it.
+    pub fn fault_plan(mut self, fault: crate::FaultPlan) -> Self {
+        self.engine = self.engine.fault_plan(fault);
+        self
+    }
+
     /// Enables background scrub / read-reclaim: every service gets its
     /// own `Scrubber` enforcing `policy` against its block region, and
     /// the resulting relocate+erase maintenance is compiled into the
@@ -743,6 +783,8 @@ struct Acc {
     retried_reads: u64,
     retry_senses: u64,
     retry_latency_s: f64,
+    interference_reads: u64,
+    injected_partial_programs: u64,
 }
 
 struct SimService {
@@ -939,6 +981,9 @@ impl WorkloadRunner {
         let total_scrub_erases = phases.iter().map(|p| p.scrub_erases).sum();
         let total_retried_reads = phases.iter().map(|p| p.retried_reads).sum();
         let total_retry_senses = phases.iter().map(|p| p.retry_senses).sum();
+        let total_interference_reads = phases.iter().map(|p| p.interference_reads).sum();
+        let total_injected_partial_programs =
+            phases.iter().map(|p| p.injected_partial_programs).sum();
         Ok(ScenarioReport {
             phases,
             total_commands,
@@ -954,6 +999,8 @@ impl WorkloadRunner {
             total_scrub_erases,
             total_retried_reads,
             total_retry_senses,
+            total_interference_reads,
+            total_injected_partial_programs,
         })
     }
 
@@ -1269,6 +1316,9 @@ impl WorkloadRunner {
                                 acc.retry_senses += u64::from(r.senses - 1);
                                 acc.retry_latency_s += r.retry_latency_s;
                             }
+                            if r.interference_rber > 0.0 {
+                                acc.interference_reads += 1;
+                            }
                             if !r.outcome.is_success() {
                                 acc.read_failures += 1;
                             } else if r.data != payload(page_bytes, svc, lpn, version) {
@@ -1286,6 +1336,9 @@ impl WorkloadRunner {
                             acc.writes += 1;
                             acc.write_lat.push(w.latency_s);
                             acc.energy_j += w.energy_j;
+                            if w.injected_partial {
+                                acc.injected_partial_programs += 1;
+                            }
                         }
                         Ok(other) => unreachable!("write command produced {other:?}"),
                         Err(e) => return Err(e),
@@ -1306,6 +1359,9 @@ impl WorkloadRunner {
                                 acc.retry_senses += u64::from(r.senses - 1);
                                 acc.retry_latency_s += r.retry_latency_s;
                             }
+                            if r.interference_rber > 0.0 {
+                                acc.interference_reads += 1;
+                            }
                             if !r.outcome.is_success() {
                                 // The relocation copies the (corrupted)
                                 // best-effort data; any damage surfaces
@@ -1320,7 +1376,11 @@ impl WorkloadRunner {
                 }
                 CmdMeta::GcWrite { svc } => match c.result {
                     Ok(CommandOutput::Write(w)) => {
-                        self.services[svc].acc.energy_j += w.energy_j;
+                        let acc = &mut self.services[svc].acc;
+                        acc.energy_j += w.energy_j;
+                        if w.injected_partial {
+                            acc.injected_partial_programs += 1;
+                        }
                     }
                     Ok(other) => unreachable!("write command produced {other:?}"),
                     Err(e) => return Err(e),
@@ -1391,7 +1451,14 @@ impl WorkloadRunner {
             // the shift the ladder has already tuned away.
             let ctrl = self.engine.controller();
             let model_disturb_rber = blocks
+                .clone()
                 .map(|b| ctrl.block_effective_disturb_rber(b).unwrap_or(0.0))
+                .fold(0.0, f64::max);
+            // Worst program-interference RBER across the region: what
+            // neighbor coupling, die-level program disturb and any
+            // partially programmed page add on top of the disturb state.
+            let model_interference_rber = blocks
+                .map(|b| device.block_interference_rber(b).unwrap_or(0.0))
                 .fold(0.0, f64::max);
             let objective = self.services[i].objective;
             let model = self.engine.model();
@@ -1433,6 +1500,9 @@ impl WorkloadRunner {
                 retried_reads: acc.retried_reads,
                 retry_senses: acc.retry_senses,
                 retry_latency_s: acc.retry_latency_s,
+                interference_reads: acc.interference_reads,
+                injected_partial_programs: acc.injected_partial_programs,
+                model_interference_rber,
                 max_wear,
                 write_amplification: ftl.write_amplification(),
                 ftl,
@@ -1443,6 +1513,8 @@ impl WorkloadRunner {
         let scrub_erases = services.iter().map(|s| s.scrub_erases).sum();
         let retried_reads = services.iter().map(|s| s.retried_reads).sum();
         let retry_senses = services.iter().map(|s| s.retry_senses).sum();
+        let interference_reads = services.iter().map(|s| s.interference_reads).sum();
+        let injected_partial_programs = services.iter().map(|s| s.injected_partial_programs).sum();
         PhaseReport {
             name: name.to_string(),
             fast_forward_cycles,
@@ -1460,6 +1532,8 @@ impl WorkloadRunner {
             scrub_erases,
             retried_reads,
             retry_senses,
+            interference_reads,
+            injected_partial_programs,
         }
     }
 }

@@ -1,7 +1,7 @@
 //! `mlcx-lint` — the workspace determinism/safety lint engine.
 //!
 //! Every claim this reproduction makes rests on bit-identical
-//! determinism pins (the seven committed bench baselines,
+//! determinism pins (the eight committed bench baselines,
 //! `tests/event_core.rs`, `tests/codec_kernels.rs`). Those pins are
 //! defended *after the fact* by test reruns; this crate defends them
 //! *by construction*: a std-only static-analysis pass that forbids the

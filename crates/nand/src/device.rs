@@ -86,11 +86,28 @@ struct StoredPage {
     algorithm: ProgramAlgorithm,
     cycles_at_program: u64,
     programmed_at_hours: f64,
+    /// Adjacent-wordline program events since this page was programmed
+    /// (each bumps the page's RBER by the model's coupling term).
+    interference_events: u64,
+    /// Fraction of the ISPP staircase left unexecuted by an interrupted
+    /// program (0.0 for a completed program; > 0.0 reads back corrupt
+    /// until the block is erased).
+    partial_missing: f64,
+    /// Die-wide program count at the moment this page was programmed —
+    /// the baseline for its program-disturb exposure.
+    die_programs_at_program: u64,
+    /// This block's program count at the same moment; same-block
+    /// programs are the coupling mechanism, so they are subtracted back
+    /// out of the die-wide exposure.
+    block_programs_at_program: u64,
 }
 
 struct Block {
     pe_cycles: u64,
     reads_since_erase: u64,
+    /// Lifetime program count (never reset: snapshots in [`StoredPage`]
+    /// are deltas against it, and an erase drops every snapshot anyway).
+    programs: u64,
     pages: Vec<Option<StoredPage>>,
 }
 
@@ -128,7 +145,9 @@ fn die_seed(seed: u64, die: usize) -> u64 {
 /// assert!(report.duration_s > 0.5e-3); // ISPP runs take ~a millisecond
 /// let (d, s, _) = dev.read_page(3, 0)?;
 /// assert_eq!(d.len(), 4096);
-/// assert_eq!(s.len(), 130);
+/// // A short spare reads back padded to the full OOB area (0xFF, the
+/// // erased state of the unwritten tail).
+/// assert_eq!(s.len(), dev.geometry().spare_bytes);
 /// # Ok::<(), mlcx_nand::NandError>(())
 /// ```
 pub struct NandDevice {
@@ -143,6 +162,11 @@ pub struct NandDevice {
     clock_hours: f64,
     blocks: Vec<Block>,
     dies: Vec<DieState>,
+    /// Lifetime program count per die (program-disturb exposure base).
+    die_programs: Vec<u64>,
+    /// One-shot partial-program arm: the next program executes only this
+    /// fraction of its ISPP staircase (power-loss injection).
+    partial_arm: Option<f64>,
     meter: EnergyMeter,
 }
 
@@ -184,15 +208,17 @@ impl NandDevice {
             .map(|_| Block {
                 pe_cycles: 0,
                 reads_since_erase: 0,
+                programs: 0,
                 pages: (0..geometry.pages_per_block).map(|_| None).collect(),
             })
             .collect();
-        let dies = (0..geometry.topology.total_dies())
+        let dies: Vec<DieState> = (0..geometry.topology.total_dies())
             .map(|die| DieState {
                 rng: StdRng::seed_from_u64(die_seed(seed, die)),
                 meter: EnergyMeter::new(),
             })
             .collect();
+        let die_programs = vec![0u64; dies.len()];
         NandDevice {
             geometry,
             timing,
@@ -205,6 +231,8 @@ impl NandDevice {
             clock_hours: 0.0,
             blocks,
             dies,
+            die_programs,
+            partial_arm: None,
             meter: EnergyMeter::new(),
         }
     }
@@ -338,10 +366,73 @@ impl NandDevice {
                 self.disturb.retention_rber(
                     self.clock_hours - p.programmed_at_hours,
                     p.cycles_at_program,
-                )
+                ) + self.page_interference(block, p)
             })
             .fold(0.0, f64::max);
         Ok(self.disturb.read_disturb_rber(b.reads_since_erase) + retention)
+    }
+
+    /// The program-interference RBER a stored page has accrued: the
+    /// model's neighbor-coupling term per adjacent program, the die-wide
+    /// program-disturb term per program on *other* blocks of the die
+    /// since the page was written, and the partial-program term for an
+    /// interrupted ISPP staircase. Exactly 0.0 under any model whose
+    /// interference terms are disabled — the counters are maintained
+    /// unconditionally, but a zero coefficient erases them.
+    fn page_interference(&self, block: usize, p: &StoredPage) -> f64 {
+        let die = self.geometry.die_of_block(block);
+        let die_delta = self.die_programs[die] - p.die_programs_at_program;
+        let own_delta = self.blocks[block].programs - p.block_programs_at_program;
+        let other_programs = die_delta.saturating_sub(own_delta);
+        self.disturb
+            .interference_rber(p.interference_events, other_programs, p.partial_missing)
+    }
+
+    /// The program-interference RBER of one page (0.0 for a blank page):
+    /// neighbor coupling + die-wide program disturb + partial-program
+    /// corruption, per the active [`DisturbModel`].
+    ///
+    /// # Errors
+    ///
+    /// Geometry errors for bad indices.
+    pub fn page_interference_rber(&self, block: usize, page: usize) -> Result<f64, NandError> {
+        self.check_page(block, page)?;
+        Ok(self.blocks[block].pages[page]
+            .as_ref()
+            .map(|p| self.page_interference(block, p))
+            .unwrap_or(0.0))
+    }
+
+    /// Whether a page holds the corrupt residue of an interrupted
+    /// program (false for blank pages; cleared only by erase).
+    ///
+    /// # Errors
+    ///
+    /// Geometry errors for bad indices.
+    pub fn page_partially_programmed(&self, block: usize, page: usize) -> Result<bool, NandError> {
+        self.check_page(block, page)?;
+        Ok(self.blocks[block].pages[page]
+            .as_ref()
+            .map(|p| p.partial_missing > 0.0)
+            .unwrap_or(false))
+    }
+
+    /// The worst per-page program-interference RBER across a block —
+    /// the pressure term a scrubber scans against (0.0 for a blank
+    /// block, and for any block under a model with the interference
+    /// terms disabled).
+    ///
+    /// # Errors
+    ///
+    /// [`NandError::BlockOutOfRange`] for bad indices.
+    pub fn block_interference_rber(&self, block: usize) -> Result<f64, NandError> {
+        self.check_block(block)?;
+        Ok(self.blocks[block]
+            .pages
+            .iter()
+            .flatten()
+            .map(|p| self.page_interference(block, p))
+            .fold(0.0, f64::max))
     }
 
     /// Like [`NandDevice::block_disturb_rber`], but for a read sensed at
@@ -368,10 +459,11 @@ impl NandDevice {
             .iter()
             .flatten()
             .map(|p| {
-                self.disturb.rber_at_offset(
+                self.disturb.rber_at_offset_with_interference(
                     b.reads_since_erase,
                     self.clock_hours - p.programmed_at_hours,
                     p.cycles_at_program,
+                    self.page_interference(block, p),
                     offset,
                 )
             })
@@ -513,12 +605,39 @@ impl NandDevice {
         Ok(report)
     }
 
+    /// Arms a one-shot partial-program injection: the *next*
+    /// [`NandDevice::program_page`] executes only `fraction` of its ISPP
+    /// staircase (clamped to `[0.0, 1.0]`) — a power-loss model where a
+    /// program interrupted after k of N pulses leaves the page in a
+    /// high-RBER state that reads back corrupt until the block is
+    /// erased. The arm is consumed by the next program whether or not
+    /// the active [`DisturbModel`] charges for it.
+    pub fn arm_partial_program(&mut self, fraction: f64) {
+        self.partial_arm = Some(fraction.clamp(0.0, 1.0));
+    }
+
+    /// Whether a partial-program arm is pending.
+    pub fn partial_program_armed(&self) -> bool {
+        self.partial_arm.is_some()
+    }
+
     /// Programs a page with the currently selected algorithm.
+    ///
+    /// Pages within a block must be programmed in strictly ascending
+    /// order (the MLC shared-wordline sequence). Programming a page
+    /// bumps the interference state of its already-programmed wordline
+    /// neighbors — blank neighbors are untouched, mirroring the
+    /// blank-read rule of the read-disturb model.
+    ///
+    /// A `spare` shorter than the geometry's OOB area is accepted and
+    /// pads to `spare_bytes` (0xFF, the erased state) on read-back; an
+    /// oversized spare is rejected.
     ///
     /// # Errors
     ///
     /// Geometry errors for bad indices or buffer sizes;
     /// [`NandError::PageNotErased`] when overwriting;
+    /// [`NandError::PageOutOfOrder`] when a lower page is still blank;
     /// [`NandError::CodeSramEmpty`] when an SRAM store has no microcode.
     pub fn program_page(
         &mut self,
@@ -548,6 +667,16 @@ impl NandDevice {
         if self.blocks[block].pages[page].is_some() {
             return Err(NandError::PageNotErased { block, page });
         }
+        if let Some(expected) = self.blocks[block].pages[..page]
+            .iter()
+            .position(Option::is_none)
+        {
+            return Err(NandError::PageOutOfOrder {
+                block,
+                page,
+                expected,
+            });
+        }
 
         let cycles = self.blocks[block].pe_cycles;
         let profile = program_profile(&self.ispp, self.algorithm, cycles);
@@ -555,8 +684,16 @@ impl NandDevice {
         // plus the verify mix — statistically equivalent to the
         // Monte-Carlo engine's emission, at device-simulation cost.
         let pulse_count = profile.pulses.round().max(1.0) as u32;
-        let mut phases = Vec::with_capacity(pulse_count as usize * 4);
-        for i in 0..pulse_count {
+        // A pending partial-program arm truncates the staircase after
+        // k of N pulses (power loss mid-program); the missing fraction
+        // is what the disturb model charges the page for on read.
+        let executed = match self.partial_arm.take() {
+            Some(fraction) => (f64::from(pulse_count) * fraction).floor() as u32,
+            None => pulse_count,
+        };
+        let partial_missing = f64::from(pulse_count - executed) / f64::from(pulse_count);
+        let mut phases = Vec::with_capacity(executed as usize * 4);
+        for i in 0..executed {
             phases.push(Phase {
                 kind: PhaseKind::ProgramPulse {
                     target_v: self.ispp.pulse_voltage(i),
@@ -570,14 +707,34 @@ impl NandDevice {
         }
         let op = self.sequencer.execute(&phases);
 
+        let die = self.geometry.die_of_block(block);
+        // Program-interference bookkeeping: integers only, maintained
+        // unconditionally — a disabled model multiplies them by exactly
+        // 0.0, so disabled-model runs stay bit-identical.
+        self.die_programs[die] += 1;
+        self.blocks[block].programs += 1;
+        // Wordline-adjacent coupling: already-programmed neighbors take
+        // one interference event each; blank neighbors are untouched.
+        for neighbor in [page.checked_sub(1), page.checked_add(1)] {
+            let Some(n) = neighbor else { continue };
+            if n >= self.geometry.pages_per_block {
+                continue;
+            }
+            if let Some(stored) = self.blocks[block].pages[n].as_mut() {
+                stored.interference_events += 1;
+            }
+        }
         self.blocks[block].pages[page] = Some(StoredPage {
             data: data.to_vec(),
             spare: spare.to_vec(),
             algorithm: self.algorithm,
             cycles_at_program: cycles,
             programmed_at_hours: self.clock_hours,
+            interference_events: 0,
+            partial_missing,
+            die_programs_at_program: self.die_programs[die],
+            block_programs_at_program: self.blocks[block].programs,
         });
-        let die = self.geometry.die_of_block(block);
         let report = self.finish(die, OpKind::Program, op.duration_s(), op.total_energy_j());
         Ok(report)
     }
@@ -643,17 +800,20 @@ impl NandDevice {
         let endurance = self
             .aging
             .rber(stored.algorithm, stored.cycles_at_program.max(1));
-        let extra = self.disturb.rber_at_offset(
+        let extra = self.disturb.rber_at_offset_with_interference(
             prior_reads,
             self.clock_hours - stored.programmed_at_hours,
             stored.cycles_at_program,
+            self.page_interference(block, stored),
             offset,
         );
         let rber = (endurance + extra).min(0.5);
         debug_assert!(spare.len() <= geometry_spare);
 
         // Errors come from the die's own stream: reads on one die never
-        // perturb the injection sequence of another.
+        // perturb the injection sequence of another. Injection covers
+        // the *stored* bytes only — the pad below is appended after, so
+        // short-spare programs draw exactly the stream they always did.
         let rng = &mut self.dies[die].rng;
         let total_bits = (data.len() + spare.len()) * 8;
         let errors = sample_binomial(rng, total_bits as u64, rber);
@@ -666,6 +826,9 @@ impl NandDevice {
             };
             buf[idx / 8] ^= 1 << (7 - idx % 8);
         }
+        // Read-back always presents the full OOB area: the unwritten
+        // tail senses as the erased state.
+        spare.resize(geometry_spare, 0xFF);
 
         let phases = [Phase {
             kind: PhaseKind::Read,
@@ -776,11 +939,16 @@ mod tests {
         dev.erase_block(0).unwrap();
         let data = vec![0xC3u8; 4096];
         let spare = vec![0x0Fu8; 64];
-        dev.program_page(0, 7, &data, &spare).unwrap();
+        for page in 0..=7 {
+            dev.program_page(0, page, &data, &spare).unwrap();
+        }
         let (d, s, report) = dev.read_page(0, 7).unwrap();
         assert_eq!(report.kind, OpKind::Read);
         assert_eq!(d.len(), 4096);
-        assert_eq!(s.len(), 64);
+        // A short spare pads to the full OOB area on read-back, and the
+        // unwritten tail senses as the erased state.
+        assert_eq!(s.len(), dev.geometry().spare_bytes);
+        assert!(s[64..].iter().all(|&b| b == 0xFF));
         // Fresh block: at RBER ~1.5e-6 a clean read-back is overwhelmingly
         // likely but not guaranteed; allow a stray bit.
         let diff: usize = d
@@ -1064,7 +1232,10 @@ mod tests {
         dev.read_page(0, 1).unwrap();
         let m = *dev.disturb_model();
         // The erase after the fast-forward added one cycle of its own.
-        let expected = m.read_disturb_rber(2) + m.retention_rber(100.0, 1_000_001);
+        // Programming page 1 coupled one interference event onto page 0,
+        // the block's worst (oldest) page.
+        let expected =
+            m.read_disturb_rber(2) + (m.retention_rber(100.0, 1_000_001) + m.program_coupling_rber);
         assert!((dev.block_disturb_rber(0).unwrap() - expected).abs() < 1e-15);
         // Erase resets both axes.
         dev.erase_block(0).unwrap();
@@ -1236,6 +1407,181 @@ mod tests {
             let (b, _, _) = bank.read_page(0, 0).unwrap();
             assert_eq!(a, b, "die 0 must replay the single-die stream");
         }
+    }
+
+    #[test]
+    fn short_spare_pads_and_exact_spare_round_trips() {
+        let mut dev = device();
+        let oob = dev.geometry().spare_bytes;
+        dev.erase_block(0).unwrap();
+        // Empty spare: reads back as a full OOB area of erased bytes.
+        dev.program_page(0, 0, &vec![0u8; 4096], &[]).unwrap();
+        let (_, s, _) = dev.read_page(0, 0).unwrap();
+        assert_eq!(s.len(), oob);
+        assert!(s.iter().all(|&b| b == 0xFF));
+        // Exact-size spare: round-trips at full length, unpadded.
+        let full = vec![0x33u8; oob];
+        dev.program_page(0, 1, &vec![0u8; 4096], &full).unwrap();
+        let (_, s, _) = dev.read_page(0, 1).unwrap();
+        assert_eq!(s.len(), oob);
+        let diff: usize = s
+            .iter()
+            .zip(&full)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum();
+        assert!(diff <= 2, "diff = {diff}");
+        // Oversized spare is still rejected.
+        assert!(matches!(
+            dev.program_page(0, 2, &vec![0u8; 4096], &vec![0u8; oob + 1]),
+            Err(NandError::BufferSize { what: "spare", .. })
+        ));
+    }
+
+    #[test]
+    fn pages_must_program_in_ascending_order() {
+        let mut dev = device();
+        dev.erase_block(0).unwrap();
+        let data = vec![0u8; 4096];
+        // Skipping ahead names the page the block expects next.
+        assert_eq!(
+            dev.program_page(0, 2, &data, &[]),
+            Err(NandError::PageOutOfOrder {
+                block: 0,
+                page: 2,
+                expected: 0
+            })
+        );
+        dev.program_page(0, 0, &data, &[]).unwrap();
+        assert_eq!(
+            dev.program_page(0, 3, &data, &[]),
+            Err(NandError::PageOutOfOrder {
+                block: 0,
+                page: 3,
+                expected: 1
+            })
+        );
+        // The in-order sequence is accepted, and a double program still
+        // reports PageNotErased (not an order violation).
+        dev.program_page(0, 1, &data, &[]).unwrap();
+        dev.program_page(0, 2, &data, &[]).unwrap();
+        assert_eq!(
+            dev.program_page(0, 1, &data, &[]),
+            Err(NandError::PageNotErased { block: 0, page: 1 })
+        );
+        // Erase resets the expected sequence.
+        dev.erase_block(0).unwrap();
+        dev.program_page(0, 0, &data, &[]).unwrap();
+    }
+
+    #[test]
+    fn neighbor_programs_couple_onto_programmed_pages_only() {
+        use crate::disturb::DisturbModel;
+        let mut dev = device();
+        dev.set_disturb_model(DisturbModel {
+            program_coupling_rber: 1e-4,
+            ..DisturbModel::disabled()
+        });
+        dev.erase_block(0).unwrap();
+        let data = vec![0u8; 4096];
+        dev.program_page(0, 0, &data, &[]).unwrap();
+        assert_eq!(dev.page_interference_rber(0, 0).unwrap(), 0.0);
+        // Programming page 1 disturbs its programmed neighbor (page 0)
+        // but not the blank page 2 above it.
+        dev.program_page(0, 1, &data, &[]).unwrap();
+        assert_eq!(dev.page_interference_rber(0, 0).unwrap(), 1e-4);
+        assert_eq!(dev.page_interference_rber(0, 1).unwrap(), 0.0);
+        // Page 2's program disturbs page 1; page 0 is not adjacent.
+        dev.program_page(0, 2, &data, &[]).unwrap();
+        assert_eq!(dev.page_interference_rber(0, 0).unwrap(), 1e-4);
+        assert_eq!(dev.page_interference_rber(0, 1).unwrap(), 1e-4);
+        assert_eq!(dev.block_interference_rber(0).unwrap(), 1e-4);
+        // Page 2 was blank while pages 0 and 1 were programmed, so it
+        // carries no events from before its own program.
+        assert_eq!(dev.page_interference_rber(0, 2).unwrap(), 0.0);
+        // Erase clears the whole interference state.
+        dev.erase_block(0).unwrap();
+        assert_eq!(dev.block_interference_rber(0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn die_program_disturb_charges_other_blocks_only() {
+        use crate::disturb::DisturbModel;
+        let mut dev = device();
+        dev.set_disturb_model(DisturbModel {
+            program_disturb_per_program: 1e-5,
+            ..DisturbModel::disabled()
+        });
+        dev.erase_block(0).unwrap();
+        dev.erase_block(1).unwrap();
+        let data = vec![0u8; 4096];
+        dev.program_page(0, 0, &data, &[]).unwrap();
+        // Two programs land on another block of the same (only) die.
+        dev.program_page(1, 0, &data, &[]).unwrap();
+        dev.program_page(1, 1, &data, &[]).unwrap();
+        assert_eq!(dev.page_interference_rber(0, 0).unwrap(), 2e-5);
+        // Block 1's own programs are coupling, not die disturb: page
+        // (1,0) saw one die-wide program since it was written, but it
+        // was its own block's.
+        assert_eq!(dev.page_interference_rber(1, 0).unwrap(), 0.0);
+        assert_eq!(dev.block_interference_rber(0).unwrap(), 2e-5);
+    }
+
+    #[test]
+    fn partial_program_reads_corrupt_until_erase() {
+        use crate::disturb::DisturbModel;
+        let mut dev = device();
+        dev.set_disturb_model(DisturbModel {
+            partial_program_rber: 0.2,
+            ..DisturbModel::disabled()
+        });
+        dev.erase_block(0).unwrap();
+        let data = vec![0u8; 4096];
+        // Interrupt the next program after a quarter of its staircase.
+        dev.arm_partial_program(0.25);
+        assert!(dev.partial_program_armed());
+        let partial = dev.program_page(0, 0, &data, &[]).unwrap();
+        assert!(!dev.partial_program_armed(), "the arm is one-shot");
+        assert!(dev.page_partially_programmed(0, 0).unwrap());
+        assert!(dev.page_interference_rber(0, 0).unwrap() > 0.1);
+        let (d, _, _) = dev.read_page(0, 0).unwrap();
+        let errs: usize = d
+            .iter()
+            .zip(&data)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum();
+        assert!(errs > 1_000, "partial page must read corrupt: {errs}");
+        // The interrupted staircase also costs less program time.
+        dev.erase_block(0).unwrap();
+        let full = dev.program_page(0, 0, &data, &[]).unwrap();
+        assert!(partial.duration_s < 0.5 * full.duration_s);
+        // After the erase + clean reprogram the page reads clean again.
+        assert!(!dev.page_partially_programmed(0, 0).unwrap());
+        let (d, _, _) = dev.read_page(0, 0).unwrap();
+        let errs: usize = d
+            .iter()
+            .zip(&data)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum();
+        assert!(errs <= 2, "clean reprogram must read clean: {errs}");
+    }
+
+    #[test]
+    fn interference_counters_are_inert_under_a_disabled_model() {
+        // Counters are maintained unconditionally, but a disabled model
+        // multiplies them by exactly 0.0: RBER views stay at zero.
+        let mut dev = device();
+        dev.erase_block(0).unwrap();
+        dev.erase_block(1).unwrap();
+        let data = vec![0u8; 4096];
+        for page in 0..4 {
+            dev.program_page(0, page, &data, &[]).unwrap();
+            dev.program_page(1, page, &data, &[]).unwrap();
+        }
+        for page in 0..4 {
+            assert_eq!(dev.page_interference_rber(0, page).unwrap(), 0.0);
+        }
+        assert_eq!(dev.block_interference_rber(0).unwrap(), 0.0);
+        assert_eq!(dev.block_disturb_rber(0).unwrap(), 0.0);
     }
 
     #[test]

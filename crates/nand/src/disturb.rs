@@ -83,6 +83,22 @@ pub struct DisturbModel {
     /// misreads cells near the references; this keeps a nonzero offset
     /// from ever being free.
     pub offset_misread_rber: f64,
+    /// RBER added to a *programmed* wordline-adjacent neighbour each
+    /// time a page is programmed next to it (cell-to-cell program
+    /// interference, Cai et al. arXiv:1805.03291). Blank neighbours are
+    /// untouched — parasitic coupling only corrupts stored charge, the
+    /// same rule read disturb follows for blank pages.
+    pub program_coupling_rber: f64,
+    /// RBER added to a block's programmed pages per program executed on
+    /// *other* blocks of the same die since the block's last erase
+    /// (inhibited-bitline program-disturb stress — the program-side
+    /// analogue of [`DisturbModel::read_disturb_per_read`]).
+    pub program_disturb_per_program: f64,
+    /// Additive RBER of a partially-programmed page per missing
+    /// fraction of its ISPP staircase: a program interrupted after `k`
+    /// of `N` pulses (power loss) leaves `1 - k/N` of the charge
+    /// placement undone, and the page reads back corrupt until erased.
+    pub partial_program_rber: f64,
 }
 
 impl DisturbModel {
@@ -106,6 +122,9 @@ impl DisturbModel {
             rber_per_step: 1e-4,
             offset_residual_fraction: 0.05,
             offset_misread_rber: 1e-5,
+            program_coupling_rber: 5.0e-7,
+            program_disturb_per_program: 5.0e-9,
+            partial_program_rber: 5.0e-2,
         }
     }
 
@@ -123,13 +142,29 @@ impl DisturbModel {
             rber_per_step: 1e-4,
             offset_residual_fraction: 0.05,
             offset_misread_rber: 1e-5,
+            program_coupling_rber: 0.0,
+            program_disturb_per_program: 0.0,
+            partial_program_rber: 0.0,
         }
     }
 
-    /// Whether either mechanism can contribute RBER.
+    /// Whether any mechanism can contribute RBER.
     pub fn is_enabled(&self) -> bool {
         // mlcx-lint: allow(float-eq, reason = "exact disabled-sentinel check; 0.0 is an assigned constant, never computed")
-        self.read_disturb_per_read != 0.0 || self.retention_enabled()
+        self.read_disturb_per_read != 0.0 || self.retention_enabled() || self.interference_enabled()
+    }
+
+    /// Whether any *program-side* mechanism (neighbour coupling,
+    /// die-level program disturb, partial-program injection) can
+    /// contribute RBER.
+    pub fn interference_enabled(&self) -> bool {
+        // mlcx-lint: allow(float-eq, reason = "exact disabled-sentinel check; 0.0 is an assigned constant, never computed")
+        let coupling = self.program_coupling_rber != 0.0;
+        // mlcx-lint: allow(float-eq, reason = "exact disabled-sentinel check; 0.0 is an assigned constant, never computed")
+        let die_disturb = self.program_disturb_per_program != 0.0;
+        // mlcx-lint: allow(float-eq, reason = "exact disabled-sentinel check; 0.0 is an assigned constant, never computed")
+        let partial = self.partial_program_rber != 0.0;
+        coupling || die_disturb || partial
     }
 
     /// Whether the retention mechanism is active (a zero scale is the
@@ -160,6 +195,35 @@ impl DisturbModel {
         self.read_disturb_rber(reads) + self.retention_rber(hours, cycles)
     }
 
+    /// RBER contribution of `events` adjacent-wordline program events
+    /// accumulated by a programmed page.
+    pub fn neighbor_interference_rber(&self, events: u64) -> f64 {
+        self.program_coupling_rber * events as f64
+    }
+
+    /// RBER contribution of `programs` page programs executed on other
+    /// blocks of the same die since the page's block was erased.
+    pub fn program_disturb_rber(&self, programs: u64) -> f64 {
+        self.program_disturb_per_program * programs as f64
+    }
+
+    /// RBER contribution of an interrupted program that completed only a
+    /// `1 - missing` fraction of its ISPP staircase (`missing` in 0..=1;
+    /// 0.0 for a fully-programmed page).
+    pub fn partial_rber(&self, missing: f64) -> f64 {
+        self.partial_program_rber * missing
+    }
+
+    /// Total program-side additive RBER of a page: neighbour coupling +
+    /// die-level program disturb + partial-program corruption. Exactly
+    /// 0.0 whenever all three mechanisms are disabled, whatever the
+    /// counters say — the disabled datapath stays bit-identical.
+    pub fn interference_rber(&self, events: u64, programs: u64, missing: f64) -> f64 {
+        self.neighbor_interference_rber(events)
+            + self.program_disturb_rber(programs)
+            + self.partial_rber(missing)
+    }
+
     /// The current Vth shift of the page's distributions, in
     /// read-reference steps (fractional; zero when nothing shifted).
     ///
@@ -186,13 +250,34 @@ impl DisturbModel {
     ///   [`DisturbModel::offset_misread_rber`] per squared step — a
     ///   stale learned offset is never free.
     pub fn rber_at_offset(&self, reads: u64, hours: f64, cycles: u64, offset: i32) -> f64 {
-        let nominal = self.additional_rber(reads, hours, cycles);
+        self.rber_at_offset_with_interference(reads, hours, cycles, 0.0, offset)
+    }
+
+    /// [`DisturbModel::rber_at_offset`] with an extra page-local
+    /// program-side term (see [`DisturbModel::interference_rber`])
+    /// folded into the nominal RBER *and* the Vth shift: interference
+    /// moves the distributions like retention does, so a tracking read
+    /// reference recovers it — except a partial program, whose shift
+    /// (`partial_program_rber / rber_per_step`) is far beyond any
+    /// ladder's reach by construction.
+    ///
+    /// `interference == 0.0` reproduces [`DisturbModel::rber_at_offset`]
+    /// bit-for-bit (adding +0.0 is an IEEE identity).
+    pub fn rber_at_offset_with_interference(
+        &self,
+        reads: u64,
+        hours: f64,
+        cycles: u64,
+        interference: f64,
+        offset: i32,
+    ) -> f64 {
+        let nominal = self.additional_rber(reads, hours, cycles) + interference;
         if offset == 0 {
             return nominal;
         }
-        let shift = self.vth_shift_steps(reads, hours, cycles);
+        let shift = nominal / self.rber_per_step;
         let off = offset as f64;
-        // mlcx-lint: allow(float-eq, reason = "additional_rber returns exactly 0.0 when both mechanisms are off; guards the division by shift below")
+        // mlcx-lint: allow(float-eq, reason = "additional_rber returns exactly 0.0 when all mechanisms are off; guards the division by shift below")
         if shift == 0.0 {
             return nominal + self.offset_misread_rber * off * off;
         }
@@ -327,6 +412,58 @@ mod tests {
         let expect = residual + (nominal - residual) * ((off - shift) / shift).powi(2);
         assert!((a - expect).abs() < 1e-18, "quadratic form holds");
         assert!(mirror.is_finite());
+    }
+
+    #[test]
+    fn interference_terms_add_and_disable_cleanly() {
+        let m = DisturbModel::date2012();
+        assert!(m.interference_enabled());
+        let total = m.interference_rber(3, 1_000, 0.5);
+        let parts =
+            m.neighbor_interference_rber(3) + m.program_disturb_rber(1_000) + m.partial_rber(0.5);
+        assert!((total - parts).abs() < 1e-18);
+        // A half-finished staircase reads back hopelessly corrupt.
+        assert!(m.partial_rber(0.5) > 1e-2);
+
+        let off = DisturbModel::disabled();
+        assert!(!off.interference_enabled());
+        // Counters without a mechanism contribute exactly nothing.
+        assert_eq!(off.interference_rber(1_000_000, 1_000_000, 1.0), 0.0);
+    }
+
+    #[test]
+    fn zero_interference_offset_path_is_bitwise_nominal() {
+        // The generalized entry point with a 0.0 interference term must
+        // return the very same f64 as the historical method, offset by
+        // offset — this is the PR's disabled-model bit-identity anchor.
+        let m = DisturbModel::date2012();
+        for offset in -4..=4 {
+            assert!(
+                m.rber_at_offset_with_interference(50_000, 8760.0, 100_000, 0.0, offset)
+                    == m.rber_at_offset(50_000, 8760.0, 100_000, offset)
+            );
+        }
+    }
+
+    #[test]
+    fn interference_shifts_the_distributions_like_retention() {
+        // A coupled page's interference RBER must be recoverable by a
+        // reference offset tracking the enlarged shift — while a partial
+        // program's shift is beyond any realistic ladder.
+        let m = DisturbModel {
+            program_coupling_rber: 1e-4,
+            ..DisturbModel::disabled()
+        };
+        let interference = m.interference_rber(3, 0, 0.0);
+        let nominal = m.rber_at_offset_with_interference(0, 0.0, 1, interference, 0);
+        assert!((nominal - 3e-4).abs() < 1e-18);
+        let shift = nominal / m.rber_per_step; // 3 steps
+        let best = m.rber_at_offset_with_interference(0, 0.0, 1, interference, shift as i32);
+        assert!(best < nominal / 5.0, "tracking offset must recover");
+
+        let partial = DisturbModel::date2012();
+        let steps = partial.partial_rber(1.0) / partial.rber_per_step;
+        assert!(steps > 100.0, "partial-program shift outruns the ladder");
     }
 
     #[test]

@@ -38,6 +38,18 @@ pub enum NandError {
         /// Offending page.
         page: usize,
     },
+    /// Programming a page before the pages below it in the block — MLC
+    /// parts mandate strictly ascending page order within a block (the
+    /// shared-wordline programming sequence two-step vulnerabilities
+    /// exploit; see Cai et al., arXiv:1805.03291).
+    PageOutOfOrder {
+        /// Offending block.
+        block: usize,
+        /// The page that was requested.
+        page: usize,
+        /// The lowest still-blank page the block expects next.
+        expected: usize,
+    },
     /// Reading a page that was never programmed.
     PageNotProgrammed {
         /// Offending block.
@@ -80,6 +92,16 @@ impl fmt::Display for NandError {
                 write!(
                     f,
                     "page {page} of block {block} must be erased before program"
+                )
+            }
+            NandError::PageOutOfOrder {
+                block,
+                page,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "page {page} of block {block} programmed out of order (next in sequence is {expected})"
                 )
             }
             NandError::PageNotProgrammed { block, page } => {

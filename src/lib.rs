@@ -95,10 +95,10 @@ pub use mlcx_controller::{ReadOffsetTable, RetryPolicy, RetryStats};
 pub use mlcx_controller::{ScrubPolicy, ScrubStats, Scrubber};
 pub use mlcx_core::{
     BatchReport, CmdId, Command, CommandOutput, Completion, CompletionQueue, EngineBuilder,
-    HostFrontend, Metrics, MlcxError, Objective, OperatingPoint, PolicyBundle, QosSpec, Scenario,
-    ScenarioReport, SchedPolicy, ServiceError, ServiceHandle, ServiceRegion, ServiceStats,
-    StorageEngine, SubmissionQueue, Submitter, SubsystemModel, SubsystemModelBuilder,
-    TraceGenerator, TraceKind, WearBucketing, WorkloadRunner,
+    FaultInjector, FaultPlan, HostFrontend, Metrics, MlcxError, Objective, OperatingPoint,
+    PolicyBundle, QosSpec, Scenario, ScenarioReport, SchedPolicy, ServiceError, ServiceHandle,
+    ServiceRegion, ServiceStats, StorageEngine, SubmissionQueue, Submitter, SubsystemModel,
+    SubsystemModelBuilder, TraceGenerator, TraceKind, WearBucketing, WorkloadRunner,
 };
 pub use mlcx_gf2::MulKernel;
 pub use mlcx_nand::{AgingModel, DeviceGeometry, MlcLevel, NandDevice, ProgramAlgorithm, Topology};

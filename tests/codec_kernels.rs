@@ -146,6 +146,7 @@ fn scenario_with_kernel(kernel: CodecKernel) -> Scenario {
         .scrub_policy(ScrubPolicy {
             read_threshold: u64::MAX,
             retention_age_hours: 5_000.0,
+            interference_rber_threshold: f64::INFINITY,
             max_blocks_per_pass: 2,
         })
         .retry_policy(RetryPolicy::date2012())

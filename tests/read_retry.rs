@@ -83,12 +83,19 @@ proptest! {
         hours in 0.0f64..1_000.0,
         raw_ops in proptest::collection::vec((0usize..4, 0usize..8), 1..24),
     ) {
-        // Dedupe (block, page) targets: a duplicate write without an
-        // intervening erase is rejected, which is itself deterministic,
-        // but distinct pages keep every read meaningful.
+        // Dedupe (block, page) targets, then remap each block's pages
+        // onto 0..n in program order: the device enforces the MLC
+        // in-order page-programming rule, so arbitrary page targets
+        // would be rejected (deterministically in both arms, but
+        // leaving nothing to read back).
         let mut ops = raw_ops;
         ops.sort_unstable();
         ops.dedup();
+        let mut next = [0usize; 4];
+        for op in &mut ops {
+            op.1 = next[op.0];
+            next[op.0] += 1;
+        }
 
         let cycles = 10u64.pow(wear_decade);
         let (plain, plain_batch, _) = run_seeded(false, seed, cycles, hours, &ops);
